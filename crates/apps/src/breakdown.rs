@@ -1,0 +1,107 @@
+//! MPI call breakdown — Table 2.1.
+//!
+//! Percentage of each communication/synchronization call in a trace
+//! ("we only consider communications and synchronization calls").
+
+use crate::trace::Trace;
+use std::collections::BTreeMap;
+
+/// Call-name → percentage-of-calls map.
+#[derive(Debug, Clone, Default)]
+pub struct CallBreakdown {
+    /// Percentage per call name, in `[0, 100]`.
+    pub percent: BTreeMap<&'static str, f64>,
+    /// Total communication calls counted.
+    pub total_calls: u64,
+}
+
+/// Compute the breakdown of a trace.
+pub fn call_breakdown(trace: &Trace) -> CallBreakdown {
+    let mut counts: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut total = 0u64;
+    for e in trace.ranks.iter().flatten() {
+        if let Some(name) = e.call_name() {
+            *counts.entry(name).or_default() += 1;
+            total += 1;
+        }
+    }
+    let percent = counts
+        .into_iter()
+        .map(|(k, v)| (k, 100.0 * v as f64 / total.max(1) as f64))
+        .collect();
+    CallBreakdown { percent, total_calls: total }
+}
+
+/// Render breakdowns for several applications as the rows/columns of
+/// Table 2.1.
+pub fn render_table(apps: &[(&str, CallBreakdown)]) -> String {
+    let mut calls: Vec<&'static str> = Vec::new();
+    for (_, b) in apps {
+        for k in b.percent.keys() {
+            if !calls.contains(k) {
+                calls.push(k);
+            }
+        }
+    }
+    calls.sort();
+    let mut out = String::new();
+    out.push_str(&format!("{:<16}", "Function"));
+    for (name, _) in apps {
+        out.push_str(&format!("{name:>14}"));
+    }
+    out.push('\n');
+    for call in calls {
+        out.push_str(&format!("{call:<16}"));
+        for (_, b) in apps {
+            let v = b.percent.get(call).copied().unwrap_or(0.0);
+            out.push_str(&format!("{v:>13.2}%"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{lammps, nas_lu, LammpsProblem, NasClass};
+    use crate::trace::{Trace, TraceEvent};
+
+    #[test]
+    fn percentages_sum_to_hundred() {
+        let b = call_breakdown(&nas_lu(NasClass::S, 16));
+        let sum: f64 = b.percent.values().sum();
+        assert!((sum - 100.0).abs() < 1e-9);
+        assert!(b.total_calls > 0);
+    }
+
+    #[test]
+    fn compute_events_excluded() {
+        let mut t = Trace::new("c", 1);
+        t.push(0, TraceEvent::Compute { ns: 5 });
+        let b = call_breakdown(&t);
+        assert_eq!(b.total_calls, 0);
+        assert!(b.percent.is_empty());
+    }
+
+    #[test]
+    fn lammps_allreduce_share_close_to_table() {
+        // Table 2.1 LAMMPS: MPI_Allreduce ≈ 10.75 %.
+        let b = call_breakdown(&lammps(LammpsProblem::Chain, 64));
+        let all = b.percent.get("MPI_Allreduce").copied().unwrap_or(0.0);
+        assert!((3.0..=18.0).contains(&all), "Allreduce {all:.1}% out of band");
+    }
+
+    #[test]
+    fn table_renders_all_apps() {
+        let rows = [
+            ("LU", call_breakdown(&nas_lu(NasClass::S, 16))),
+            ("Lammps", call_breakdown(&lammps(LammpsProblem::Chain, 64))),
+        ];
+        let s = render_table(&rows);
+        assert!(s.contains("MPI_Send"));
+        assert!(s.contains("LU"));
+        assert!(s.contains("Lammps"));
+        assert!(s.lines().count() > 3);
+    }
+}

@@ -1,0 +1,282 @@
+//! Collective lowering: rewrite a trace so only point-to-point
+//! operations and computation remain.
+//!
+//! The trace player replays `Send`/`Recv`/`Wait`/`Compute`; collectives
+//! are compiled into message exchanges ahead of time:
+//!
+//! * `Bcast`   → binomial tree from the root (`log₂ n` rounds);
+//! * `Reduce`  → binomial tree to the root (mirror of bcast);
+//! * `Allreduce` → reduce-to-0 followed by bcast-from-0 (works for any
+//!   rank count and preserves the heavy-root traffic signature that
+//!   collective phases inject — §2.2.6 notes the Allreduce phase of
+//!   LAMMPS "would produce heavy traffic into the network");
+//! * `Barrier` → 1-byte allreduce.
+//!
+//! Each collective instance draws a unique tag from a reserved range so
+//! concurrent collectives can't cross-match.
+
+use crate::trace::{Rank, Trace, TraceEvent};
+
+/// First tag reserved for lowered collectives; generator tags must stay
+/// below this.
+pub const COLLECTIVE_TAG_BASE: u32 = 0x4000_0000;
+
+/// State for assigning unique collective tags.
+struct Tagger {
+    next: u32,
+}
+
+impl Tagger {
+    fn fresh(&mut self) -> u32 {
+        let t = self.next;
+        self.next += 1;
+        t
+    }
+}
+
+/// Lower every collective in `trace` into point-to-point exchanges.
+///
+/// Requires the trace to be *SPMD-consistent*: every rank issues the
+/// same collectives in the same order (checked; panics otherwise, since
+/// a mismatched collective would deadlock real MPI too).
+pub fn lower_collectives(trace: &Trace) -> Trace {
+    let n = trace.num_ranks() as Rank;
+    let mut out = Trace::new(trace.name.clone(), n as usize);
+    let mut tagger = Tagger { next: COLLECTIVE_TAG_BASE };
+
+    // Position of each rank's next collective — used to verify SPMD
+    // consistency as we stream through.
+    let mut upcoming: Vec<std::collections::VecDeque<TraceEvent>> = trace
+        .ranks
+        .iter()
+        .map(|evs| evs.iter().filter(|e| e.is_collective()).copied().collect())
+        .collect();
+    // All ranks must agree on the collective sequence.
+    for r in 1..n as usize {
+        assert_eq!(
+            upcoming[0], upcoming[r],
+            "rank {r} disagrees on the collective sequence (SPMD violation)"
+        );
+    }
+    // Pre-assign tags per collective instance. Reduce+bcast-style
+    // lowerings need two tags.
+    let tags: Vec<(u32, u32)> =
+        upcoming[0].iter().map(|_| (tagger.fresh(), tagger.fresh())).collect();
+
+    for (r, evs) in trace.ranks.iter().enumerate() {
+        let r = r as Rank;
+        let mut ci = 0usize;
+        for ev in evs {
+            if !ev.is_collective() {
+                out.push(r, *ev);
+                continue;
+            }
+            let (tag_a, tag_b) = tags[ci];
+            ci += 1;
+            match *ev {
+                TraceEvent::Bcast { root, bytes } => {
+                    emit_bcast(&mut out, r, n, root, bytes, tag_a);
+                }
+                TraceEvent::Reduce { root, bytes } => {
+                    emit_reduce(&mut out, r, n, root, bytes, tag_a);
+                }
+                TraceEvent::Allreduce { bytes } => {
+                    emit_reduce(&mut out, r, n, 0, bytes, tag_a);
+                    emit_bcast(&mut out, r, n, 0, bytes, tag_b);
+                }
+                TraceEvent::Barrier => {
+                    emit_reduce(&mut out, r, n, 0, 1, tag_a);
+                    emit_bcast(&mut out, r, n, 0, 1, tag_b);
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+    let _ = upcoming.drain(..);
+    out
+}
+
+/// Rank relative to the root (so the binomial tree is rooted anywhere).
+fn rel(r: Rank, root: Rank, n: Rank) -> Rank {
+    (r + n - root) % n
+}
+
+fn unrel(v: Rank, root: Rank, n: Rank) -> Rank {
+    (v + root) % n
+}
+
+/// Binomial-tree broadcast from `root`: in round `k` (highest first),
+/// ranks with relative id `< 2^k` having the data send to `rel + 2^k`.
+fn emit_bcast(out: &mut Trace, me: Rank, n: Rank, root: Rank, bytes: u32, tag: u32) {
+    let v = rel(me, root, n);
+    let rounds = (n as u64).next_power_of_two().trailing_zeros();
+    // Receive first (unless root).
+    if v != 0 {
+        let k = 31 - v.leading_zeros(); // highest set bit: the round we receive in
+        let parent = v - (1 << k);
+        out.push(me, TraceEvent::Recv { src: unrel(parent, root, n), tag });
+    }
+    // Then forward in later rounds.
+    for k in 0..rounds {
+        let bit = 1u32 << k;
+        if v < bit && v + bit < n {
+            // Only forward in rounds after we hold the data.
+            let have_at = if v == 0 { 0 } else { 32 - v.leading_zeros() };
+            if k >= have_at {
+                out.push(me, TraceEvent::Send { dst: unrel(v + bit, root, n), bytes, tag });
+            }
+        }
+    }
+}
+
+/// Binomial-tree reduce to `root`: the mirror of broadcast.
+fn emit_reduce(out: &mut Trace, me: Rank, n: Rank, root: Rank, bytes: u32, tag: u32) {
+    let v = rel(me, root, n);
+    let rounds = (n as u64).next_power_of_two().trailing_zeros();
+    // Receive partial results from children (reverse round order of the
+    // bcast forwarding).
+    for k in (0..rounds).rev() {
+        let bit = 1u32 << k;
+        if v < bit && v + bit < n {
+            let have_at = if v == 0 { 0 } else { 32 - v.leading_zeros() };
+            if k >= have_at {
+                out.push(me, TraceEvent::Recv { src: unrel(v + bit, root, n), tag });
+            }
+        }
+    }
+    // Send own partial up.
+    if v != 0 {
+        let k = 31 - v.leading_zeros();
+        let parent = v - (1 << k);
+        out.push(me, TraceEvent::Send { dst: unrel(parent, root, n), bytes, tag });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collective_trace(n: usize, ev: TraceEvent) -> Trace {
+        let mut t = Trace::new("coll", n);
+        t.push_all(ev);
+        t
+    }
+
+    #[test]
+    fn bcast_lowering_is_matched_and_collective_free() {
+        for n in [2usize, 3, 4, 8, 13, 64] {
+            let t = collective_trace(n, TraceEvent::Bcast { root: 0, bytes: 512 });
+            let l = lower_collectives(&t);
+            assert!(l.check_matched().is_ok(), "n={n}");
+            assert!(l.ranks.iter().flatten().all(|e| !e.is_collective()));
+            // A broadcast sends exactly n-1 messages.
+            let sends = l
+                .ranks
+                .iter()
+                .flatten()
+                .filter(|e| matches!(e, TraceEvent::Send { .. }))
+                .count();
+            assert_eq!(sends, n - 1, "n={n}");
+        }
+    }
+
+    #[test]
+    fn bcast_nonzero_root() {
+        let t = collective_trace(8, TraceEvent::Bcast { root: 5, bytes: 64 });
+        let l = lower_collectives(&t);
+        assert!(l.check_matched().is_ok());
+        // The root never receives.
+        assert!(l.ranks[5].iter().all(|e| !matches!(e, TraceEvent::Recv { .. })));
+        // Every other rank receives exactly once.
+        for (r, evs) in l.ranks.iter().enumerate() {
+            if r != 5 {
+                let recvs =
+                    evs.iter().filter(|e| matches!(e, TraceEvent::Recv { .. })).count();
+                assert_eq!(recvs, 1, "rank {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_lowering_is_matched() {
+        for n in [2usize, 4, 7, 64] {
+            let t = collective_trace(n, TraceEvent::Reduce { root: 0, bytes: 8 });
+            let l = lower_collectives(&t);
+            assert!(l.check_matched().is_ok(), "n={n}");
+            let sends = l
+                .ranks
+                .iter()
+                .flatten()
+                .filter(|e| matches!(e, TraceEvent::Send { .. }))
+                .count();
+            assert_eq!(sends, n - 1);
+        }
+    }
+
+    #[test]
+    fn allreduce_is_reduce_plus_bcast() {
+        let t = collective_trace(16, TraceEvent::Allreduce { bytes: 8 });
+        let l = lower_collectives(&t);
+        assert!(l.check_matched().is_ok());
+        let sends = l
+            .ranks
+            .iter()
+            .flatten()
+            .filter(|e| matches!(e, TraceEvent::Send { .. }))
+            .count();
+        assert_eq!(sends, 2 * 15);
+    }
+
+    #[test]
+    fn barrier_lowers_to_tiny_messages() {
+        let t = collective_trace(4, TraceEvent::Barrier);
+        let l = lower_collectives(&t);
+        assert!(l.check_matched().is_ok());
+        assert!(l
+            .ranks
+            .iter()
+            .flatten()
+            .all(|e| !matches!(e, TraceEvent::Send { bytes, .. } if *bytes > 1)));
+    }
+
+    #[test]
+    fn sequential_collectives_get_distinct_tags() {
+        let mut t = Trace::new("two", 4);
+        t.push_all(TraceEvent::Allreduce { bytes: 8 });
+        t.push_all(TraceEvent::Allreduce { bytes: 8 });
+        let l = lower_collectives(&t);
+        assert!(l.check_matched().is_ok());
+        let tags: std::collections::HashSet<u32> = l
+            .ranks
+            .iter()
+            .flatten()
+            .filter_map(|e| match e {
+                TraceEvent::Send { tag, .. } => Some(*tag),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(tags.len(), 4, "2 allreduces × (reduce tag + bcast tag)");
+    }
+
+    #[test]
+    fn p2p_and_compute_pass_through() {
+        let mut t = Trace::new("mix", 2);
+        t.push(0, TraceEvent::Compute { ns: 100 });
+        t.push(0, TraceEvent::Send { dst: 1, bytes: 9, tag: 3 });
+        t.push(1, TraceEvent::Recv { src: 0, tag: 3 });
+        t.push_all(TraceEvent::Barrier);
+        let l = lower_collectives(&t);
+        assert!(matches!(l.ranks[0][0], TraceEvent::Compute { ns: 100 }));
+        assert!(matches!(l.ranks[0][1], TraceEvent::Send { bytes: 9, .. }));
+        assert!(l.check_matched().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "SPMD")]
+    fn mismatched_collectives_panic() {
+        let mut t = Trace::new("bad", 2);
+        t.push(0, TraceEvent::Barrier);
+        // Rank 1 issues no barrier.
+        let _ = lower_collectives(&t);
+    }
+}

@@ -1,0 +1,194 @@
+//! Communication matrices and topological connectivity (§2.2.6).
+//!
+//! The matrix of communications records, per source/destination pair,
+//! the total bytes exchanged — the raw material of Figs 2.10–2.13. From
+//! it we derive the **TDC** (topological degree of communication): the
+//! average number of distinct destinations per rank (LAMMPS chain ≈ 7,
+//! Sweep3D ≈ 4, POP up to 11).
+
+use crate::trace::{Trace, TraceEvent};
+
+/// An `n × n` byte-volume matrix.
+#[derive(Debug, Clone)]
+pub struct CommMatrix {
+    n: usize,
+    bytes: Vec<u64>,
+}
+
+impl CommMatrix {
+    /// Zero matrix over `n` ranks.
+    pub fn new(n: usize) -> Self {
+        Self { n, bytes: vec![0; n * n] }
+    }
+
+    /// Build from a trace's point-to-point sends (collectives should be
+    /// lowered first if their traffic should count).
+    pub fn from_trace(trace: &Trace) -> Self {
+        let mut m = Self::new(trace.num_ranks());
+        for (src, evs) in trace.ranks.iter().enumerate() {
+            for e in evs {
+                if let TraceEvent::Send { dst, bytes, .. }
+                | TraceEvent::Isend { dst, bytes, .. } = e
+                {
+                    m.add(src, *dst as usize, *bytes as u64);
+                }
+            }
+        }
+        m
+    }
+
+    /// Rank count.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Add `b` bytes to the `src → dst` cell.
+    pub fn add(&mut self, src: usize, dst: usize, b: u64) {
+        self.bytes[src * self.n + dst] += b;
+    }
+
+    /// Bytes sent `src → dst`.
+    pub fn get(&self, src: usize, dst: usize) -> u64 {
+        self.bytes[src * self.n + dst]
+    }
+
+    /// Total bytes in the matrix.
+    pub fn total(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Distinct destinations of `src`.
+    pub fn degree(&self, src: usize) -> usize {
+        (0..self.n).filter(|&d| self.get(src, d) > 0).count()
+    }
+
+    /// Average TDC across ranks (§2.2.6).
+    pub fn tdc(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        (0..self.n).map(|s| self.degree(s)).sum::<usize>() as f64 / self.n as f64
+    }
+
+    /// Fraction of traffic within `band` of the diagonal (the
+    /// "diagonal band" signature of Figs 2.11/2.12).
+    pub fn diagonal_fraction(&self, band: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let mut near = 0u64;
+        for s in 0..self.n {
+            for d in 0..self.n {
+                if s.abs_diff(d) <= band || s.abs_diff(d) >= self.n - band {
+                    near += self.get(s, d);
+                }
+            }
+        }
+        near as f64 / total as f64
+    }
+
+    /// Render as an ASCII heat map (log-scaled), the textual analogue of
+    /// the thesis' matrix figures. `cell` ranks are aggregated into a
+    /// `rows × rows` view when the matrix is large.
+    pub fn render(&self, rows: usize) -> String {
+        let rows = rows.min(self.n).max(1);
+        let step = self.n.div_ceil(rows);
+        let mut agg = vec![0u64; rows * rows];
+        let mut max = 0u64;
+        for s in 0..self.n {
+            for d in 0..self.n {
+                let cell = (s / step).min(rows - 1) * rows + (d / step).min(rows - 1);
+                agg[cell] += self.get(s, d);
+                max = max.max(agg[cell]);
+            }
+        }
+        let shades = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+        let mut out = String::new();
+        for r in 0..rows {
+            for c in 0..rows {
+                let v = agg[r * rows + c];
+                let idx = if v == 0 || max == 0 {
+                    0
+                } else {
+                    let f = (v as f64).ln() / (max as f64).ln().max(1e-12);
+                    ((f * (shades.len() - 1) as f64).round() as usize).min(shades.len() - 1)
+                };
+                out.push(shades[idx]);
+                out.push(shades[idx]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{lammps, pop, sweep3d, LammpsProblem};
+    use crate::trace::Trace;
+
+    #[test]
+    fn accumulates_sends() {
+        let mut t = Trace::new("t", 3);
+        t.push(0, TraceEvent::Send { dst: 1, bytes: 100, tag: 0 });
+        t.push(0, TraceEvent::Isend { dst: 1, bytes: 50, tag: 0 });
+        t.push(1, TraceEvent::Recv { src: 0, tag: 0 });
+        t.push(1, TraceEvent::Irecv { src: 0, tag: 0 });
+        let m = CommMatrix::from_trace(&t);
+        assert_eq!(m.get(0, 1), 150);
+        assert_eq!(m.get(1, 0), 0);
+        assert_eq!(m.total(), 150);
+        assert_eq!(m.degree(0), 1);
+        assert_eq!(m.degree(2), 0);
+    }
+
+    #[test]
+    fn sweep3d_matrix_is_diagonal_banded() {
+        // Fig 2.12: "communications are performed around the diagonal,
+        // mostly between neighbors", TDC ≈ 4.
+        let m = CommMatrix::from_trace(&sweep3d(64));
+        let tdc = m.tdc();
+        assert!((2.0..=5.0).contains(&tdc), "sweep TDC {tdc}");
+        assert!(m.diagonal_fraction(8) > 0.95, "sweep traffic hugs the diagonal");
+    }
+
+    #[test]
+    fn lammps_chain_has_nonlocal_traffic() {
+        // Fig 2.10: neighbors plus "nodes located further away".
+        let m = CommMatrix::from_trace(&lammps(LammpsProblem::Chain, 64));
+        assert!(m.tdc() >= 5.0);
+        assert!(m.diagonal_fraction(1) < 0.9, "chain is not purely diagonal");
+    }
+
+    #[test]
+    fn pop_matrix_has_diagonal_bands_and_scatter() {
+        // Fig 2.13: "communication among close nodes represented by the
+        // diagonal bands. Also, some scattered communications exist."
+        let m = CommMatrix::from_trace(&pop(64, 8));
+        assert!(m.tdc() >= 4.0);
+        let diag = m.diagonal_fraction(8);
+        assert!(diag > 0.3 && diag < 0.999, "bands plus scatter, got {diag}");
+    }
+
+    #[test]
+    fn render_shapes() {
+        let m = CommMatrix::from_trace(&sweep3d(64));
+        let s = m.render(16);
+        assert_eq!(s.lines().count(), 16);
+        assert!(s.lines().all(|l| l.chars().count() == 32));
+        // The diagonal should be visibly darker than the far corner.
+        let first_line = s.lines().next().unwrap();
+        assert_ne!(first_line.chars().next(), Some(' '));
+    }
+
+    #[test]
+    fn render_of_empty_matrix_is_blank() {
+        let m = CommMatrix::new(8);
+        let s = m.render(8);
+        assert!(s.chars().all(|c| c == ' ' || c == '\n'));
+        assert_eq!(m.tdc(), 0.0);
+        assert_eq!(m.diagonal_fraction(2), 0.0);
+    }
+}

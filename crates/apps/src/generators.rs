@@ -1,0 +1,634 @@
+//! Synthetic application-trace generators.
+//!
+//! The thesis drove its application experiments (§4.8) with logical
+//! traces of real codes captured by PAS2P. We cannot redistribute those
+//! traces, so each generator below synthesizes an equivalent logical
+//! trace that preserves the published characteristics:
+//!
+//! * the MPI call mix of Table 2.1 (e.g. POP ≈ 35 % `MPI_ISend`, 35 %
+//!   `MPI_Waitall`, 29 % `MPI_Allreduce`; LU ≈ 50/50 `Send`/`Recv`);
+//! * the communication topology of Figs 2.10–2.13 (LAMMPS chain TDC ≈ 7,
+//!   POP diagonal bands + scattered remote pairs with TDC ≈ 11,
+//!   Sweep3D strictly neighbor-diagonal);
+//! * the phase repetition structure of Table 2.2 (phases are literal
+//!   code loops, so repetition falls out of the iteration structure).
+//!
+//! Message sizes and iteration counts are scaled down so a full
+//! simulation stays laptop-sized; the *shape* of the traffic — who talks
+//! to whom, in what ratio, how repetitively — is what PR-DRB exploits
+//! and what the generators preserve.
+
+use crate::trace::{Rank, Trace, TraceEvent};
+use prdrb_simcore::time::{Time, MICROSECOND};
+
+/// NAS problem classes used in the evaluation (§4.8.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NasClass {
+    /// Sample (tiny) class.
+    S,
+    /// Class A.
+    A,
+    /// Class B.
+    B,
+}
+
+impl NasClass {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            NasClass::S => "S",
+            NasClass::A => "A",
+            NasClass::B => "B",
+        }
+    }
+
+    fn scale(self) -> (usize, u32, Time) {
+        // (iterations, base message bytes, compute grain)
+        match self {
+            NasClass::S => (4, 1 << 10, 5 * MICROSECOND),
+            NasClass::A => (12, 8 << 10, 20 * MICROSECOND),
+            NasClass::B => (24, 16 << 10, 40 * MICROSECOND),
+        }
+    }
+}
+
+/// LAMMPS benchmark problems (§2.2.6, Figs 2.10/2.11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LammpsProblem {
+    /// Polymer chain: 6-neighbor halo + longer-range partners (TDC ≈ 7).
+    Chain,
+    /// Comb potential: diagonal-band traffic plus a pure-Allreduce phase.
+    Comb,
+}
+
+/// Near-square 2-D factorization of `n`.
+pub fn grid2d(n: usize) -> (usize, usize) {
+    let mut px = (n as f64).sqrt() as usize;
+    while px > 1 && n % px != 0 {
+        px -= 1;
+    }
+    (px.max(1), n / px.max(1))
+}
+
+/// Near-cubic 3-D factorization of `n`.
+pub fn grid3d(n: usize) -> (usize, usize, usize) {
+    let mut px = (n as f64).cbrt().round() as usize;
+    while px > 1 && n % px != 0 {
+        px -= 1;
+    }
+    let px = px.max(1);
+    let (py, pz) = grid2d(n / px);
+    (px, py, pz)
+}
+
+fn coords2(r: Rank, px: usize) -> (usize, usize) {
+    (r as usize % px, r as usize / px)
+}
+
+fn rank2(x: usize, y: usize, px: usize) -> Rank {
+    (y * px + x) as Rank
+}
+
+fn coords3(r: Rank, px: usize, py: usize) -> (usize, usize, usize) {
+    let r = r as usize;
+    (r % px, (r / px) % py, r / (px * py))
+}
+
+fn rank3(x: usize, y: usize, z: usize, px: usize, py: usize) -> Rank {
+    (z * px * py + y * px + x) as Rank
+}
+
+/// One non-blocking shift exchange (`Irecv` + `Send` + `Wait`): send to
+/// the `plus` partner, receive from the `minus` partner, same tag on
+/// both sides — the Send/Wait-dominated halo idiom of MG and LAMMPS.
+/// (`minus` must be the inverse image of `plus` under the shift, so that
+/// every send has a matching receive globally.)
+fn shift_exchange(t: &mut Trace, me: Rank, plus: Rank, minus: Rank, bytes: u32, tag: u32) {
+    t.push(me, TraceEvent::Irecv { src: minus, tag });
+    t.push(me, TraceEvent::Send { dst: plus, bytes, tag });
+    t.push(me, TraceEvent::Wait);
+}
+
+/// NAS LU: SSOR wavefront over a 2-D decomposition — blocking
+/// `Send`/`Recv` pipeline (Table 2.1: ≈ 49.8 % Send, 49.5 % Recv).
+pub fn nas_lu(class: NasClass, ranks: usize) -> Trace {
+    let (iters, bytes, grain) = class.scale();
+    let (px, py) = grid2d(ranks);
+    let mut t = Trace::new(format!("NAS LU class {}", class.label()), ranks);
+    // LU messages are small and very frequent: shrink size, multiply
+    // count.
+    let bytes = (bytes / 4).max(256);
+    for _ in 0..iters {
+        for sweep in 0..2 {
+            for r in 0..ranks as Rank {
+                let (x, y) = coords2(r, px);
+                // Lower sweep: wavefront from (0,0); upper: from (px-1,py-1).
+                let (from_x, from_y, to_x, to_y) = if sweep == 0 {
+                    (x.checked_sub(1), y.checked_sub(1), x + 1, y + 1)
+                } else {
+                    (
+                        (x + 1 < px).then_some(x + 1),
+                        (y + 1 < py).then_some(y + 1),
+                        x.wrapping_sub(1),
+                        y.wrapping_sub(1),
+                    )
+                };
+                if let Some(fx) = from_x {
+                    t.push(r, TraceEvent::Recv { src: rank2(fx, y, px), tag: sweep });
+                }
+                if let Some(fy) = from_y {
+                    t.push(r, TraceEvent::Recv { src: rank2(x, fy, px), tag: sweep });
+                }
+                t.push(r, TraceEvent::Compute { ns: grain / 4 });
+                if sweep == 0 {
+                    if to_x < px {
+                        t.push(r, TraceEvent::Send { dst: rank2(to_x, y, px), bytes, tag: sweep });
+                    }
+                    if to_y < py {
+                        t.push(r, TraceEvent::Send { dst: rank2(x, to_y, px), bytes, tag: sweep });
+                    }
+                } else {
+                    if to_x < px {
+                        t.push(r, TraceEvent::Send { dst: rank2(to_x, y, px), bytes, tag: sweep });
+                    }
+                    if to_y < py {
+                        t.push(r, TraceEvent::Send { dst: rank2(x, to_y, px), bytes, tag: sweep });
+                    }
+                }
+            }
+        }
+    }
+    // The rare residual-norm allreduce (0.003 % in Table 2.1 — one at
+    // the end).
+    t.push_all(TraceEvent::Allreduce { bytes: 40 });
+    t
+}
+
+/// NAS MG: V-cycle multigrid over a 3-D decomposition — halo exchanges
+/// at doubling strides (long- and short-distance communication) plus a
+/// per-iteration residual allreduce.
+pub fn nas_mg(class: NasClass, ranks: usize) -> Trace {
+    let (iters, base, grain) = class.scale();
+    let (px, py, pz) = grid3d(ranks);
+    let levels = 4usize;
+    let mut t = Trace::new(format!("NAS MG class {}", class.label()), ranks);
+    t.push_all(TraceEvent::Bcast { root: 0, bytes: 256 }); // setup parameters
+    for _ in 0..iters {
+        for l in 0..levels {
+            let stride = 1usize << l;
+            let bytes = (base >> l).max(64);
+            for r in 0..ranks as Rank {
+                let (x, y, z) = coords3(r, px, py);
+                t.push(r, TraceEvent::Compute { ns: grain >> l });
+                // 6-neighbor halo at this level's stride (periodic).
+                // Each ± direction is one shift exchange with a shared
+                // tag: "+x" sends east and receives from the west.
+                let tag = 100 + 10 * l as u32;
+                if px > 1 && stride < px {
+                    let e = rank3((x + stride) % px, y, z, px, py);
+                    let w = rank3((x + px - stride) % px, y, z, px, py);
+                    shift_exchange(&mut t, r, e, w, bytes, tag);
+                    shift_exchange(&mut t, r, w, e, bytes, tag + 1);
+                }
+                if py > 1 && stride < py {
+                    let n = rank3(x, (y + stride) % py, z, px, py);
+                    let s = rank3(x, (y + py - stride) % py, z, px, py);
+                    shift_exchange(&mut t, r, n, s, bytes, tag + 2);
+                    shift_exchange(&mut t, r, s, n, bytes, tag + 3);
+                }
+                if pz > 1 && stride < pz {
+                    let u = rank3(x, y, (z + stride) % pz, px, py);
+                    let d = rank3(x, y, (z + pz - stride) % pz, px, py);
+                    shift_exchange(&mut t, r, u, d, bytes, tag + 4);
+                    shift_exchange(&mut t, r, d, u, bytes, tag + 5);
+                }
+            }
+        }
+        // Residual norm.
+        t.push_all(TraceEvent::Allreduce { bytes: 8 });
+    }
+    t.push_all(TraceEvent::Reduce { root: 0, bytes: 8 }); // final verification
+    t
+}
+
+/// NAS FT: per-iteration all-to-all transpose (the heaviest global
+/// pattern; 6 phases, 5 relevant per Table 2.2).
+pub fn nas_ft(class: NasClass, ranks: usize) -> Trace {
+    let (iters, base, grain) = class.scale();
+    let iters = (iters / 2).max(2);
+    let bytes = (base / ranks as u32).max(256);
+    let mut t = Trace::new(format!("NAS FT class {}", class.label()), ranks);
+    let n = ranks as Rank;
+    for it in 0..iters {
+        let tag = 200 + it as u32;
+        for r in 0..n {
+            t.push(r, TraceEvent::Compute { ns: grain });
+            // Buffered sends to all peers, rotated to avoid incast.
+            for i in 1..n {
+                let dst = (r + i) % n;
+                t.push(r, TraceEvent::Send { dst, bytes, tag });
+            }
+            for i in 1..n {
+                let src = (r + n - i) % n;
+                t.push(r, TraceEvent::Recv { src, tag });
+            }
+        }
+        t.push_all(TraceEvent::Allreduce { bytes: 16 });
+    }
+    t
+}
+
+/// LAMMPS molecular dynamics (§4.8.3): 3-D spatial decomposition,
+/// 6-neighbor halo each timestep plus longer-range partners (chain TDC
+/// ≈ 7), thermodynamic allreduce every few steps (≈ 10.8 % of calls) and
+/// occasional parameter broadcast (≈ 1.9 %).
+pub fn lammps(problem: LammpsProblem, ranks: usize) -> Trace {
+    let (px, py, pz) = grid3d(ranks);
+    let steps = 40usize;
+    let bytes = 4 << 10;
+    let grain = 15 * MICROSECOND;
+    let name = match problem {
+        LammpsProblem::Chain => format!("LAMMPS chain ({ranks} ranks)"),
+        LammpsProblem::Comb => format!("LAMMPS comb ({ranks} ranks)"),
+    };
+    let mut t = Trace::new(name, ranks);
+    t.push_all(TraceEvent::Bcast { root: 0, bytes: 1 << 10 }); // input deck
+    for step in 0..steps {
+        for r in 0..ranks as Rank {
+            let (x, y, z) = coords3(r, px, py);
+            t.push(r, TraceEvent::Compute { ns: grain });
+            // 6-neighbor halo (periodic), one shift exchange per ±
+            // direction.
+            if px > 1 {
+                let e = rank3((x + 1) % px, y, z, px, py);
+                let w = rank3((x + px - 1) % px, y, z, px, py);
+                shift_exchange(&mut t, r, e, w, bytes, 300);
+                shift_exchange(&mut t, r, w, e, bytes, 301);
+            }
+            if py > 1 {
+                let nb = rank3(x, (y + 1) % py, z, px, py);
+                let sb = rank3(x, (y + py - 1) % py, z, px, py);
+                shift_exchange(&mut t, r, nb, sb, bytes, 302);
+                shift_exchange(&mut t, r, sb, nb, bytes, 303);
+            }
+            if pz > 1 {
+                let u = rank3(x, y, (z + 1) % pz, px, py);
+                let d = rank3(x, y, (z + pz - 1) % pz, px, py);
+                shift_exchange(&mut t, r, u, d, bytes, 304);
+                shift_exchange(&mut t, r, d, u, bytes, 305);
+            }
+            // Chain: one longer-range partner lifts the TDC to ≈ 7
+            // (Fig 2.10: "communication with other nodes located further
+            // away"). The shift (+2, +1, 0) is a bijection; receive from
+            // its inverse (−2, −1, 0).
+            if problem == LammpsProblem::Chain && (px > 2 || py > 1) {
+                let far = rank3((x + 2) % px, (y + 1) % py, z, px, py);
+                let inv = rank3((x + 2 * px - 2) % px, (y + py - 1) % py, z, px, py);
+                if far != r {
+                    shift_exchange(&mut t, r, far, inv, bytes / 2, 306);
+                }
+            }
+        }
+        // Thermodynamics: allreduce every step (the comb problem's
+        // relevant phase #2 is pure Allreduce with weight > 800).
+        t.push_all(TraceEvent::Allreduce { bytes: 64 });
+        if problem == LammpsProblem::Comb {
+            t.push_all(TraceEvent::Allreduce { bytes: 64 });
+        }
+        // Occasional re-neighboring broadcast.
+        if step % 8 == 7 {
+            t.push_all(TraceEvent::Bcast { root: 0, bytes: 512 });
+        }
+    }
+    t
+}
+
+/// Parallel Ocean Program (§4.8.4): 2-D ocean decomposition with
+/// non-blocking 4-neighbor halo (`Isend`/`Irecv`/`Waitall` ≈ 35 %/35 %)
+/// and an allreduce-heavy barotropic CG solver (≈ 29 %), plus scattered
+/// remote partners that lift the TDC to ≈ 11 (Fig 2.13's off-diagonal
+/// points).
+pub fn pop(ranks: usize, steps: usize) -> Trace {
+    let (px, py) = grid2d(ranks);
+    let bytes = 8 << 10;
+    let grain = 25 * MICROSECOND;
+    let mut t = Trace::new(format!("POP ({ranks} ranks)"), ranks);
+    t.push_all(TraceEvent::Bcast { root: 0, bytes: 2 << 10 });
+    for step in 0..steps {
+        // Baroclinic stage: 4-neighbor halo, non-blocking.
+        for r in 0..ranks as Rank {
+            let (x, y) = coords2(r, px);
+            t.push(r, TraceEvent::Compute { ns: grain });
+            let e = rank2((x + 1) % px, y, px);
+            let w = rank2((x + px - 1) % px, y, px);
+            let nb = rank2(x, (y + 1) % py, px);
+            let sb = rank2(x, (y + py - 1) % py, px);
+            // Four shift exchanges: send toward `plus`, receive from the
+            // inverse neighbor, shared tag per direction.
+            let dirs = [(e, w), (w, e), (nb, sb), (sb, nb)];
+            for (i, (plus, minus)) in dirs.into_iter().enumerate() {
+                if plus == r {
+                    continue;
+                }
+                let tag = 400 + i as u32;
+                t.push(r, TraceEvent::Irecv { src: minus, tag });
+                t.push(r, TraceEvent::Isend { dst: plus, bytes, tag });
+                t.push(r, TraceEvent::Waitall);
+            }
+            // Diagonal stencil corners (9-point barotropic operator).
+            if px > 1 && py > 1 {
+                let ne = rank2((x + 1) % px, (y + 1) % py, px);
+                let sw = rank2((x + px - 1) % px, (y + py - 1) % py, px);
+                let tag = 408;
+                t.push(r, TraceEvent::Irecv { src: sw, tag });
+                t.push(r, TraceEvent::Isend { dst: ne, bytes: bytes / 4, tag });
+                t.push(r, TraceEvent::Waitall);
+            }
+            // Scattered remote exchanges (land-mask repartitioning):
+            // involutive long-distance partners, the off-diagonal dots
+            // of Fig 2.13.
+            if step % 2 == 0 {
+                let n = ranks as Rank;
+                // Anti-diagonal partner (r ↔ n-1-r) and half-shift
+                // partner (r ↔ r+n/2); both are involutions, so every
+                // send is matched by the partner's own send.
+                for (k, far) in
+                    [(0u32, n - 1 - r), (1u32, (r + n / 2) % n)].into_iter()
+                {
+                    if far == r || (k == 1 && n % 2 != 0) {
+                        continue;
+                    }
+                    let tag = 410 + k;
+                    t.push(r, TraceEvent::Irecv { src: far, tag });
+                    t.push(r, TraceEvent::Isend { dst: far, bytes: bytes / 2, tag });
+                    t.push(r, TraceEvent::Waitall);
+                }
+            }
+        }
+        // Barotropic CG solver: a handful of allreduces per step (CG dot
+        // products) — calibrated so Allreduce ≈ 29 % of calls as in
+        // Table 2.1.
+        for _ in 0..5 {
+            t.push_all(TraceEvent::Allreduce { bytes: 8 });
+        }
+        if step % 16 == 15 {
+            t.push_all(TraceEvent::Barrier);
+        }
+    }
+    t
+}
+
+/// Sweep3D: 2-D pipelined wavefront (neutron transport) — pure
+/// neighbor `Send`/`Recv` (Table 2.1: 50 %/50 %), eight angular sweeps
+/// per iteration, communications "mostly between neighbors" (Fig 2.12).
+pub fn sweep3d(ranks: usize) -> Trace {
+    let (px, py) = grid2d(ranks);
+    let iters = 6usize;
+    let bytes = 2 << 10;
+    let grain = 8 * MICROSECOND;
+    let mut t = Trace::new(format!("Sweep3D ({ranks} ranks)"), ranks);
+    for _ in 0..iters {
+        // Per-iteration convergence check: the global phase marker that
+        // bounds Sweep3D's highly repetitive sweep phases (Table 2.2).
+        t.push_all(TraceEvent::Allreduce { bytes: 8 });
+        // 8 octant sweeps (pairs of z-octants share a 2-D corner origin).
+        for sweep in 0..8u32 {
+            let (dx_pos, dy_pos) = (sweep & 1 == 0, sweep & 2 == 0);
+            for r in 0..ranks as Rank {
+                let (x, y) = coords2(r, px);
+                let up_x = if dx_pos { x.checked_sub(1) } else { (x + 1 < px).then_some(x + 1) };
+                let up_y = if dy_pos { y.checked_sub(1) } else { (y + 1 < py).then_some(y + 1) };
+                if let Some(ux) = up_x {
+                    t.push(r, TraceEvent::Recv { src: rank2(ux, y, px), tag: 500 + (sweep % 4) });
+                }
+                if let Some(uy) = up_y {
+                    t.push(r, TraceEvent::Recv { src: rank2(x, uy, px), tag: 500 + (sweep % 4) });
+                }
+                t.push(r, TraceEvent::Compute { ns: grain });
+                let down_x =
+                    if dx_pos { (x + 1 < px).then_some(x + 1) } else { x.checked_sub(1) };
+                let down_y =
+                    if dy_pos { (y + 1 < py).then_some(y + 1) } else { y.checked_sub(1) };
+                if let Some(dx) = down_x {
+                    t.push(r, TraceEvent::Send { dst: rank2(dx, y, px), bytes, tag: 500 + (sweep % 4) });
+                }
+                if let Some(dy) = down_y {
+                    t.push(r, TraceEvent::Send { dst: rank2(x, dy, px), bytes, tag: 500 + (sweep % 4) });
+                }
+            }
+        }
+    }
+    t.push_all(TraceEvent::Allreduce { bytes: 8 }); // convergence check
+    t
+}
+
+/// SMG2000 semicoarsening multigrid: halo exchanges whose stride grows
+/// as the grid coarsens in one dimension (10 phases, 4 relevant,
+/// weight 1200 per Table 2.2).
+pub fn smg2000(ranks: usize) -> Trace {
+    let (px, py) = grid2d(ranks);
+    let iters = 10usize;
+    let grain = 12 * MICROSECOND;
+    let mut t = Trace::new(format!("SMG2000 ({ranks} ranks)"), ranks);
+    for _ in 0..iters {
+        for l in 0..3usize {
+            let stride = 1usize << l;
+            let bytes = (8192u32 >> l).max(128);
+            for r in 0..ranks as Rank {
+                let (x, y) = coords2(r, px);
+                t.push(r, TraceEvent::Compute { ns: grain >> l });
+                if stride < px {
+                    let e = rank2((x + stride) % px, y, px);
+                    let w = rank2((x + px - stride) % px, y, px);
+                    shift_exchange(&mut t, r, e, w, bytes, 600 + l as u32);
+                    shift_exchange(&mut t, r, w, e, bytes, 610 + l as u32);
+                }
+                if py > 1 {
+                    let n = rank2(x, (y + 1) % py, px);
+                    let s = rank2(x, (y + py - 1) % py, px);
+                    shift_exchange(&mut t, r, n, s, bytes, 620 + l as u32);
+                    shift_exchange(&mut t, r, s, n, bytes, 630 + l as u32);
+                }
+            }
+        }
+        t.push_all(TraceEvent::Allreduce { bytes: 8 });
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grids_factor_cleanly() {
+        assert_eq!(grid2d(64), (8, 8));
+        assert_eq!(grid3d(64), (4, 4, 4));
+        assert_eq!(grid2d(32), (4, 8));
+        assert_eq!(grid2d(1), (1, 1));
+        let (a, b, c) = grid3d(256);
+        assert_eq!(a * b * c, 256);
+    }
+
+    #[test]
+    fn all_generators_produce_matched_traces() {
+        let traces = [
+            nas_lu(NasClass::S, 64),
+            nas_mg(NasClass::S, 64),
+            nas_ft(NasClass::S, 16),
+            lammps(LammpsProblem::Chain, 64),
+            lammps(LammpsProblem::Comb, 64),
+            pop(64, 8),
+            sweep3d(64),
+            smg2000(64),
+        ];
+        for t in &traces {
+            assert!(!t.is_empty(), "{} empty", t.name);
+            t.check_matched().unwrap_or_else(|e| panic!("{}: {e}", t.name));
+        }
+    }
+
+    #[test]
+    fn lammps_chain_scales_to_256() {
+        let t = lammps(LammpsProblem::Chain, 256);
+        assert_eq!(t.num_ranks(), 256);
+        t.check_matched().unwrap();
+    }
+
+    #[test]
+    fn pop_call_mix_resembles_table_2_1() {
+        // POP row: ISend 34.9 %, Waitall 34.9 %, Allreduce 29.3 %.
+        let t = pop(64, 16);
+        let mut isend = 0f64;
+        let mut waitall = 0f64;
+        let mut allred = 0f64;
+        let mut counted = 0f64;
+        for e in t.ranks.iter().flatten() {
+            match e.call_name() {
+                Some("MPI_ISend") => isend += 1.0,
+                Some("MPI_Waitall") => waitall += 1.0,
+                Some("MPI_Allreduce") => allred += 1.0,
+                _ => {}
+            }
+            if matches!(
+                e.call_name(),
+                Some("MPI_ISend") | Some("MPI_Waitall") | Some("MPI_Allreduce")
+                    | Some("MPI_Barrier") | Some("MPI_Bcast")
+            ) {
+                counted += 1.0;
+            }
+        }
+        let (pi, pw, pa) = (isend / counted, waitall / counted, allred / counted);
+        assert!((pi - 0.349).abs() < 0.08, "ISend share {pi:.3}");
+        assert!((pw - 0.349).abs() < 0.08, "Waitall share {pw:.3}");
+        assert!((pa - 0.293).abs() < 0.08, "Allreduce share {pa:.3}");
+    }
+
+    #[test]
+    fn lu_is_send_recv_dominated() {
+        let t = nas_lu(NasClass::A, 64);
+        let mut send = 0usize;
+        let mut recv = 0usize;
+        let mut other = 0usize;
+        for e in t.ranks.iter().flatten() {
+            match e.call_name() {
+                Some("MPI_Send") => send += 1,
+                Some("MPI_Recv") => recv += 1,
+                Some(_) => other += 1,
+                None => {}
+            }
+        }
+        let total = (send + recv + other) as f64;
+        assert!(send as f64 / total > 0.45, "Send share too low");
+        assert!(recv as f64 / total > 0.45, "Recv share too low");
+        assert!((other as f64 / total) < 0.02, "LU is nearly pure send/recv");
+    }
+
+    #[test]
+    fn sweep3d_is_strictly_neighbor_communication() {
+        let t = sweep3d(64);
+        let (px, _) = grid2d(64);
+        for (r, evs) in t.ranks.iter().enumerate() {
+            let (x, y) = coords2(r as Rank, px);
+            for e in evs {
+                if let TraceEvent::Send { dst, .. } = e {
+                    let (dx, dy) = coords2(*dst, px);
+                    let dist = x.abs_diff(dx) + y.abs_diff(dy);
+                    assert_eq!(dist, 1, "Sweep3D sends only to direct neighbors");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mg_uses_multiple_strides() {
+        let t = nas_mg(NasClass::A, 64);
+        // Long-distance communication must appear (stride-2 halo →
+        // non-neighbor peers in the rank grid).
+        let (px, py, _) = grid3d(64);
+        let far = t.ranks.iter().enumerate().any(|(r, evs)| {
+            evs.iter().any(|e| {
+                if let TraceEvent::Send { dst, .. } = e {
+                    let (x, y, z) = coords3(r as Rank, px, py);
+                    let (a, b, c) = coords3(*dst, px, py);
+                    x.abs_diff(a) + y.abs_diff(b) + z.abs_diff(c) >= 2
+                } else {
+                    false
+                }
+            })
+        });
+        assert!(far, "MG must mix short- and long-distance communication");
+    }
+
+    #[test]
+    fn lammps_chain_tdc_is_about_seven() {
+        let t = lammps(LammpsProblem::Chain, 64);
+        // Average distinct destinations per rank (TDC, §2.2.6: ≈ 7).
+        let mut total = 0usize;
+        for evs in &t.ranks {
+            let peers: std::collections::HashSet<Rank> = evs
+                .iter()
+                .filter_map(|e| match e {
+                    TraceEvent::Send { dst, .. } | TraceEvent::Isend { dst, .. } => Some(*dst),
+                    _ => None,
+                })
+                .collect();
+            total += peers.len();
+        }
+        let tdc = total as f64 / 64.0;
+        assert!((5.0..=10.0).contains(&tdc), "chain TDC {tdc} out of range");
+    }
+
+    #[test]
+    fn pop_tdc_exceeds_plain_stencil() {
+        let t = pop(64, 8);
+        let mut total = 0usize;
+        for evs in &t.ranks {
+            let peers: std::collections::HashSet<Rank> = evs
+                .iter()
+                .filter_map(|e| match e {
+                    TraceEvent::Send { dst, .. } | TraceEvent::Isend { dst, .. } => Some(*dst),
+                    _ => None,
+                })
+                .collect();
+            total += peers.len();
+        }
+        let tdc = total as f64 / 64.0;
+        assert!(tdc > 4.0, "POP has remote partners beyond the 4-stencil, got {tdc}");
+    }
+
+    #[test]
+    fn class_scaling_is_monotonic() {
+        let s = nas_mg(NasClass::S, 64).total_events();
+        let a = nas_mg(NasClass::A, 64).total_events();
+        let b = nas_mg(NasClass::B, 64).total_events();
+        assert!(s < a && a < b, "S {s} < A {a} < B {b} expected");
+    }
+
+    #[test]
+    fn generators_work_on_odd_rank_counts() {
+        for t in [nas_lu(NasClass::S, 12), pop(12, 4), sweep3d(12), smg2000(12)] {
+            t.check_matched().unwrap_or_else(|e| panic!("{}: {e}", t.name));
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! The MPI-like logical trace model (§4.7, Fig 4.19).
+//!
+//! A trace is, per rank, the sequence of communication and computation
+//! events the trace player replays: "each node in the network will read
+//! an input trace file and will simulate the events (for example
+//! MPI_Wait, MPI_Send, MPI_Receive, MPI_Broadcast). Every event has a
+//! Compute(t) event, which emulates a serial computation of duration t."
+//!
+//! The paper captured these traces from real applications with PAS2P; we
+//! generate equivalent logical traces synthetically (see
+//! [`crate::generators`]) preserving the published call mixes
+//! (Table 2.1), communication matrices (Figs 2.10–2.13) and phase
+//! repetition structure (Table 2.2).
+
+use prdrb_simcore::time::Time;
+
+/// A process rank.
+pub type Rank = u32;
+
+/// One logical event in a rank's trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// Serial computation of the given duration.
+    Compute {
+        /// Duration in nanoseconds.
+        ns: Time,
+    },
+    /// Blocking (buffered) send — `MPI_Send`.
+    Send {
+        /// Destination rank.
+        dst: Rank,
+        /// Message payload bytes.
+        bytes: u32,
+        /// Match tag.
+        tag: u32,
+    },
+    /// Non-blocking send — `MPI_Isend` (buffered; completes locally).
+    Isend {
+        /// Destination rank.
+        dst: Rank,
+        /// Message payload bytes.
+        bytes: u32,
+        /// Match tag.
+        tag: u32,
+    },
+    /// Blocking receive — `MPI_Recv`.
+    Recv {
+        /// Source rank.
+        src: Rank,
+        /// Match tag.
+        tag: u32,
+    },
+    /// Non-blocking receive — `MPI_Irecv`; completed by `Wait`/`Waitall`.
+    Irecv {
+        /// Source rank.
+        src: Rank,
+        /// Match tag.
+        tag: u32,
+    },
+    /// Wait for the oldest outstanding non-blocking operation —
+    /// `MPI_Wait`.
+    Wait,
+    /// Wait for all outstanding non-blocking operations — `MPI_Waitall`.
+    Waitall,
+    /// All-reduce over all ranks — `MPI_Allreduce`.
+    Allreduce {
+        /// Contribution bytes per rank.
+        bytes: u32,
+    },
+    /// Reduce to `root` — `MPI_Reduce`.
+    Reduce {
+        /// Root rank.
+        root: Rank,
+        /// Contribution bytes.
+        bytes: u32,
+    },
+    /// Broadcast from `root` — `MPI_Bcast`.
+    Bcast {
+        /// Root rank.
+        root: Rank,
+        /// Payload bytes.
+        bytes: u32,
+    },
+    /// Global barrier — `MPI_Barrier`.
+    Barrier,
+}
+
+impl TraceEvent {
+    /// The MPI call name (Table 2.1 rows); `None` for computation.
+    pub fn call_name(&self) -> Option<&'static str> {
+        Some(match self {
+            TraceEvent::Compute { .. } => return None,
+            TraceEvent::Send { .. } => "MPI_Send",
+            TraceEvent::Isend { .. } => "MPI_ISend",
+            TraceEvent::Recv { .. } => "MPI_Recv",
+            TraceEvent::Irecv { .. } => "MPI_Irecv",
+            TraceEvent::Wait => "MPI_Wait",
+            TraceEvent::Waitall => "MPI_Waitall",
+            TraceEvent::Allreduce { .. } => "MPI_Allreduce",
+            TraceEvent::Reduce { .. } => "MPI_Reduce",
+            TraceEvent::Bcast { .. } => "MPI_Bcast",
+            TraceEvent::Barrier => "MPI_Barrier",
+        })
+    }
+
+    /// True for collective operations (need lowering before replay).
+    pub fn is_collective(&self) -> bool {
+        matches!(
+            self,
+            TraceEvent::Allreduce { .. }
+                | TraceEvent::Reduce { .. }
+                | TraceEvent::Bcast { .. }
+                | TraceEvent::Barrier
+        )
+    }
+}
+
+/// A whole application trace: one event list per rank.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// `events[rank]` is that rank's program.
+    pub ranks: Vec<Vec<TraceEvent>>,
+    /// Application name for reports.
+    pub name: String,
+}
+
+impl Trace {
+    /// An empty trace over `n` ranks.
+    pub fn new(name: impl Into<String>, n: usize) -> Self {
+        Self { ranks: vec![Vec::new(); n], name: name.into() }
+    }
+
+    /// Number of ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Push `ev` onto rank `r`'s program.
+    pub fn push(&mut self, r: Rank, ev: TraceEvent) {
+        self.ranks[r as usize].push(ev);
+    }
+
+    /// Push `ev` onto every rank (collectives, barriers, uniform
+    /// compute).
+    pub fn push_all(&mut self, ev: TraceEvent) {
+        for r in &mut self.ranks {
+            r.push(ev);
+        }
+    }
+
+    /// Total events across ranks.
+    pub fn total_events(&self) -> usize {
+        self.ranks.iter().map(|r| r.len()).sum()
+    }
+
+    /// Total communication calls (excludes `Compute`).
+    pub fn total_calls(&self) -> usize {
+        self.ranks
+            .iter()
+            .flat_map(|r| r.iter())
+            .filter(|e| e.call_name().is_some())
+            .count()
+    }
+
+    /// True when no rank has any event.
+    pub fn is_empty(&self) -> bool {
+        self.ranks.iter().all(|r| r.is_empty())
+    }
+
+    /// Check structural sanity: every point-to-point send has a matching
+    /// receive with the same `(src, dst, tag)` multiplicity and no rank
+    /// references an out-of-range peer. Returns a description of the
+    /// first problem found.
+    pub fn check_matched(&self) -> Result<(), String> {
+        use std::collections::HashMap;
+        let n = self.num_ranks() as Rank;
+        let mut sends: HashMap<(Rank, Rank, u32), i64> = HashMap::new();
+        for (r, evs) in self.ranks.iter().enumerate() {
+            let r = r as Rank;
+            for e in evs {
+                match *e {
+                    TraceEvent::Send { dst, tag, .. } | TraceEvent::Isend { dst, tag, .. } => {
+                        if dst >= n {
+                            return Err(format!("rank {r} sends to out-of-range {dst}"));
+                        }
+                        *sends.entry((r, dst, tag)).or_default() += 1;
+                    }
+                    TraceEvent::Recv { src, tag } | TraceEvent::Irecv { src, tag } => {
+                        if src >= n {
+                            return Err(format!("rank {r} receives from out-of-range {src}"));
+                        }
+                        *sends.entry((src, r, tag)).or_default() -= 1;
+                    }
+                    TraceEvent::Reduce { root, .. } | TraceEvent::Bcast { root, .. } => {
+                        if root >= n {
+                            return Err(format!("rank {r} collective root {root} invalid"));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for ((s, d, tag), count) in sends {
+            if count != 0 {
+                return Err(format!(
+                    "unmatched p2p {s}->{d} tag {tag}: balance {count}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn call_names_match_table_2_1_rows() {
+        assert_eq!(TraceEvent::Send { dst: 0, bytes: 1, tag: 0 }.call_name(), Some("MPI_Send"));
+        assert_eq!(TraceEvent::Allreduce { bytes: 8 }.call_name(), Some("MPI_Allreduce"));
+        assert_eq!(TraceEvent::Compute { ns: 5 }.call_name(), None);
+        assert!(TraceEvent::Barrier.is_collective());
+        assert!(!TraceEvent::Wait.is_collective());
+    }
+
+    #[test]
+    fn push_and_count() {
+        let mut t = Trace::new("test", 4);
+        t.push(0, TraceEvent::Send { dst: 1, bytes: 100, tag: 7 });
+        t.push(1, TraceEvent::Recv { src: 0, tag: 7 });
+        t.push_all(TraceEvent::Compute { ns: 10 });
+        assert_eq!(t.total_events(), 6);
+        assert_eq!(t.total_calls(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn matched_trace_passes_check() {
+        let mut t = Trace::new("ok", 2);
+        t.push(0, TraceEvent::Send { dst: 1, bytes: 4, tag: 1 });
+        t.push(1, TraceEvent::Recv { src: 0, tag: 1 });
+        assert!(t.check_matched().is_ok());
+    }
+
+    #[test]
+    fn unmatched_send_fails_check() {
+        let mut t = Trace::new("bad", 2);
+        t.push(0, TraceEvent::Send { dst: 1, bytes: 4, tag: 1 });
+        assert!(t.check_matched().is_err());
+    }
+
+    #[test]
+    fn out_of_range_peer_fails_check() {
+        let mut t = Trace::new("bad", 2);
+        t.push(0, TraceEvent::Send { dst: 9, bytes: 4, tag: 1 });
+        let err = t.check_matched().unwrap_err();
+        assert!(err.contains("out-of-range"));
+    }
+}

@@ -1,0 +1,127 @@
+//! Figure-workload benchmarks: miniature versions of every evaluation
+//! experiment, one benchmark per table/figure family. These measure the
+//! simulator's wall-clock cost of regenerating each paper item (the full
+//! regeneration with paper-scale durations lives in the `repro` binary).
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use prdrb_apps::{
+    analyze_phases, call_breakdown, lammps, nas_lu, nas_mg, pop, sweep3d, CommMatrix,
+    LammpsProblem, NasClass,
+};
+use prdrb_core::PolicyKind;
+use prdrb_engine::{SimConfig, Simulation, TopologyKind, Workload};
+use prdrb_simcore::time::MILLISECOND;
+use prdrb_traffic::{BurstSchedule, HotSpotScenario, TrafficPattern};
+
+/// A very short synthetic run (one burst) for benchmarking.
+fn mini_synth(topology: TopologyKind, policy: PolicyKind, pattern: TrafficPattern) -> SimConfig {
+    let schedule = BurstSchedule::repetitive(pattern, 600.0, 200_000, 100_000);
+    let mut cfg = SimConfig::synthetic(topology, policy, schedule, 32);
+    cfg.duration_ns = MILLISECOND / 2;
+    cfg.max_ns = 100 * MILLISECOND;
+    cfg
+}
+
+fn bench_tables_ch2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ch2");
+    g.sample_size(10);
+    g.bench_function("table2_1_call_breakdown", |b| {
+        b.iter(|| black_box(call_breakdown(&pop(64, 4)).total_calls))
+    });
+    g.bench_function("table2_2_phase_analysis", |b| {
+        let t = nas_mg(NasClass::S, 64);
+        b.iter(|| black_box(analyze_phases(&t).total_phases()))
+    });
+    g.bench_function("fig2_10_comm_matrix", |b| {
+        let t = lammps(LammpsProblem::Chain, 64);
+        b.iter(|| black_box(CommMatrix::from_trace(&t).tdc()))
+    });
+    g.bench_function("fig2_12_sweep3d_matrix", |b| {
+        let t = sweep3d(64);
+        b.iter(|| black_box(CommMatrix::from_trace(&t).diagonal_fraction(8)))
+    });
+    g.finish();
+}
+
+fn bench_hotspot(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotspot_mesh");
+    g.sample_size(10);
+    for policy in [PolicyKind::Deterministic, PolicyKind::Drb, PolicyKind::PrDrb] {
+        g.bench_function(format!("fig4_10_12_{}", policy.label()), |b| {
+            b.iter_batched(
+                || {
+                    let mesh = prdrb_topology::Mesh2D::new(8, 8);
+                    let sc = HotSpotScenario::situation1(&mesh);
+                    let mut cfg =
+                        mini_synth(TopologyKind::Mesh8x8, policy, TrafficPattern::Shuffle);
+                    cfg.workload = Workload::Flows {
+                        flows: sc.flows.clone(),
+                        mbps: 700.0,
+                        noise_nodes: sc.noise_nodes.clone(),
+                        noise_mbps: 70.0,
+                        msg_bytes: 1024,
+                    };
+                    Simulation::new(cfg)
+                },
+                |sim| black_box(sim.run().accepted),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_permutation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fat_tree_permutation");
+    g.sample_size(10);
+    for (name, pattern) in [
+        ("fig4_13_shuffle", TrafficPattern::Shuffle),
+        ("fig4_15_bitrev", TrafficPattern::BitReversal),
+        ("fig4_17_transpose", TrafficPattern::Transpose),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    Simulation::new(mini_synth(
+                        TopologyKind::FatTree443,
+                        PolicyKind::PrDrb,
+                        pattern.clone(),
+                    ))
+                },
+                |sim| black_box(sim.run().accepted),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_apps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("applications");
+    g.sample_size(10);
+    let cases: Vec<(&str, fn() -> prdrb_apps::Trace)> = vec![
+        ("fig4_20_nas_lu", || nas_lu(NasClass::S, 64)),
+        ("fig4_21_nas_mg", || nas_mg(NasClass::S, 64)),
+        ("fig4_24_lammps", || lammps(LammpsProblem::Comb, 64)),
+        ("fig4_27_pop", || pop(64, 4)),
+    ];
+    for (name, make) in cases {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    Simulation::new(SimConfig::trace(
+                        TopologyKind::FatTree443,
+                        PolicyKind::PrDrb,
+                        make(),
+                    ))
+                },
+                |sim| black_box(sim.run().exec_time_ns),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(figures, bench_tables_ch2, bench_hotspot, bench_permutation, bench_apps);
+criterion_main!(figures);

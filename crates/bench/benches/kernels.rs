@@ -1,0 +1,114 @@
+//! Micro-benchmarks of the hot kernels: the DES calendar, per-hop
+//! routing, Eq 3.6 path selection, contending-flow identification and
+//! the solution-database similarity matching.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use prdrb_core::{normalize, similarity, Metapath, Similarity, SolutionDb};
+use prdrb_network::{contending_flows, Packet};
+use prdrb_simcore::{EventQueue, SimRng};
+use prdrb_topology::{
+    next_port, AltPathProvider, AnyTopology, NodeId, PathDescriptor, RouteState, Topology,
+};
+use std::collections::VecDeque;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(1024);
+            for i in 0..1024u64 {
+                q.schedule((i * 7919) % 100_000, i);
+            }
+            let mut acc = 0u64;
+            while let Some(e) = q.pop() {
+                acc = acc.wrapping_add(e.event);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let mesh = AnyTopology::mesh8x8();
+    let tree = AnyTopology::fat_tree_64();
+    c.bench_function("next_port_mesh_minimal", |b| {
+        let mut state = RouteState::new(PathDescriptor::Minimal);
+        b.iter(|| {
+            let r = mesh.router_of(NodeId(0));
+            black_box(next_port(&mesh, r, NodeId(63), &mut state))
+        })
+    });
+    c.bench_function("next_port_tree_seed", |b| {
+        let mut state = RouteState::new(PathDescriptor::TreeSeed { seed: 7 });
+        b.iter(|| {
+            let r = tree.router_of(NodeId(0));
+            black_box(next_port(&tree, r, NodeId(63), &mut state))
+        })
+    });
+    c.bench_function("alt_paths_mesh", |b| {
+        let provider = AltPathProvider::new(&mesh);
+        b.iter(|| black_box(provider.alternatives(NodeId(0), NodeId(63), 4)))
+    });
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let mut mp = Metapath::new(PathDescriptor::Minimal, 7, 5_000);
+    for i in 0..3 {
+        mp.open(PathDescriptor::Msp { in1: NodeId(i), in2: NodeId(i + 50) }, 9);
+    }
+    let mut rng = SimRng::new(7);
+    c.bench_function("eq_3_6_path_selection", |b| {
+        b.iter(|| black_box(mp.select(&mut rng)))
+    });
+    c.bench_function("eq_3_4_metapath_latency", |b| {
+        b.iter(|| black_box(mp.latency_ns()))
+    });
+}
+
+fn bench_monitor(c: &mut Criterion) {
+    let mut q: VecDeque<Box<Packet>> = VecDeque::new();
+    for i in 0..16u32 {
+        q.push_back(Box::new(Packet::data(
+            i as u64,
+            NodeId(i % 5),
+            NodeId(40 + i % 3),
+            1024,
+            0,
+            RouteState::new(PathDescriptor::Minimal),
+            0,
+            0,
+            0,
+            true,
+            false,
+        )));
+    }
+    c.bench_function("cfd_contending_flows_16pkt", |b| {
+        b.iter(|| black_box(contending_flows(&q, None, 0.15, 8)))
+    });
+}
+
+fn bench_solution_db(c: &mut Criterion) {
+    let mut db = SolutionDb::new();
+    for i in 0..64u32 {
+        let pattern: Vec<_> = (0..6).map(|j| (NodeId(i + j), NodeId(100 + i + j))).collect();
+        db.save(pattern, vec![(PathDescriptor::Minimal, 6)], 5_000, 0.8, Similarity::Overlap);
+    }
+    let probe = normalize((0..5).map(|j| (NodeId(30 + j), NodeId(130 + j))).collect());
+    c.bench_function("solution_db_lookup_64", |b| {
+        b.iter(|| black_box(db.lookup(&probe, 0.8, Similarity::Overlap).is_some()))
+    });
+    let a = normalize((0..16).map(|j| (NodeId(j), NodeId(j + 50))).collect());
+    let bset = normalize((4..20).map(|j| (NodeId(j), NodeId(j + 50))).collect());
+    c.bench_function("pattern_similarity_16", |b| {
+        b.iter(|| black_box(similarity(&a, &bset, Similarity::Jaccard)))
+    });
+}
+
+criterion_group!(
+    kernels,
+    bench_event_queue,
+    bench_routing,
+    bench_selection,
+    bench_monitor,
+    bench_solution_db
+);
+criterion_main!(kernels);

@@ -1,0 +1,175 @@
+//! The per-figure / per-table regeneration targets.
+//!
+//! Grouped by chapter: [`ch2`] (application-characterization tables and
+//! matrices), [`hotspot`] (§4.5/§4.6.2 mesh experiments), [`permutation`]
+//! (§4.6.3 fat-tree permutation experiments), [`apps`] (§4.8 application
+//! experiments) and [`ablations`] (design-choice studies).
+
+pub mod ablations;
+pub mod apps;
+pub mod ch2;
+pub mod hotspot;
+pub mod permutation;
+
+use crate::{scaled, FigureOutput};
+use prdrb_apps::Trace;
+use prdrb_core::PolicyKind;
+use prdrb_engine::{RunReport, SimConfig, Simulation, TopologyKind};
+use prdrb_simcore::time::MILLISECOND;
+use prdrb_traffic::{BurstSchedule, TrafficPattern};
+
+/// A registered repro target.
+pub struct Target {
+    /// CLI id (e.g. `fig4_13`).
+    pub id: &'static str,
+    /// Paper item it regenerates.
+    pub title: &'static str,
+    /// Runner.
+    pub run: fn() -> FigureOutput,
+}
+
+/// Every target, in paper order.
+pub fn registry() -> Vec<Target> {
+    let mut v = Vec::new();
+    v.extend(ch2::targets());
+    v.extend(hotspot::targets());
+    v.extend(permutation::targets());
+    v.extend(apps::targets());
+    v.extend(ablations::targets());
+    v
+}
+
+/// Table 4.3 synthetic fat-tree configuration: repetitive permutation
+/// bursts at `mbps` per node over `nodes` communicating nodes.
+pub fn ft_cfg(
+    policy: PolicyKind,
+    pattern: TrafficPattern,
+    mbps: f64,
+    nodes: usize,
+) -> SimConfig {
+    // Long bursts relative to DRB's adaptation time, as in the thesis'
+    // figures (whose x-axes span whole seconds): the predictive gain is
+    // the skipped transitory state at each burst head.
+    let schedule = BurstSchedule::repetitive(pattern, mbps, 1_000_000, 500_000);
+    let mut cfg = SimConfig::synthetic(TopologyKind::FatTree443, policy, schedule, nodes);
+    cfg.duration_ns = scaled(9 * MILLISECOND);
+    cfg.net.monitor.router_threshold_ns = 4_000;
+    cfg.max_ns = 4000 * MILLISECOND;
+    set_load_proportional_thresholds(&mut cfg, mbps);
+    cfg
+}
+
+/// Zone thresholds bracket the working zone (Fig 3.9), whose latency
+/// level scales with the offered load; place them proportionally.
+fn set_load_proportional_thresholds(cfg: &mut SimConfig, mbps: f64) {
+    let low_us = (mbps / 75.0).max(4.0);
+    cfg.drb.threshold_low_ns = (low_us * 1_000.0) as u64;
+    cfg.drb.threshold_high_ns = (low_us * 2_500.0) as u64;
+}
+
+/// Table 4.2 mesh configuration: bursty shuffle over uniform noise.
+pub fn mesh_cfg(policy: PolicyKind, mbps: f64) -> SimConfig {
+    let schedule =
+        BurstSchedule::repetitive(TrafficPattern::Shuffle, mbps, 1_000_000, 500_000);
+    let mut cfg = SimConfig::synthetic(TopologyKind::Mesh8x8, policy, schedule, 64);
+    cfg.duration_ns = scaled(9 * MILLISECOND);
+    cfg.net.monitor.router_threshold_ns = 4_000;
+    cfg.max_ns = 4000 * MILLISECOND;
+    set_load_proportional_thresholds(&mut cfg, mbps);
+    cfg
+}
+
+/// Application-trace configuration on the 64-node fat-tree (§4.8.1).
+pub fn trace_cfg(policy: PolicyKind, trace: Trace) -> SimConfig {
+    let mut cfg = SimConfig::trace(TopologyKind::FatTree443, policy, trace);
+    // Track per-router contention series for the map/contention figures.
+    cfg.net.contention_series_bucket_ns = Some(200_000);
+    // Application phases are short: keep the low threshold under the
+    // zero-load metapath latency so opened paths survive across phases
+    // instead of flapping (Fig 3.9's zones bracket the app's own
+    // working-zone latency).
+    cfg.drb.threshold_low_ns = 500;
+    cfg.drb.threshold_high_ns = 10_000;
+    cfg
+}
+
+/// Run one configuration with a label.
+pub fn run_labeled(mut cfg: SimConfig, label: impl Into<String>) -> RunReport {
+    cfg.label = label.into();
+    Simulation::new(cfg).run()
+}
+
+/// Number of seeded replicas per configuration (§4.3 methodology);
+/// override with `PRDRB_SEEDS`.
+pub fn num_seeds() -> u64 {
+    std::env::var("PRDRB_SEEDS").ok().and_then(|s| s.parse().ok()).unwrap_or(3)
+}
+
+/// Run the same config under several policies, each averaged over the
+/// seeded replicas, in parallel. The returned report is the seed-1 run
+/// (for series/maps) with the headline scalars replaced by the
+/// cross-seed averages.
+pub fn run_policies(
+    make: impl Fn(PolicyKind) -> SimConfig + Sync,
+    kinds: &[PolicyKind],
+) -> Vec<RunReport> {
+    use rayon::prelude::*;
+    let seeds: Vec<u64> = (1..=num_seeds()).collect();
+    let jobs: Vec<(PolicyKind, u64)> =
+        kinds.iter().flat_map(|&k| seeds.iter().map(move |&s| (k, s))).collect();
+    let mut runs: Vec<(PolicyKind, u64, RunReport)> = jobs
+        .into_par_iter()
+        .map(|(k, seed)| {
+            let mut cfg = make(k);
+            cfg.seed = seed;
+            if cfg.label.is_empty() {
+                cfg.label = k.label().into();
+            } else {
+                cfg.label = format!("{}/{}", cfg.label, k.label());
+            }
+            (k, seed, Simulation::new(cfg).run())
+        })
+        .collect();
+    runs.sort_by_key(|(k, s, _)| (kinds.iter().position(|x| x == k), *s));
+    kinds
+        .iter()
+        .map(|&k| {
+            let group: Vec<RunReport> = runs
+                .extract_if(.., |(rk, _, _)| *rk == k)
+                .map(|(_, _, r)| r)
+                .collect();
+            average_reports(group)
+        })
+        .collect()
+}
+
+/// Fold seeded replicas into one report: seed-1's series/maps, averaged
+/// scalars.
+fn average_reports(mut group: Vec<RunReport>) -> RunReport {
+    let n = group.len() as f64;
+    let avg_lat = group.iter().map(|r| r.global_avg_latency_us).sum::<f64>() / n;
+    let avg_exec = {
+        let times: Vec<u64> = group.iter().filter_map(|r| r.exec_time_ns).collect();
+        (!times.is_empty())
+            .then(|| times.iter().sum::<u64>() / times.len() as u64)
+    };
+    let avg_map: Vec<f64> = (0..group[0].latency_map.values_us.len())
+        .map(|i| group.iter().map(|r| r.latency_map.values_us[i]).sum::<f64>() / n)
+        .collect();
+    let mut first = group.remove(0);
+    first.global_avg_latency_us = avg_lat;
+    first.exec_time_ns = avg_exec;
+    first.latency_map.values_us = avg_map;
+    for r in group {
+        first.quantiles.merge(&r.quantiles);
+        first.messages += r.messages;
+        first.offered += r.offered;
+        first.accepted += r.accepted;
+        first.notifications += r.notifications;
+        first.policy_stats.expansions += r.policy_stats.expansions;
+        first.policy_stats.patterns_found += r.policy_stats.patterns_found;
+        first.policy_stats.patterns_reused += r.policy_stats.patterns_reused;
+        first.policy_stats.reuse_applications += r.policy_stats.reuse_applications;
+    }
+    first
+}

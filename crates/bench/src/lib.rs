@@ -1,0 +1,180 @@
+//! # prdrb-bench — the figure/table regeneration harness
+//!
+//! One target per table and figure of the evaluation chapter (plus the
+//! background-chapter tables/matrices), reachable through the `repro`
+//! binary:
+//!
+//! ```sh
+//! cargo run -p prdrb-bench --release --bin repro -- list
+//! cargo run -p prdrb-bench --release --bin repro -- fig4_13
+//! cargo run -p prdrb-bench --release --bin repro -- all
+//! ```
+//!
+//! Every target prints the paper's expected qualitative result next to
+//! the measured one and drops CSV/text artifacts under `results/`.
+
+pub mod figures;
+
+use std::path::PathBuf;
+
+/// Root directory for generated artifacts.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("PRDRB_RESULTS").unwrap_or_else(|_| "results".into());
+    let p = PathBuf::from(dir);
+    let _ = std::fs::create_dir_all(&p);
+    p
+}
+
+/// Write an artifact file, returning its path.
+pub fn write_artifact(name: &str, contents: &str) -> PathBuf {
+    let p = results_dir().join(name);
+    if let Some(parent) = p.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    std::fs::write(&p, contents).unwrap_or_else(|e| panic!("writing {}: {e}", p.display()));
+    p
+}
+
+/// Duration scale factor: `PRDRB_SCALE` (default 1.0) multiplies the
+/// simulated durations so CI / quick runs can shrink every experiment
+/// uniformly.
+pub fn scale() -> f64 {
+    std::env::var("PRDRB_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
+}
+
+/// Scale a nanosecond duration by [`scale`].
+pub fn scaled(ns: u64) -> u64 {
+    ((ns as f64) * scale()).max(1.0) as u64
+}
+
+/// A paper-vs-measured check line.
+#[derive(Debug, Clone)]
+pub struct Expectation {
+    /// What the paper reports.
+    pub paper: String,
+    /// What we measured.
+    pub measured: String,
+    /// Whether the qualitative shape holds.
+    pub holds: bool,
+}
+
+impl Expectation {
+    /// Build a check line.
+    pub fn new(paper: impl Into<String>, measured: impl Into<String>, holds: bool) -> Self {
+        Self { paper: paper.into(), measured: measured.into(), holds }
+    }
+
+    /// Render with a ✓/✗ marker.
+    pub fn render(&self) -> String {
+        format!(
+            "  [{}] paper: {:<58} measured: {}",
+            if self.holds { "ok" } else { "!!" },
+            self.paper,
+            self.measured
+        )
+    }
+}
+
+/// Output of one repro target.
+#[derive(Debug, Default)]
+pub struct FigureOutput {
+    /// Target id (e.g. "fig4_13").
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Body text (tables, ASCII plots).
+    pub body: String,
+    /// Paper-vs-measured checks.
+    pub checks: Vec<Expectation>,
+    /// Artifact files written.
+    pub artifacts: Vec<PathBuf>,
+}
+
+impl FigureOutput {
+    /// Start an output for `id`.
+    pub fn new(id: &str, title: &str) -> Self {
+        Self { id: id.into(), title: title.into(), ..Default::default() }
+    }
+
+    /// Append body text.
+    pub fn push(&mut self, text: impl AsRef<str>) {
+        self.body.push_str(text.as_ref());
+        if !text.as_ref().ends_with('\n') {
+            self.body.push('\n');
+        }
+    }
+
+    /// Record a check.
+    pub fn check(&mut self, paper: impl Into<String>, measured: impl Into<String>, holds: bool) {
+        self.checks.push(Expectation::new(paper, measured, holds));
+    }
+
+    /// Save the rendered output under `results/<id>.txt` and return the
+    /// full rendering.
+    pub fn finish(mut self) -> String {
+        let mut out = format!("==== {} — {} ====\n", self.id, self.title);
+        out.push_str(&self.body);
+        if !self.checks.is_empty() {
+            out.push_str("\nPaper vs measured:\n");
+            for c in &self.checks {
+                out.push_str(&c.render());
+                out.push('\n');
+            }
+        }
+        let path = write_artifact(&format!("{}.txt", self.id), &out);
+        self.artifacts.push(path);
+        out
+    }
+
+    /// True when every check holds.
+    pub fn all_hold(&self) -> bool {
+        self.checks.iter().all(|c| c.holds)
+    }
+}
+
+/// Percentage change of `new` vs `base` (negative = improvement).
+pub fn pct(new: f64, base: f64) -> f64 {
+    if base == 0.0 {
+        0.0
+    } else {
+        100.0 * (new / base - 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_math() {
+        assert!((pct(80.0, 100.0) - -20.0).abs() < 1e-9);
+        assert_eq!(pct(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn expectation_renders_marker() {
+        let ok = Expectation::new("a", "b", true).render();
+        assert!(ok.contains("[ok]"));
+        let bad = Expectation::new("a", "b", false).render();
+        assert!(bad.contains("[!!]"));
+    }
+
+    #[test]
+    fn figure_output_accumulates() {
+        std::env::set_var("PRDRB_RESULTS", std::env::temp_dir().join("prdrb-test-results"));
+        let mut f = FigureOutput::new("test_fig", "a test");
+        f.push("hello");
+        f.check("x > y", "x=2 y=1", true);
+        assert!(f.all_hold());
+        let out = f.finish();
+        assert!(out.contains("hello"));
+        assert!(out.contains("[ok]"));
+        std::env::remove_var("PRDRB_RESULTS");
+    }
+
+    #[test]
+    fn scaled_respects_env() {
+        std::env::remove_var("PRDRB_SCALE");
+        assert_eq!(scaled(100), 100);
+    }
+}

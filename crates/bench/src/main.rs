@@ -1,0 +1,68 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```sh
+//! repro list            # all targets
+//! repro fig4_13         # one target
+//! repro fig4_13 fig4_14 # several
+//! repro all             # everything (rayon-parallel)
+//! ```
+//!
+//! Environment: `PRDRB_RESULTS` (output dir, default `results/`),
+//! `PRDRB_SCALE` (duration multiplier for quick runs, default 1.0).
+
+use prdrb_bench::figures::{registry, Target};
+use rayon::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let targets = registry();
+    if args.is_empty() || args[0] == "list" {
+        println!("repro targets ({}):", targets.len());
+        for t in &targets {
+            println!("  {:<22} {}", t.id, t.title);
+        }
+        println!("\nusage: repro <id>... | all");
+        return;
+    }
+    let selected: Vec<&Target> = if args.iter().any(|a| a == "all") {
+        targets.iter().collect()
+    } else {
+        let sel: Vec<&Target> = targets
+            .iter()
+            .filter(|t| args.iter().any(|a| a == t.id))
+            .collect();
+        let known: Vec<&str> = sel.iter().map(|t| t.id).collect();
+        for a in &args {
+            if !known.contains(&a.as_str()) {
+                eprintln!("unknown target: {a} (see `repro list`)");
+                std::process::exit(2);
+            }
+        }
+        sel
+    };
+    let started = std::time::Instant::now();
+    let outputs: Vec<(String, String, bool)> = selected
+        .par_iter()
+        .map(|t| {
+            let out = (t.run)();
+            let ok = out.all_hold();
+            (t.id.to_string(), out.finish(), ok)
+        })
+        .collect();
+    let mut failed = 0;
+    for (_, text, ok) in &outputs {
+        println!("{text}");
+        if !ok {
+            failed += 1;
+        }
+    }
+    println!(
+        "\n{} target(s) in {:.1} s; {} with all checks holding, {} with deviations; \
+         artifacts in {}",
+        outputs.len(),
+        started.elapsed().as_secs_f64(),
+        outputs.len() - failed,
+        failed,
+        prdrb_bench::results_dir().display()
+    );
+}

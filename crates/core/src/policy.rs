@@ -1,0 +1,491 @@
+//! The routing-policy interface and the oblivious baselines.
+//!
+//! A policy lives at the sources (DRB is a *distributed* source-routing
+//! scheme): for every message it chooses the path descriptor the packets
+//! will carry, and it digests the ACK notifications coming back. The
+//! fabric itself stays policy-agnostic.
+//!
+//! Baselines used in the evaluation chapter:
+//! * **Deterministic** — the topology's fixed minimal route (§4.8);
+//! * **Random** — an oblivious uniformly random minimal path (§4.8.4);
+//! * **Cyclic** — cyclic-priority rotation over the minimal paths
+//!   (§4.8.4).
+
+use prdrb_network::{NotifyMode, Packet};
+use prdrb_simcore::time::Time;
+use prdrb_simcore::SimRng;
+use prdrb_topology::{AltPathProvider, AnyTopology, NodeId, PathDescriptor};
+use std::collections::HashMap;
+
+/// Counters a policy exposes for the evaluation figures.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PolicyStats {
+    /// Path-opening operations (metapath expansions).
+    pub expansions: u64,
+    /// Path-closing operations.
+    pub shrinks: u64,
+    /// Distinct congestion patterns saved (Fig 4.26b).
+    pub patterns_found: u64,
+    /// Patterns matched again at least once.
+    pub patterns_reused: u64,
+    /// Total saved-solution applications.
+    pub reuse_applications: u64,
+    /// FR-DRB watchdog expirations.
+    pub watchdog_fires: u64,
+    /// §5.2 trend-predictor early reactions.
+    pub trend_predictions: u64,
+}
+
+/// A source routing policy.
+pub trait RoutingPolicy: std::fmt::Debug {
+    /// Short name for reports ("deterministic", "drb", "pr-drb", …).
+    fn name(&self) -> &'static str;
+
+    /// Whether the fabric should generate destination ACKs.
+    fn needs_acks(&self) -> bool {
+        false
+    }
+
+    /// The congestion-notification scheme the fabric should run.
+    fn notify_mode(&self) -> NotifyMode {
+        NotifyMode::Off
+    }
+
+    /// Choose the path for the next message of flow `src → dst`.
+    /// Returns the descriptor and the metapath index it corresponds to.
+    fn choose(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        now: Time,
+        rng: &mut SimRng,
+    ) -> (PathDescriptor, u8);
+
+    /// Digest an ACK delivered back at `src` (`ack.dst == src`).
+    fn on_ack(&mut self, ack: &Packet, now: Time) {
+        let _ = (ack, now);
+    }
+
+    /// Periodic tick (FR-DRB watchdog). Called every `tick_interval`.
+    fn tick(&mut self, now: Time) {
+        let _ = now;
+    }
+
+    /// Requested tick period, if any.
+    fn tick_interval(&self) -> Option<Time> {
+        None
+    }
+
+    /// Evaluation counters.
+    fn stats(&self) -> PolicyStats {
+        PolicyStats::default()
+    }
+
+    /// Install an offline communication profile (§5.2 static variant).
+    /// Baseline policies ignore it.
+    fn preload_profile(&mut self, topo: &AnyTopology, profile: &[crate::offline::ProfiledFlow]) {
+        let _ = (topo, profile);
+    }
+}
+
+/// Always the same fixed minimal route per source/destination pair:
+/// dimension-order on the mesh; on the fat-tree, the single up*/down*
+/// path straight up the source's column (the table-routed baseline the
+/// evaluation compares against).
+#[derive(Debug)]
+pub struct Deterministic {
+    topo: AnyTopology,
+}
+
+impl Deterministic {
+    /// Deterministic routing over `topo`.
+    pub fn new(topo: AnyTopology) -> Self {
+        Self { topo }
+    }
+}
+
+impl RoutingPolicy for Deterministic {
+    fn name(&self) -> &'static str {
+        "deterministic"
+    }
+
+    fn choose(
+        &mut self,
+        src: NodeId,
+        _dst: NodeId,
+        _now: Time,
+        _rng: &mut SimRng,
+    ) -> (PathDescriptor, u8) {
+        match &self.topo {
+            AnyTopology::Mesh(_) => (PathDescriptor::Minimal, 0),
+            AnyTopology::Tree(t) => (
+                PathDescriptor::TreeSeed { seed: AltPathProvider::tree_det_seed(t, src) },
+                0,
+            ),
+        }
+    }
+}
+
+/// Oblivious random minimal routing: each source/destination pair draws
+/// one random minimal path and keeps it (per-flow, not per-packet — real
+/// fabrics pin a path per flow to preserve ordering, e.g. one route per
+/// InfiniBand queue pair).
+#[derive(Debug)]
+pub struct RandomMinimal {
+    topo: AnyTopology,
+    chosen: HashMap<(NodeId, NodeId), PathDescriptor>,
+}
+
+impl RandomMinimal {
+    /// Random routing over `topo`.
+    pub fn new(topo: AnyTopology) -> Self {
+        Self { topo, chosen: HashMap::new() }
+    }
+}
+
+impl RoutingPolicy for RandomMinimal {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn choose(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        _now: Time,
+        rng: &mut SimRng,
+    ) -> (PathDescriptor, u8) {
+        let topo = &self.topo;
+        let desc = *self.chosen.entry((src, dst)).or_insert_with(|| match topo {
+            AnyTopology::Mesh(_) => {
+                if src == dst {
+                    PathDescriptor::Minimal
+                } else {
+                    PathDescriptor::MeshOrder { yx: rng.chance(0.5) }
+                }
+            }
+            AnyTopology::Tree(t) => {
+                let n = t.num_minimal_paths(src, dst).max(1) as usize;
+                PathDescriptor::TreeSeed { seed: rng.below(n) as u32 }
+            }
+        });
+        (desc, 0)
+    }
+}
+
+/// Fully adaptive per-hop routing (the "adaptive" branch of Fig 2.5's
+/// taxonomy): routers pick the least-occupied minimal up port during
+/// the fat-tree ascent. Provided as an extension baseline beyond the
+/// paper's comparison set.
+#[derive(Debug)]
+pub struct AdaptivePerHop {
+    topo: AnyTopology,
+}
+
+impl AdaptivePerHop {
+    /// Adaptive routing over `topo` (trees only; mesh falls back to the
+    /// deterministic route).
+    pub fn new(topo: AnyTopology) -> Self {
+        Self { topo }
+    }
+}
+
+impl RoutingPolicy for AdaptivePerHop {
+    fn name(&self) -> &'static str {
+        "adaptive"
+    }
+
+    fn choose(
+        &mut self,
+        _src: NodeId,
+        _dst: NodeId,
+        _now: Time,
+        _rng: &mut SimRng,
+    ) -> (PathDescriptor, u8) {
+        match &self.topo {
+            AnyTopology::Tree(_) => (PathDescriptor::AdaptiveUp, 0),
+            AnyTopology::Mesh(_) => (PathDescriptor::Minimal, 0),
+        }
+    }
+}
+
+/// Cyclic-priority rotation over the minimal paths of each flow.
+#[derive(Debug)]
+pub struct CyclicPriority {
+    topo: AnyTopology,
+    counters: HashMap<(NodeId, NodeId), u32>,
+}
+
+impl CyclicPriority {
+    /// Cyclic routing over `topo`.
+    pub fn new(topo: AnyTopology) -> Self {
+        Self { topo, counters: HashMap::new() }
+    }
+}
+
+impl RoutingPolicy for CyclicPriority {
+    fn name(&self) -> &'static str {
+        "cyclic"
+    }
+
+    fn choose(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        _now: Time,
+        _rng: &mut SimRng,
+    ) -> (PathDescriptor, u8) {
+        // Stagger each flow's rotation phase so flows don't march over
+        // the same path sequence in lockstep (synchronized rotation
+        // recreates the hot-spot it is trying to avoid).
+        let c = self
+            .counters
+            .entry((src, dst))
+            .or_insert_with(|| src.0.wrapping_mul(31).wrapping_add(dst.0 * 7));
+        let i = *c;
+        *c = c.wrapping_add(1);
+        match &self.topo {
+            AnyTopology::Mesh(_) => {
+                if src == dst {
+                    (PathDescriptor::Minimal, 0)
+                } else {
+                    (PathDescriptor::MeshOrder { yx: i % 2 == 1 }, 0)
+                }
+            }
+            AnyTopology::Tree(t) => {
+                let n = t.num_minimal_paths(src, dst).max(1) as u32;
+                (PathDescriptor::TreeSeed { seed: i % n }, 0)
+            }
+        }
+    }
+}
+
+/// Which policy to instantiate — the x-axis of the POP comparison
+/// (Fig 4.27).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// Fixed minimal routing.
+    Deterministic,
+    /// Oblivious random minimal routing.
+    Random,
+    /// Cyclic-priority rotation.
+    Cyclic,
+    /// Fully adaptive per-hop routing (extension baseline).
+    Adaptive,
+    /// Distributed Routing Balancing (Franco et al.).
+    Drb,
+    /// Predictive DRB — the paper's contribution.
+    PrDrb,
+    /// Fast-Response DRB (watchdog-triggered).
+    FrDrb,
+    /// Predictive Fast-Response DRB.
+    PrFrDrb,
+}
+
+impl PolicyKind {
+    /// All policies compared in the POP experiment (§4.8.4).
+    pub const ALL: [PolicyKind; 7] = [
+        PolicyKind::Deterministic,
+        PolicyKind::Random,
+        PolicyKind::Cyclic,
+        PolicyKind::Drb,
+        PolicyKind::PrDrb,
+        PolicyKind::FrDrb,
+        PolicyKind::PrFrDrb,
+    ];
+
+    /// Display name.
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyKind::Deterministic => "deterministic",
+            PolicyKind::Random => "random",
+            PolicyKind::Cyclic => "cyclic",
+            PolicyKind::Adaptive => "adaptive",
+            PolicyKind::Drb => "drb",
+            PolicyKind::PrDrb => "pr-drb",
+            PolicyKind::FrDrb => "fr-drb",
+            PolicyKind::PrFrDrb => "pr-fr-drb",
+        }
+    }
+
+    /// Is this a DRB-family (adaptive, ACK-driven) policy?
+    pub fn is_drb_family(self) -> bool {
+        matches!(
+            self,
+            PolicyKind::Drb | PolicyKind::PrDrb | PolicyKind::FrDrb | PolicyKind::PrFrDrb
+        )
+    }
+}
+
+/// Instantiate a policy over `topo`. DRB-family policies take their
+/// tunables from `drb_cfg`.
+pub fn make_policy(
+    kind: PolicyKind,
+    topo: &AnyTopology,
+    drb_cfg: crate::config::DrbConfig,
+) -> Box<dyn RoutingPolicy> {
+    match kind {
+        PolicyKind::Deterministic => Box::new(Deterministic::new(topo.clone())),
+        PolicyKind::Random => Box::new(RandomMinimal::new(topo.clone())),
+        PolicyKind::Cyclic => Box::new(CyclicPriority::new(topo.clone())),
+        PolicyKind::Adaptive => Box::new(AdaptivePerHop::new(topo.clone())),
+        PolicyKind::Drb => Box::new(crate::drb::DrbPolicy::new(
+            topo.clone(),
+            crate::config::DrbConfig { predictive: false, watchdog_ns: None, ..drb_cfg },
+        )),
+        PolicyKind::PrDrb => Box::new(crate::drb::DrbPolicy::new(
+            topo.clone(),
+            crate::config::DrbConfig { predictive: true, watchdog_ns: None, ..drb_cfg },
+        )),
+        PolicyKind::FrDrb => Box::new(crate::drb::DrbPolicy::new(
+            topo.clone(),
+            crate::config::DrbConfig {
+                predictive: false,
+                watchdog_ns: drb_cfg.watchdog_ns.or(crate::config::DrbConfig::fr_drb().watchdog_ns),
+                ..drb_cfg
+            },
+        )),
+        PolicyKind::PrFrDrb => Box::new(crate::drb::DrbPolicy::new(
+            topo.clone(),
+            crate::config::DrbConfig {
+                predictive: true,
+                watchdog_ns: drb_cfg.watchdog_ns.or(crate::config::DrbConfig::fr_drb().watchdog_ns),
+                ..drb_cfg
+            },
+        )),
+    }
+}
+
+/// Helper shared by the DRB policy: the original path for a flow plus an
+/// initial zero-load latency estimate.
+pub(crate) fn base_path(
+    topo: &AnyTopology,
+    src: NodeId,
+    dst: NodeId,
+) -> (PathDescriptor, u32, Time) {
+    use prdrb_topology::Topology;
+    let provider = AltPathProvider::new(topo);
+    let alts = provider.alternatives(src, dst, 1);
+    let desc = alts.first().copied().unwrap_or(PathDescriptor::Minimal);
+    let len = topo.distance(src, dst);
+    // Zero-load estimate: one serialization + per-hop pipeline latency.
+    let base = 4_096 + (len as Time) * 100;
+    (desc, len, base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prdrb_topology::Topology;
+
+    #[test]
+    fn deterministic_is_constant() {
+        let mut p = Deterministic::new(AnyTopology::mesh8x8());
+        let mut rng = SimRng::new(1);
+        for _ in 0..10 {
+            assert_eq!(
+                p.choose(NodeId(0), NodeId(9), 0, &mut rng),
+                (PathDescriptor::Minimal, 0)
+            );
+        }
+        assert!(!p.needs_acks());
+        assert_eq!(p.notify_mode(), NotifyMode::Off);
+    }
+
+    #[test]
+    fn deterministic_tree_route_is_source_column() {
+        let mut p = Deterministic::new(AnyTopology::fat_tree_64());
+        let mut rng = SimRng::new(1);
+        // All four terminals of one leaf switch share one fixed path
+        // family; different leaf switches use different columns.
+        let (d0, _) = p.choose(NodeId(0), NodeId(63), 0, &mut rng);
+        let (d3, _) = p.choose(NodeId(3), NodeId(63), 0, &mut rng);
+        let (d4, _) = p.choose(NodeId(4), NodeId(63), 0, &mut rng);
+        assert_eq!(d0, d3, "same leaf switch, same column");
+        assert_ne!(d0, d4, "different leaf switch, different column");
+        // And the choice never varies per call.
+        assert_eq!(p.choose(NodeId(0), NodeId(63), 9, &mut rng).0, d0);
+    }
+
+    #[test]
+    fn random_is_fixed_per_flow_but_varies_across_flows() {
+        let topo = AnyTopology::fat_tree_64();
+        let mut p = RandomMinimal::new(topo);
+        let mut rng = SimRng::new(2);
+        // Same flow: always the same path (per-flow pinning).
+        let first = p.choose(NodeId(0), NodeId(63), 0, &mut rng).0;
+        for _ in 0..50 {
+            assert_eq!(p.choose(NodeId(0), NodeId(63), 0, &mut rng).0, first);
+        }
+        // Across many flows the seed choices spread over the NCAs.
+        let mut seeds = std::collections::HashSet::new();
+        for d in 16..64 {
+            if let (PathDescriptor::TreeSeed { seed }, _) =
+                p.choose(NodeId(0), NodeId(d), 0, &mut rng)
+            {
+                seeds.insert(seed);
+            }
+        }
+        assert!(seeds.len() >= 6, "flows should spread over NCAs, got {}", seeds.len());
+    }
+
+    #[test]
+    fn cyclic_rotates_deterministically() {
+        let topo = AnyTopology::fat_tree_64();
+        let mut p = CyclicPriority::new(topo);
+        let mut rng = SimRng::new(3);
+        let seeds: Vec<u32> = (0..6)
+            .map(|_| match p.choose(NodeId(0), NodeId(4), 0, &mut rng).0 {
+                PathDescriptor::TreeSeed { seed } => seed,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(seeds, vec![0, 1, 2, 3, 0, 1], "4 paths at NCA level 1");
+    }
+
+    #[test]
+    fn cyclic_mesh_alternates_orders() {
+        let topo = AnyTopology::mesh8x8();
+        let mut p = CyclicPriority::new(topo);
+        let mut rng = SimRng::new(3);
+        let a = p.choose(NodeId(0), NodeId(63), 0, &mut rng).0;
+        let b = p.choose(NodeId(0), NodeId(63), 0, &mut rng).0;
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn factory_builds_every_kind() {
+        let topo = AnyTopology::mesh8x8();
+        for kind in PolicyKind::ALL.into_iter().chain([PolicyKind::Adaptive]) {
+            let p = make_policy(kind, &topo, crate::config::DrbConfig::default());
+            assert_eq!(p.name(), kind.label());
+            assert_eq!(p.needs_acks(), kind.is_drb_family());
+        }
+    }
+
+    #[test]
+    fn adaptive_descriptor_per_topology() {
+        let mut rng = SimRng::new(1);
+        let mut tree = AdaptivePerHop::new(AnyTopology::fat_tree_64());
+        assert_eq!(
+            tree.choose(NodeId(0), NodeId(63), 0, &mut rng).0,
+            PathDescriptor::AdaptiveUp
+        );
+        let mut mesh = AdaptivePerHop::new(AnyTopology::mesh8x8());
+        assert_eq!(
+            mesh.choose(NodeId(0), NodeId(63), 0, &mut rng).0,
+            PathDescriptor::Minimal,
+            "mesh falls back: unrestricted mesh adaptivity needs escape VCs"
+        );
+    }
+
+    #[test]
+    fn base_path_estimates_scale_with_distance() {
+        let topo = AnyTopology::mesh8x8();
+        let (_, l1, b1) = base_path(&topo, NodeId(0), NodeId(1));
+        let (_, l2, b2) = base_path(&topo, NodeId(0), NodeId(63));
+        assert!(l2 > l1);
+        assert!(b2 > b1);
+        assert_eq!(l2, topo.distance(NodeId(0), NodeId(63)));
+    }
+}

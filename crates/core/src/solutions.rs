@@ -1,0 +1,278 @@
+//! The predictive solution database (§3.2.8, Fig 3.14).
+//!
+//! When PR-DRB controls a congestion episode (latency settles from the
+//! high zone back into the working zone), the source saves the winning
+//! set of alternative paths *keyed by the contending-flow pattern* that
+//! caused the episode. When a similar pattern reappears — parallel
+//! applications repeat their phases — the saved solution is applied at
+//! once, skipping the incremental path-opening procedure.
+//!
+//! Pattern matching is approximate (the thesis uses 80 % similarity);
+//! three similarity measures are provided and the choice is a
+//! configuration knob (ablated in `repro ablate_similarity`).
+
+use crate::config::Similarity;
+use prdrb_network::FlowPair;
+use prdrb_simcore::time::Time;
+use prdrb_topology::PathDescriptor;
+
+/// A saved congestion situation and its best known solution.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// The contending-flow pattern (sorted, deduplicated).
+    pub pattern: Vec<FlowPair>,
+    /// The alternative paths that controlled it, with their lengths.
+    pub paths: Vec<(PathDescriptor, u32)>,
+    /// Metapath latency achieved when the solution was saved.
+    pub best_latency_ns: Time,
+    /// Times this solution was re-applied.
+    pub hits: u64,
+}
+
+/// Per-flow database of congestion patterns → best path sets.
+#[derive(Debug, Clone, Default)]
+pub struct SolutionDb {
+    entries: Vec<Solution>,
+    /// Distinct patterns ever saved (Fig 4.26b "patterns found").
+    pub patterns_found: u64,
+    /// Patterns that were later matched at least once ("identified or
+    /// repeated again").
+    pub patterns_reused: u64,
+    /// Total solution applications (e.g. "repeated 279 times").
+    pub reuse_applications: u64,
+    /// Updates of an existing pattern with a better solution.
+    pub improvements: u64,
+}
+
+/// Normalize a pattern: sort and deduplicate so similarity is
+/// set-algebraic.
+pub fn normalize(mut flows: Vec<FlowPair>) -> Vec<FlowPair> {
+    flows.sort();
+    flows.dedup();
+    flows
+}
+
+/// Similarity of two *normalized* patterns.
+pub fn similarity(a: &[FlowPair], b: &[FlowPair], measure: Similarity) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    // Sorted-merge intersection count.
+    let (mut i, mut j, mut inter) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let union = (a.len() + b.len() - inter) as f64;
+    let inter = inter as f64;
+    match measure {
+        Similarity::Jaccard => inter / union,
+        Similarity::Overlap => inter / a.len().min(b.len()) as f64,
+        Similarity::Containment => inter / a.len() as f64,
+    }
+}
+
+impl SolutionDb {
+    /// Empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of saved solutions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been saved.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up the best-matching saved solution for `observed` (already
+    /// normalized), requiring at least `min_similarity`. Counts a reuse
+    /// on hit.
+    pub fn lookup(
+        &mut self,
+        observed: &[FlowPair],
+        min_similarity: f64,
+        measure: Similarity,
+    ) -> Option<&Solution> {
+        if observed.is_empty() {
+            return None;
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for (i, e) in self.entries.iter().enumerate() {
+            let s = similarity(&e.pattern, observed, measure);
+            if s >= min_similarity && best.map(|(_, b)| s > b).unwrap_or(true) {
+                best = Some((i, s));
+            }
+        }
+        let (i, _) = best?;
+        let e = &mut self.entries[i];
+        if e.hits == 0 {
+            self.patterns_reused += 1;
+        }
+        e.hits += 1;
+        self.reuse_applications += 1;
+        Some(&self.entries[i])
+    }
+
+    /// Save (or improve) the solution for `pattern`. An existing matching
+    /// pattern is updated only when the new solution achieved lower
+    /// latency ("the best solution saved may be further updated",
+    /// §3.2).
+    pub fn save(
+        &mut self,
+        pattern: Vec<FlowPair>,
+        paths: Vec<(PathDescriptor, u32)>,
+        latency_ns: Time,
+        min_similarity: f64,
+        measure: Similarity,
+    ) {
+        let pattern = normalize(pattern);
+        if pattern.is_empty() || paths.is_empty() {
+            return;
+        }
+        for e in &mut self.entries {
+            if similarity(&e.pattern, &pattern, measure) >= min_similarity {
+                if latency_ns < e.best_latency_ns {
+                    e.paths = paths;
+                    e.best_latency_ns = latency_ns;
+                    self.improvements += 1;
+                }
+                return;
+            }
+        }
+        self.patterns_found += 1;
+        self.entries.push(Solution { pattern, paths, best_latency_ns: latency_ns, hits: 0 });
+    }
+
+    /// Iterate over the saved solutions.
+    pub fn iter(&self) -> impl Iterator<Item = &Solution> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prdrb_topology::NodeId;
+
+    fn fp(a: u32, b: u32) -> FlowPair {
+        (NodeId(a), NodeId(b))
+    }
+
+    fn paths() -> Vec<(PathDescriptor, u32)> {
+        vec![(PathDescriptor::Minimal, 7)]
+    }
+
+    #[test]
+    fn normalize_sorts_and_dedups() {
+        let n = normalize(vec![fp(3, 4), fp(1, 2), fp(3, 4)]);
+        assert_eq!(n, vec![fp(1, 2), fp(3, 4)]);
+    }
+
+    #[test]
+    fn similarity_measures() {
+        let a = normalize(vec![fp(1, 2), fp(3, 4), fp(5, 6), fp(7, 8)]);
+        let b = normalize(vec![fp(1, 2), fp(3, 4), fp(5, 6), fp(9, 9)]);
+        // 3 common of 5 union, 4 min, 4 |a|.
+        assert!((similarity(&a, &b, Similarity::Jaccard) - 0.6).abs() < 1e-12);
+        assert!((similarity(&a, &b, Similarity::Overlap) - 0.75).abs() < 1e-12);
+        assert!((similarity(&a, &b, Similarity::Containment) - 0.75).abs() < 1e-12);
+        // Identity.
+        assert_eq!(similarity(&a, &a, Similarity::Jaccard), 1.0);
+        // Empty.
+        assert_eq!(similarity(&a, &[], Similarity::Overlap), 0.0);
+    }
+
+    #[test]
+    fn save_then_exact_lookup() {
+        let mut db = SolutionDb::new();
+        let pat = vec![fp(1, 5), fp(2, 7)];
+        db.save(pat.clone(), paths(), 5_000, 0.8, Similarity::Overlap);
+        assert_eq!(db.patterns_found, 1);
+        let hit = db
+            .lookup(&normalize(pat), 0.8, Similarity::Overlap)
+            .expect("exact pattern must match");
+        assert_eq!(hit.best_latency_ns, 5_000);
+        assert_eq!(db.reuse_applications, 1);
+        assert_eq!(db.patterns_reused, 1);
+    }
+
+    #[test]
+    fn eighty_percent_approximate_match() {
+        // §3.2.8: "The percentage used for similarity is of 80%."
+        let mut db = SolutionDb::new();
+        let saved: Vec<_> = (0..10).map(|i| fp(i, i + 50)).collect();
+        db.save(saved, paths(), 1_000, 0.8, Similarity::Overlap);
+        // 8 of 10 flows reappear plus 2 new ones → overlap 8/10 = 0.8.
+        let mut observed: Vec<_> = (0..8).map(|i| fp(i, i + 50)).collect();
+        observed.push(fp(90, 91));
+        observed.push(fp(92, 93));
+        let observed = normalize(observed);
+        assert!(db.lookup(&observed, 0.8, Similarity::Overlap).is_some());
+        // Only half reappearing is below the bar.
+        let weak = normalize((0..5).map(|i| fp(i, i + 50)).collect());
+        // Overlap = 5/min(10,5) = 1.0 — the overlap coefficient is
+        // lenient for subsets; containment is not.
+        assert!(db.lookup(&weak, 0.8, Similarity::Containment).is_none());
+    }
+
+    #[test]
+    fn better_solution_updates_entry() {
+        let mut db = SolutionDb::new();
+        let pat = vec![fp(1, 2)];
+        db.save(pat.clone(), paths(), 9_000, 0.8, Similarity::Overlap);
+        let better = vec![(PathDescriptor::Minimal, 7), (PathDescriptor::MeshOrder { yx: true }, 7)];
+        db.save(pat.clone(), better.clone(), 4_000, 0.8, Similarity::Overlap);
+        assert_eq!(db.len(), 1, "no duplicate entry");
+        assert_eq!(db.improvements, 1);
+        let hit = db.lookup(&normalize(pat.clone()), 0.8, Similarity::Overlap).unwrap();
+        assert_eq!(hit.best_latency_ns, 4_000);
+        assert_eq!(hit.paths, better);
+        // A worse solution does not overwrite.
+        db.save(pat.clone(), paths(), 20_000, 0.8, Similarity::Overlap);
+        let hit = db.lookup(&normalize(pat), 0.8, Similarity::Overlap).unwrap();
+        assert_eq!(hit.best_latency_ns, 4_000);
+    }
+
+    #[test]
+    fn distinct_patterns_accumulate() {
+        let mut db = SolutionDb::new();
+        db.save(vec![fp(1, 2)], paths(), 1_000, 0.8, Similarity::Overlap);
+        db.save(vec![fp(3, 4)], paths(), 1_000, 0.8, Similarity::Overlap);
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.patterns_found, 2);
+        assert!(db.lookup(&[fp(9, 9)], 0.8, Similarity::Overlap).is_none());
+    }
+
+    #[test]
+    fn empty_saves_are_ignored() {
+        let mut db = SolutionDb::new();
+        db.save(vec![], paths(), 1_000, 0.8, Similarity::Overlap);
+        db.save(vec![fp(1, 2)], vec![], 1_000, 0.8, Similarity::Overlap);
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn hit_counting_tracks_reuse_statistics() {
+        let mut db = SolutionDb::new();
+        let pat = vec![fp(1, 2)];
+        db.save(pat.clone(), paths(), 1_000, 0.8, Similarity::Overlap);
+        let norm = normalize(pat);
+        for _ in 0..279 {
+            db.lookup(&norm, 0.8, Similarity::Overlap).unwrap();
+        }
+        assert_eq!(db.reuse_applications, 279);
+        assert_eq!(db.patterns_reused, 1);
+        assert_eq!(db.iter().next().unwrap().hits, 279);
+    }
+}

@@ -1,0 +1,189 @@
+//! Latency-trend prediction — the first open line of §5.2.
+//!
+//! "Actually PR-DRB waits until congestion reappears, in order to start
+//! the predictive module. To speed up this phase, latency trend could be
+//! used. With enough historic latency values and traffic information,
+//! PR-DRB could predict future congestion before it actually arises."
+//!
+//! [`TrendDetector`] keeps a sliding window of (time, metapath-latency)
+//! samples per flow and fits a least-squares line. When the projected
+//! latency at a configurable horizon crosses `Threshold_High` while the
+//! current value is still inside the working zone, the detector flags
+//! *congestion onset* and the policy reacts early (solution lookup /
+//! path opening) without waiting for the threshold itself to be hit.
+
+use prdrb_simcore::time::Time;
+
+/// Sliding-window linear trend over latency samples.
+#[derive(Debug, Clone)]
+pub struct TrendDetector {
+    window: usize,
+    samples: Vec<(f64, f64)>, // (t in µs, latency in ns)
+}
+
+impl TrendDetector {
+    /// A detector keeping the last `window` samples (at least 3).
+    pub fn new(window: usize) -> Self {
+        Self { window: window.max(3), samples: Vec::new() }
+    }
+
+    /// Record a metapath-latency observation.
+    pub fn push(&mut self, at: Time, latency_ns: Time) {
+        if self.samples.len() == self.window {
+            self.samples.remove(0);
+        }
+        self.samples.push((at as f64 / 1e3, latency_ns as f64));
+    }
+
+    /// Number of samples held.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples are held.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Forget all history (episode boundaries).
+    pub fn reset(&mut self) {
+        self.samples.clear();
+    }
+
+    /// Least-squares slope in ns of latency per µs of time, if the
+    /// window holds enough samples spread over nonzero time.
+    pub fn slope(&self) -> Option<f64> {
+        if self.samples.len() < 3 {
+            return None;
+        }
+        let n = self.samples.len() as f64;
+        let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+        for &(x, y) in &self.samples {
+            sx += x;
+            sy += y;
+            sxx += x * x;
+            sxy += x * y;
+        }
+        let denom = n * sxx - sx * sx;
+        if denom.abs() < 1e-9 {
+            return None;
+        }
+        Some((n * sxy - sx * sy) / denom)
+    }
+
+    /// Projected latency `horizon_ns` into the future from the last
+    /// sample (linear extrapolation).
+    pub fn project(&self, horizon_ns: Time) -> Option<Time> {
+        let slope = self.slope()?;
+        let &(last_t, last_y) = self.samples.last()?;
+        let _ = last_t;
+        let projected = last_y + slope * (horizon_ns as f64 / 1e3);
+        Some(projected.max(0.0) as Time)
+    }
+
+    /// True when the latency is rising fast enough that the projection
+    /// at `horizon_ns` crosses `threshold_high_ns` even though the
+    /// current value has not (congestion predicted before it arises).
+    pub fn predicts_congestion(&self, horizon_ns: Time, threshold_high_ns: Time) -> bool {
+        match (self.project(horizon_ns), self.samples.last()) {
+            (Some(p), Some(&(_, cur))) => {
+                p > threshold_high_ns && (cur as Time) <= threshold_high_ns
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn needs_three_samples() {
+        let mut t = TrendDetector::new(8);
+        assert!(t.is_empty());
+        t.push(0, 1_000);
+        t.push(1_000, 2_000);
+        assert_eq!(t.slope(), None);
+        t.push(2_000, 3_000);
+        assert!(t.slope().is_some());
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn rising_latency_has_positive_slope() {
+        let mut t = TrendDetector::new(8);
+        for i in 0..6u64 {
+            t.push(i * 1_000, 1_000 + i * 500);
+        }
+        // +500 ns per 1000 ns = +500 ns per µs.
+        let s = t.slope().unwrap();
+        assert!((s - 500.0).abs() < 1e-6, "slope {s}");
+    }
+
+    #[test]
+    fn flat_latency_has_zero_slope() {
+        let mut t = TrendDetector::new(8);
+        for i in 0..6u64 {
+            t.push(i * 1_000, 5_000);
+        }
+        assert!(t.slope().unwrap().abs() < 1e-9);
+        assert!(!t.predicts_congestion(100_000, 10_000));
+    }
+
+    #[test]
+    fn projection_extrapolates_linearly() {
+        let mut t = TrendDetector::new(8);
+        for i in 0..5u64 {
+            t.push(i * 1_000, 1_000 + i * 1_000);
+        }
+        // Last sample 5 µs latency at t=4 µs, slope 1000 ns/µs: 10 µs
+        // ahead → 15_000 ns.
+        let p = t.project(10_000).unwrap();
+        assert!((p as i64 - 15_000).abs() <= 1, "projected {p}");
+    }
+
+    #[test]
+    fn predicts_congestion_before_threshold() {
+        let mut t = TrendDetector::new(8);
+        for i in 0..5u64 {
+            t.push(i * 1_000, 2_000 + i * 1_500);
+        }
+        // Current 8_000 < high 20_000, but rising at 1500/µs: within
+        // 20 µs it will cross.
+        assert!(t.predicts_congestion(20_000, 20_000));
+        // Already above threshold: not a *prediction* any more.
+        t.push(5_000, 25_000);
+        assert!(!t.predicts_congestion(20_000, 20_000));
+    }
+
+    #[test]
+    fn falling_latency_never_predicts() {
+        let mut t = TrendDetector::new(8);
+        for i in 0..5u64 {
+            t.push(i * 1_000, 10_000 - i * 1_000);
+        }
+        assert!(!t.predicts_congestion(1_000_000, 20_000));
+    }
+
+    #[test]
+    fn window_slides_and_reset_clears() {
+        let mut t = TrendDetector::new(3);
+        for i in 0..10u64 {
+            t.push(i * 1_000, i * 100);
+        }
+        assert_eq!(t.len(), 3);
+        t.reset();
+        assert!(t.is_empty());
+        assert_eq!(t.slope(), None);
+    }
+
+    #[test]
+    fn degenerate_equal_times_give_no_slope() {
+        let mut t = TrendDetector::new(4);
+        t.push(1_000, 1.0 as Time);
+        t.push(1_000, 2);
+        t.push(1_000, 3);
+        assert_eq!(t.slope(), None);
+    }
+}

@@ -1,0 +1,134 @@
+//! Latency zones and the metapath-configuration FSM (§3.2.5, Figs 3.9 &
+//! 3.12).
+//!
+//! The two thresholds split metapath latency into three zones: **L**ow
+//! (close paths), **M**edium (the working zone — keep the metapath), and
+//! **H**igh (congestion — open paths / apply a saved solution). The FSM's
+//! observable output is the *transition*:
+//!
+//! * `M → H`: congestion begins — search the solution database, else open;
+//! * `H → M`: congestion controlled — save/update the best solution;
+//! * `M → L`: traffic faded — start path-closing procedures.
+
+use prdrb_simcore::time::Time;
+
+/// The three latency zones of Fig 3.9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Zone {
+    /// Low congestion; alternative paths get closed.
+    Low,
+    /// The working zone.
+    Medium,
+    /// Congestion; opening/predictive procedures run.
+    High,
+}
+
+impl Zone {
+    /// Classify a metapath latency against the thresholds.
+    pub fn classify(latency_ns: Time, low: Time, high: Time) -> Zone {
+        if latency_ns > high {
+            Zone::High
+        } else if latency_ns < low {
+            Zone::Low
+        } else {
+            Zone::Medium
+        }
+    }
+}
+
+/// A zone transition worth acting on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transition {
+    /// No zone change (or a change with no mandated action).
+    None,
+    /// Entered the high zone: congestion detected.
+    EnterHigh,
+    /// Left the high zone back into the working zone: solution found.
+    SettleMedium,
+    /// Dropped into the low zone: close paths.
+    EnterLow,
+}
+
+/// Tracks the zone of one flow's metapath and reports transitions.
+#[derive(Debug, Clone, Copy)]
+pub struct ZoneTracker {
+    zone: Zone,
+}
+
+impl Default for ZoneTracker {
+    fn default() -> Self {
+        Self { zone: Zone::Medium }
+    }
+}
+
+impl ZoneTracker {
+    /// Start in the working zone.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current zone.
+    pub fn zone(&self) -> Zone {
+        self.zone
+    }
+
+    /// Observe a new metapath latency; returns the actionable transition.
+    pub fn observe(&mut self, latency_ns: Time, low: Time, high: Time) -> Transition {
+        let next = Zone::classify(latency_ns, low, high);
+        let prev = self.zone;
+        self.zone = next;
+        match (prev, next) {
+            (Zone::Medium, Zone::High) | (Zone::Low, Zone::High) => Transition::EnterHigh,
+            (Zone::High, Zone::Medium) => Transition::SettleMedium,
+            (Zone::Medium, Zone::Low) | (Zone::High, Zone::Low) => Transition::EnterLow,
+            _ => Transition::None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LOW: Time = 100;
+    const HIGH: Time = 1000;
+
+    #[test]
+    fn classification_boundaries() {
+        assert_eq!(Zone::classify(50, LOW, HIGH), Zone::Low);
+        assert_eq!(Zone::classify(100, LOW, HIGH), Zone::Medium); // inclusive
+        assert_eq!(Zone::classify(500, LOW, HIGH), Zone::Medium);
+        assert_eq!(Zone::classify(1000, LOW, HIGH), Zone::Medium); // inclusive
+        assert_eq!(Zone::classify(1001, LOW, HIGH), Zone::High);
+    }
+
+    #[test]
+    fn fsm_transitions_of_fig_3_12() {
+        let mut z = ZoneTracker::new();
+        assert_eq!(z.zone(), Zone::Medium);
+        // Latency rises: M → H triggers the opening / predictive search.
+        assert_eq!(z.observe(5000, LOW, HIGH), Transition::EnterHigh);
+        // Staying high: no repeated trigger.
+        assert_eq!(z.observe(6000, LOW, HIGH), Transition::None);
+        // Controlled: H → M saves the solution.
+        assert_eq!(z.observe(500, LOW, HIGH), Transition::SettleMedium);
+        // Traffic fades: M → L closes paths.
+        assert_eq!(z.observe(10, LOW, HIGH), Transition::EnterLow);
+        // L → M: plain return to work, nothing mandated.
+        assert_eq!(z.observe(500, LOW, HIGH), Transition::None);
+    }
+
+    #[test]
+    fn low_to_high_jump_still_triggers_opening() {
+        let mut z = ZoneTracker::new();
+        assert_eq!(z.observe(10, LOW, HIGH), Transition::EnterLow);
+        assert_eq!(z.observe(9000, LOW, HIGH), Transition::EnterHigh);
+    }
+
+    #[test]
+    fn high_to_low_collapse_closes_paths() {
+        let mut z = ZoneTracker::new();
+        z.observe(9000, LOW, HIGH);
+        assert_eq!(z.observe(1, LOW, HIGH), Transition::EnterLow);
+    }
+}

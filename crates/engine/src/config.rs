@@ -1,0 +1,176 @@
+//! Simulation configuration.
+
+use prdrb_apps::Trace;
+use prdrb_core::{DrbConfig, PolicyKind};
+use prdrb_network::NetworkConfig;
+use prdrb_simcore::time::{Time, MILLISECOND};
+use prdrb_topology::{AnyTopology, KAryNTree, Mesh2D, NodeId};
+use prdrb_traffic::BurstSchedule;
+use std::sync::Arc;
+
+/// Which topology to instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyKind {
+    /// The 8×8 mesh of Table 4.2.
+    Mesh8x8,
+    /// The 4-ary 3-tree (64 terminals) of Table 4.3.
+    FatTree443,
+    /// An arbitrary mesh.
+    Mesh {
+        /// Width.
+        w: u32,
+        /// Height.
+        h: u32,
+    },
+    /// An arbitrary k-ary n-tree.
+    Tree {
+        /// Arity.
+        k: u32,
+        /// Levels.
+        n: u32,
+    },
+}
+
+impl TopologyKind {
+    /// Build the topology.
+    pub fn build(self) -> AnyTopology {
+        match self {
+            TopologyKind::Mesh8x8 => AnyTopology::mesh8x8(),
+            TopologyKind::FatTree443 => AnyTopology::fat_tree_64(),
+            TopologyKind::Mesh { w, h } => AnyTopology::Mesh(Mesh2D::new(w, h)),
+            TopologyKind::Tree { k, n } => AnyTopology::Tree(KAryNTree::new(k, n)),
+        }
+    }
+}
+
+/// The workload driving the simulation.
+#[derive(Debug, Clone)]
+pub enum Workload {
+    /// Synthetic traffic: the first `active_nodes` terminals inject per
+    /// the schedule ("32 communicating nodes" uses 32 of 64).
+    Synthetic {
+        /// Injection schedule (rate + pattern over time).
+        schedule: BurstSchedule,
+        /// Number of injecting terminals.
+        active_nodes: usize,
+        /// Message size in bytes.
+        msg_bytes: u32,
+    },
+    /// Fixed flow set (hot-spot scenarios of §4.5) plus optional noise.
+    Flows {
+        /// The deliberate flows.
+        flows: Vec<(NodeId, NodeId)>,
+        /// Injection rate per hot flow (Mbps).
+        mbps: f64,
+        /// Noise sources injecting uniform traffic.
+        noise_nodes: Vec<NodeId>,
+        /// Noise rate (Mbps).
+        noise_mbps: f64,
+        /// Message size in bytes.
+        msg_bytes: u32,
+    },
+    /// Replay an application logical trace (collectives must already be
+    /// lowered — [`crate::Simulation::new`] lowers them if present).
+    Trace(Arc<Trace>),
+}
+
+/// Full configuration of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Run label for reports.
+    pub label: String,
+    /// Topology.
+    pub topology: TopologyKind,
+    /// Source routing policy.
+    pub policy: PolicyKind,
+    /// DRB-family tunables.
+    pub drb: DrbConfig,
+    /// Physical network parameters.
+    pub net: NetworkConfig,
+    /// Workload.
+    pub workload: Workload,
+    /// Master seed (replicas vary this, §4.3).
+    pub seed: u64,
+    /// End of injection for synthetic workloads (traces run to
+    /// completion).
+    pub duration_ns: Time,
+    /// Hard wall for the whole simulation (drain bound / trace safety).
+    pub max_ns: Time,
+    /// Bucket width of the global latency series.
+    pub series_bucket_ns: Time,
+    /// Offline communication profile to preload into predictive
+    /// policies (§5.2 static variant); empty = fully dynamic.
+    pub preload_profile: Vec<prdrb_core::ProfiledFlow>,
+}
+
+impl SimConfig {
+    /// A synthetic run with the defaults of Tables 4.2/4.3.
+    pub fn synthetic(
+        topology: TopologyKind,
+        policy: PolicyKind,
+        schedule: BurstSchedule,
+        active_nodes: usize,
+    ) -> Self {
+        Self {
+            label: String::new(),
+            topology,
+            policy,
+            drb: DrbConfig::default(),
+            net: NetworkConfig::default(),
+            workload: Workload::Synthetic { schedule, active_nodes, msg_bytes: 1024 },
+            seed: 1,
+            duration_ns: 2 * MILLISECOND,
+            max_ns: 400 * MILLISECOND,
+            series_bucket_ns: 50_000,
+            preload_profile: Vec::new(),
+        }
+    }
+
+    /// A trace-replay run (§4.8 application experiments).
+    pub fn trace(topology: TopologyKind, policy: PolicyKind, trace: Trace) -> Self {
+        Self {
+            label: trace.name.clone(),
+            topology,
+            policy,
+            drb: DrbConfig::default(),
+            net: NetworkConfig::default(),
+            workload: Workload::Trace(Arc::new(trace)),
+            seed: 1,
+            duration_ns: Time::MAX / 4,
+            max_ns: 30_000 * MILLISECOND,
+            series_bucket_ns: 100_000,
+            preload_profile: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prdrb_topology::Topology;
+    use prdrb_traffic::TrafficPattern;
+
+    #[test]
+    fn topology_kinds_build() {
+        assert_eq!(TopologyKind::Mesh8x8.build().num_terminals(), 64);
+        assert_eq!(TopologyKind::FatTree443.build().num_terminals(), 64);
+        assert_eq!(TopologyKind::Mesh { w: 4, h: 2 }.build().num_terminals(), 8);
+        assert_eq!(TopologyKind::Tree { k: 2, n: 3 }.build().num_terminals(), 8);
+    }
+
+    #[test]
+    fn synthetic_preset_matches_tables() {
+        let cfg = SimConfig::synthetic(
+            TopologyKind::FatTree443,
+            PolicyKind::Drb,
+            BurstSchedule::continuous(TrafficPattern::Shuffle, 400.0),
+            32,
+        );
+        assert_eq!(cfg.net.link_gbps, 2.0);
+        assert_eq!(cfg.net.packet_bytes, 1024);
+        match cfg.workload {
+            Workload::Synthetic { active_nodes, .. } => assert_eq!(active_nodes, 32),
+            _ => panic!(),
+        }
+    }
+}

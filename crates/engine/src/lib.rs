@@ -1,0 +1,36 @@
+//! # prdrb-engine — full simulation assembly
+//!
+//! Ties the substrate together into the experiments of Chapter 4: a
+//! topology + fabric (`prdrb-network`), a source routing policy
+//! (`prdrb-core`), and a workload — synthetic traffic (`prdrb-traffic`)
+//! or an application logical trace replayed by the [`player`]
+//! (`prdrb-apps`) — producing the metrics the figures plot.
+
+pub mod config;
+pub mod player;
+pub mod report;
+pub mod runner;
+
+pub use config::{SimConfig, TopologyKind, Workload};
+pub use player::Player;
+pub use report::RunReport;
+pub use runner::Simulation;
+
+/// Run one simulation to completion (convenience wrapper).
+pub fn run(cfg: SimConfig) -> RunReport {
+    Simulation::new(cfg).run()
+}
+
+/// Run `seeds.len()` replicas and average the headline metrics (§4.3:
+/// "multiple instances of the simulation with a different set of random
+/// seeds … averaged to estimate the typical behavior").
+pub fn run_replicas(cfg: &SimConfig, seeds: &[u64]) -> Vec<RunReport> {
+    seeds
+        .iter()
+        .map(|&s| {
+            let mut c = cfg.clone();
+            c.seed = s;
+            run(c)
+        })
+        .collect()
+}

@@ -1,0 +1,340 @@
+//! The trace player: per-rank finite state machines replaying a logical
+//! application trace (§4.7.1, Fig 4.19).
+//!
+//! Each rank executes its event list respecting the MPI semantics the
+//! thesis' processing-node model implements (Figs 4.2–4.4):
+//!
+//! * `Send`/`Isend` are buffered — they hand the message to the NIC and
+//!   proceed;
+//! * `Recv` blocks until a matching `(src, tag)` message has fully
+//!   arrived;
+//! * `Irecv` posts a pending receive completed by `Wait` (oldest first)
+//!   or `Waitall`;
+//! * `Compute(t)` blocks the rank for `t` ns of model computation.
+//!
+//! Collectives must be lowered (`prdrb_apps::lower_collectives`) before
+//! replay.
+
+use prdrb_apps::{Rank, Trace, TraceEvent};
+use prdrb_simcore::time::Time;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// A message the player wants injected into the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendOp {
+    /// Sender.
+    pub src: Rank,
+    /// Destination.
+    pub dst: Rank,
+    /// Payload bytes.
+    pub bytes: u32,
+    /// Match tag.
+    pub tag: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Blocked {
+    Ready,
+    Compute(Time),
+    Recv(Rank, u32),
+    Wait,
+    Waitall,
+}
+
+#[derive(Debug)]
+struct RankState {
+    pc: usize,
+    blocked: Blocked,
+    pending: VecDeque<(Rank, u32)>,
+    mailbox: HashMap<(Rank, u32), u32>,
+    done: bool,
+    finish_time: Time,
+}
+
+/// Replays a (lowered) trace against the simulated network.
+#[derive(Debug)]
+pub struct Player {
+    trace: Arc<Trace>,
+    state: Vec<RankState>,
+    done: usize,
+}
+
+impl Player {
+    /// A player over `trace`. Panics if the trace still contains
+    /// collectives.
+    pub fn new(trace: Arc<Trace>) -> Self {
+        assert!(
+            trace.ranks.iter().flatten().all(|e| !e.is_collective()),
+            "collectives must be lowered before replay"
+        );
+        let state = trace
+            .ranks
+            .iter()
+            .map(|_| RankState {
+                pc: 0,
+                blocked: Blocked::Ready,
+                pending: VecDeque::new(),
+                mailbox: HashMap::new(),
+                done: false,
+                finish_time: 0,
+            })
+            .collect();
+        Self { trace, state, done: 0 }
+    }
+
+    /// Number of ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.state.len()
+    }
+
+    /// True when every rank finished its program.
+    pub fn all_done(&self) -> bool {
+        self.done == self.state.len()
+    }
+
+    /// Time the last rank finished (valid once `all_done`).
+    pub fn finish_time(&self) -> Time {
+        self.state.iter().map(|s| s.finish_time).max().unwrap_or(0)
+    }
+
+    /// A fully-arrived message for `rank`. Returns true if the rank may
+    /// now be advanceable (it was blocked on a receive/wait).
+    pub fn deliver(&mut self, rank: Rank, src: Rank, tag: u32) -> bool {
+        let st = &mut self.state[rank as usize];
+        *st.mailbox.entry((src, tag)).or_default() += 1;
+        matches!(st.blocked, Blocked::Recv(..) | Blocked::Wait | Blocked::Waitall)
+    }
+
+    fn try_consume(st: &mut RankState, src: Rank, tag: u32) -> bool {
+        match st.mailbox.get_mut(&(src, tag)) {
+            Some(c) if *c > 0 => {
+                *c -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Advance `rank` as far as possible at time `now`. Sends are pushed
+    /// into `sends`; returns `Some(wake_time)` if the rank blocked on
+    /// computation, `None` otherwise (blocked on communication or done).
+    pub fn advance(&mut self, rank: Rank, now: Time, sends: &mut Vec<SendOp>) -> Option<Time> {
+        let st = &mut self.state[rank as usize];
+        if st.done {
+            return None;
+        }
+        let prog = &self.trace.ranks[rank as usize];
+        loop {
+            // Resolve the current block.
+            match st.blocked {
+                Blocked::Ready => {}
+                Blocked::Compute(t) => {
+                    if now < t {
+                        return Some(t);
+                    }
+                    st.blocked = Blocked::Ready;
+                }
+                Blocked::Recv(src, tag) => {
+                    if Self::try_consume(st, src, tag) {
+                        st.blocked = Blocked::Ready;
+                    } else {
+                        return None;
+                    }
+                }
+                Blocked::Wait => {
+                    if let Some(&(src, tag)) = st.pending.front() {
+                        if Self::try_consume(st, src, tag) {
+                            st.pending.pop_front();
+                            st.blocked = Blocked::Ready;
+                        } else {
+                            return None;
+                        }
+                    } else {
+                        st.blocked = Blocked::Ready;
+                    }
+                }
+                Blocked::Waitall => {
+                    while let Some(&(src, tag)) = st.pending.front() {
+                        if Self::try_consume(st, src, tag) {
+                            st.pending.pop_front();
+                        } else {
+                            return None;
+                        }
+                    }
+                    st.blocked = Blocked::Ready;
+                }
+            }
+            // Execute the next instruction.
+            let Some(ev) = prog.get(st.pc) else {
+                st.done = true;
+                st.finish_time = now;
+                self.done += 1;
+                return None;
+            };
+            st.pc += 1;
+            match *ev {
+                TraceEvent::Compute { ns } => {
+                    st.blocked = Blocked::Compute(now.saturating_add(ns));
+                }
+                TraceEvent::Send { dst, bytes, tag } | TraceEvent::Isend { dst, bytes, tag } => {
+                    sends.push(SendOp { src: rank, dst, bytes, tag });
+                }
+                TraceEvent::Recv { src, tag } => {
+                    st.blocked = Blocked::Recv(src, tag);
+                }
+                TraceEvent::Irecv { src, tag } => {
+                    st.pending.push_back((src, tag));
+                }
+                TraceEvent::Wait => st.blocked = Blocked::Wait,
+                TraceEvent::Waitall => st.blocked = Blocked::Waitall,
+                other => unreachable!("collective {other:?} in lowered trace"),
+            }
+        }
+    }
+
+    /// Diagnostic snapshot of a stuck rank (deadlock reporting).
+    pub fn describe_block(&self, rank: Rank) -> String {
+        let st = &self.state[rank as usize];
+        format!(
+            "rank {rank}: pc={} blocked={:?} pending={} done={}",
+            st.pc,
+            st.blocked,
+            st.pending.len(),
+            st.done
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn player(build: impl FnOnce(&mut Trace)) -> Player {
+        let mut t = Trace::new("t", 2);
+        build(&mut t);
+        Player::new(Arc::new(t))
+    }
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let mut p = player(|t| {
+            t.push(0, TraceEvent::Send { dst: 1, bytes: 64, tag: 5 });
+            t.push(1, TraceEvent::Recv { src: 0, tag: 5 });
+        });
+        let mut sends = Vec::new();
+        assert_eq!(p.advance(0, 0, &mut sends), None);
+        assert_eq!(sends, vec![SendOp { src: 0, dst: 1, bytes: 64, tag: 5 }]);
+        // Rank 1 blocks until delivery.
+        assert_eq!(p.advance(1, 0, &mut sends), None);
+        assert!(!p.all_done());
+        assert!(p.deliver(1, 0, 5));
+        p.advance(1, 100, &mut sends);
+        assert!(p.all_done());
+        assert_eq!(p.finish_time(), 100);
+    }
+
+    #[test]
+    fn compute_blocks_until_wake() {
+        let mut p = player(|t| {
+            t.push(0, TraceEvent::Compute { ns: 500 });
+        });
+        let mut sends = Vec::new();
+        assert_eq!(p.advance(0, 0, &mut sends), Some(500));
+        assert_eq!(p.advance(0, 100, &mut sends), Some(500), "still computing");
+        assert_eq!(p.advance(0, 500, &mut sends), None);
+        assert!(!p.all_done(), "rank 1 (empty program) not advanced yet");
+        p.advance(1, 500, &mut sends);
+        assert!(p.all_done());
+    }
+
+    #[test]
+    fn irecv_wait_completes_in_post_order() {
+        let mut p = player(|t| {
+            t.push(0, TraceEvent::Irecv { src: 1, tag: 1 });
+            t.push(0, TraceEvent::Irecv { src: 1, tag: 2 });
+            t.push(0, TraceEvent::Wait);
+            t.push(0, TraceEvent::Wait);
+            t.push(1, TraceEvent::Send { dst: 0, bytes: 8, tag: 1 });
+            t.push(1, TraceEvent::Send { dst: 0, bytes: 8, tag: 2 });
+        });
+        let mut sends = Vec::new();
+        p.advance(0, 0, &mut sends);
+        // Deliver the *second* tag first: Wait (oldest) must keep
+        // blocking.
+        p.deliver(0, 1, 2);
+        p.advance(0, 10, &mut sends);
+        assert!(!p.all_done());
+        p.deliver(0, 1, 1);
+        p.advance(0, 20, &mut sends);
+        p.advance(1, 20, &mut sends);
+        assert!(p.all_done());
+    }
+
+    #[test]
+    fn waitall_needs_everything() {
+        let mut p = player(|t| {
+            t.push(0, TraceEvent::Irecv { src: 1, tag: 1 });
+            t.push(0, TraceEvent::Irecv { src: 1, tag: 2 });
+            t.push(0, TraceEvent::Waitall);
+            t.push(1, TraceEvent::Send { dst: 0, bytes: 8, tag: 1 });
+            t.push(1, TraceEvent::Send { dst: 0, bytes: 8, tag: 2 });
+        });
+        let mut sends = Vec::new();
+        p.advance(0, 0, &mut sends);
+        p.deliver(0, 1, 1);
+        p.advance(0, 5, &mut sends);
+        assert!(!p.all_done());
+        p.deliver(0, 1, 2);
+        p.advance(0, 9, &mut sends);
+        p.advance(1, 9, &mut sends);
+        assert!(p.all_done());
+    }
+
+    #[test]
+    fn early_message_buffers_in_mailbox() {
+        let mut p = player(|t| {
+            t.push(0, TraceEvent::Compute { ns: 100 });
+            t.push(0, TraceEvent::Recv { src: 1, tag: 9 });
+            t.push(1, TraceEvent::Send { dst: 0, bytes: 8, tag: 9 });
+        });
+        let mut sends = Vec::new();
+        // The message lands before rank 0 even posts the receive.
+        p.deliver(0, 1, 9);
+        assert_eq!(p.advance(0, 0, &mut sends), Some(100));
+        assert_eq!(p.advance(0, 100, &mut sends), None);
+        p.advance(1, 100, &mut sends);
+        assert!(p.all_done());
+    }
+
+    #[test]
+    fn wait_without_pending_is_noop() {
+        let mut p = player(|t| {
+            t.push(0, TraceEvent::Wait);
+            t.push(0, TraceEvent::Waitall);
+        });
+        let mut sends = Vec::new();
+        p.advance(0, 0, &mut sends);
+        p.advance(1, 0, &mut sends);
+        assert!(p.all_done());
+    }
+
+    #[test]
+    #[should_panic(expected = "lowered")]
+    fn rejects_collectives() {
+        let mut t = Trace::new("bad", 2);
+        t.push_all(TraceEvent::Barrier);
+        let _ = Player::new(Arc::new(t));
+    }
+
+    #[test]
+    fn describe_block_reports_state() {
+        let mut p = player(|t| {
+            t.push(0, TraceEvent::Recv { src: 1, tag: 3 });
+        });
+        let mut sends = Vec::new();
+        p.advance(0, 0, &mut sends);
+        let d = p.describe_block(0);
+        assert!(d.contains("Recv"));
+    }
+}

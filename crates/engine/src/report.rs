@@ -1,0 +1,84 @@
+//! Run reports: everything a figure needs from one simulation.
+
+use prdrb_core::PolicyStats;
+use prdrb_metrics::{LatencyMap, LatencyQuantiles, SeriesSummary};
+use prdrb_simcore::stats::TimeSeries;
+use prdrb_simcore::time::Time;
+
+/// The outcome of one simulation run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Run label.
+    pub label: String,
+    /// Policy name.
+    pub policy: String,
+    /// Topology label.
+    pub topology: String,
+    /// Global average network latency in µs (Eq 4.2: the average of the
+    /// per-destination incremental means of Eq 4.1).
+    pub global_avg_latency_us: f64,
+    /// Time-bucketed latency curve (µs).
+    pub series: TimeSeries,
+    /// Latency quantile sketch (p50/p95/p99 tails).
+    pub quantiles: LatencyQuantiles,
+    /// Application execution time (trace runs only).
+    pub exec_time_ns: Option<Time>,
+    /// Messages injected.
+    pub messages: u64,
+    /// Data packets offered / accepted (lossless ⇒ equal after drain).
+    pub offered: u64,
+    /// Data packets accepted.
+    pub accepted: u64,
+    /// ACK packets generated.
+    pub acks_sent: u64,
+    /// Congestion notifications (CFD triggers).
+    pub notifications: u64,
+    /// Per-router average contention latency (µs) — the latency map.
+    pub latency_map: LatencyMap,
+    /// Per-router contention time series when enabled.
+    pub router_series: Vec<Option<TimeSeries>>,
+    /// Policy counters (expansions, solution reuse, …).
+    pub policy_stats: PolicyStats,
+    /// Simulated time at the end of the run.
+    pub end_ns: Time,
+    /// True when the run hit the hard time wall before completing.
+    pub truncated: bool,
+}
+
+impl RunReport {
+    /// Summary of the global latency curve.
+    pub fn summary(&self) -> SeriesSummary {
+        SeriesSummary::of(&self.series)
+    }
+
+    /// Throughput ratio accepted/offered (must settle at 1.0 — §4.2).
+    pub fn throughput_ratio(&self) -> f64 {
+        if self.offered == 0 {
+            1.0
+        } else {
+            self.accepted as f64 / self.offered as f64
+        }
+    }
+
+    /// p50/p95/p99 latency in µs.
+    pub fn tail_latency_us(&self) -> (f64, f64, f64) {
+        self.quantiles.summary_us()
+    }
+
+    /// One-line summary for harness output.
+    pub fn oneline(&self) -> String {
+        format!(
+            "{:<28} {:<13} lat {:>9.2} us  peak {:>9.2} us  exec {}  msgs {:>7}  notif {:>5}",
+            self.label,
+            self.policy,
+            self.global_avg_latency_us,
+            self.summary().peak_us,
+            match self.exec_time_ns {
+                Some(t) => format!("{:>9.3} ms", t as f64 / 1e6),
+                None => "        --".into(),
+            },
+            self.messages,
+            self.notifications,
+        )
+    }
+}

@@ -1,0 +1,190 @@
+//! Approximate latency quantiles (HDR-style log-linear histogram).
+//!
+//! The paper reports averages, but a production library needs tails:
+//! `LatencyQuantiles` folds nanosecond samples into log₂ buckets with 16
+//! linear sub-buckets each (relative error ≤ 1/16) and answers p50/p95/
+//! p99 queries without storing samples.
+
+use prdrb_simcore::time::Time;
+
+const SUB_BITS: u32 = 4;
+const SUB: usize = 1 << SUB_BITS;
+
+/// Fixed-memory quantile sketch over nanosecond latencies.
+#[derive(Debug, Clone)]
+pub struct LatencyQuantiles {
+    /// `counts[log2_bucket * SUB + sub_bucket]`.
+    counts: Vec<u64>,
+    total: u64,
+    max: Time,
+}
+
+impl Default for LatencyQuantiles {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyQuantiles {
+    /// Empty sketch.
+    pub fn new() -> Self {
+        Self { counts: vec![0; 64 * SUB], total: 0, max: 0 }
+    }
+
+    fn index(v: Time) -> usize {
+        if v < SUB as Time {
+            return v as usize; // exact for tiny values
+        }
+        let log = 63 - v.leading_zeros() as usize;
+        let sub = ((v >> (log as u32 - SUB_BITS)) as usize) & (SUB - 1);
+        log * SUB + sub
+    }
+
+    fn bucket_low(idx: usize) -> Time {
+        let log = idx / SUB;
+        let sub = idx % SUB;
+        if log == 0 {
+            return sub as Time;
+        }
+        (1u64 << log) | ((sub as u64) << (log as u32 - SUB_BITS))
+    }
+
+    /// Fold one latency sample (ns).
+    pub fn push(&mut self, v: Time) {
+        self.counts[Self::index(v)] += 1;
+        self.total += 1;
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest sample seen (exact).
+    pub fn max_ns(&self) -> Time {
+        self.max
+    }
+
+    /// Approximate quantile `q ∈ [0,1]` in nanoseconds (0 when empty).
+    pub fn quantile_ns(&self, q: f64) -> Time {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_low(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// p50/p95/p99 in µs.
+    pub fn summary_us(&self) -> (f64, f64, f64) {
+        (
+            self.quantile_ns(0.50) as f64 / 1e3,
+            self.quantile_ns(0.95) as f64 / 1e3,
+            self.quantile_ns(0.99) as f64 / 1e3,
+        )
+    }
+
+    /// Merge another sketch.
+    pub fn merge(&mut self, other: &LatencyQuantiles) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sketch() {
+        let q = LatencyQuantiles::new();
+        assert_eq!(q.quantile_ns(0.5), 0);
+        assert_eq!(q.total(), 0);
+        assert_eq!(q.summary_us(), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn exact_for_tiny_values() {
+        let mut q = LatencyQuantiles::new();
+        for v in [1u64, 2, 3, 4, 5, 6, 7, 8] {
+            q.push(v);
+        }
+        assert_eq!(q.quantile_ns(0.5), 4);
+        assert_eq!(q.quantile_ns(1.0), 8);
+    }
+
+    #[test]
+    fn relative_error_bounded() {
+        let mut q = LatencyQuantiles::new();
+        // Uniform ramp 1..100_000 ns.
+        for v in 1..=100_000u64 {
+            q.push(v);
+        }
+        for (quant, expect) in [(0.5, 50_000.0), (0.95, 95_000.0), (0.99, 99_000.0)] {
+            let got = q.quantile_ns(quant) as f64;
+            let err = (got - expect).abs() / expect;
+            assert!(err < 0.08, "q{quant}: got {got}, expect {expect}, err {err:.3}");
+        }
+    }
+
+    #[test]
+    fn skewed_distribution_tail() {
+        let mut q = LatencyQuantiles::new();
+        // 2 % of samples in the tail so the p99 rank lands inside it.
+        for _ in 0..980 {
+            q.push(4_000);
+        }
+        for _ in 0..20 {
+            q.push(1_000_000);
+        }
+        let (p50, _, p99) = q.summary_us();
+        assert!((p50 - 4.0).abs() < 0.5, "p50 {p50}");
+        assert!(p99 > 500.0, "p99 must reach the tail, got {p99}");
+        assert_eq!(q.max_ns(), 1_000_000);
+    }
+
+    #[test]
+    fn merge_equals_combined() {
+        let mut a = LatencyQuantiles::new();
+        let mut b = LatencyQuantiles::new();
+        let mut all = LatencyQuantiles::new();
+        for v in 1..500u64 {
+            a.push(v * 7);
+            all.push(v * 7);
+        }
+        for v in 1..300u64 {
+            b.push(v * 31);
+            all.push(v * 31);
+        }
+        a.merge(&b);
+        assert_eq!(a.total(), all.total());
+        assert_eq!(a.quantile_ns(0.5), all.quantile_ns(0.5));
+        assert_eq!(a.quantile_ns(0.99), all.quantile_ns(0.99));
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q() {
+        let mut q = LatencyQuantiles::new();
+        let mut x = 1u64;
+        for _ in 0..1000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            q.push(x % 1_000_000 + 1);
+        }
+        let mut prev = 0;
+        for i in 0..=20 {
+            let v = q.quantile_ns(i as f64 / 20.0);
+            assert!(v >= prev, "quantiles must be monotone");
+            prev = v;
+        }
+    }
+}

@@ -1,0 +1,603 @@
+//! The network fabric: routers, links, NICs and the event loop.
+//!
+//! Implements the router architecture of Fig 4.5 at packet granularity:
+//!
+//! * per-input-port, per-virtual-channel FIFO queues gated by
+//!   **credit-based flow control** (§2.1.3) so the network is lossless —
+//!   the evaluation guarantees offered load equals accepted load (§4.2);
+//! * a routing unit with fixed per-hop delay and **round-robin
+//!   arbitration** over the input queues (Fig 4.6: "simultaneous requests
+//!   are served by round-robin");
+//! * per-output-port queues feeding **virtual cut-through** links: the
+//!   downstream router receives the header after the wire + header time
+//!   and may forward while the tail still serializes, but the full packet
+//!   size is reserved downstream on arrival (§2.1.2);
+//! * the monitoring modules of the PR-DRB router (Fig 3.19): Latency
+//!   Update accumulates queuing delay in the packet header (Eq 3.3),
+//!   Contending-Flows Detection fires when an output-queue wait crosses
+//!   the threshold, and Generation-of-Predictive-ACKs injects router
+//!   notifications in the router-based scheme (§3.4.1).
+//!
+//! Deadlock freedom: multi-step paths switch to a higher-numbered virtual
+//! channel at each intermediate node (the escape-channel-per-segment
+//! scheme of §3.2.8), each segment uses minimal static routing, and the
+//! VC index only ever increases along a path, so the channel dependency
+//! graph is acyclic.
+
+use crate::config::{NetworkConfig, NotifyMode};
+use crate::monitor::contending_flows;
+use crate::packet::{Packet, PacketKind};
+use prdrb_simcore::stats::{RunningMean, TimeSeries};
+use prdrb_simcore::time::{ns_to_us, Time};
+use prdrb_simcore::EventQueue;
+use prdrb_topology::{next_port, AnyTopology, Endpoint, NodeId, Port, RouterId, Topology};
+use std::collections::VecDeque;
+
+/// Virtual channels: one escape layer per multi-step-path segment.
+pub const NUM_VCS: usize = 3;
+
+/// A packet handed to the host (data at its destination, ACK at the
+/// original source).
+#[derive(Debug)]
+pub struct Delivery {
+    /// Arrival time (tail fully received).
+    pub at: Time,
+    /// The packet.
+    pub packet: Box<Packet>,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum NetEvent {
+    /// Packet header reaches a router input port.
+    Arrive { router: RouterId, port: Port, packet: Box<Packet> },
+    /// Run the routing + arbitration stage of a router.
+    RouteTick { router: RouterId },
+    /// Try to transmit from an output port.
+    TryTx { router: RouterId, port: Port },
+    /// An output link finished serializing.
+    LinkFree { router: RouterId, port: Port },
+    /// Credit returned to a router's output port for a downstream VC.
+    Credit { router: RouterId, port: Port, vc: u8, bytes: u32 },
+    /// Credit returned to a NIC.
+    NicCredit { node: NodeId, vc: u8, bytes: u32 },
+    /// Try to inject from a NIC queue.
+    NicTx { node: NodeId },
+    /// Full packet received by a terminal.
+    Deliver { node: NodeId, packet: Box<Packet> },
+}
+
+#[derive(Debug)]
+struct RouterState {
+    /// `in_q[port][vc]`.
+    in_q: Vec<[VecDeque<Box<Packet>>; NUM_VCS]>,
+    out_q: Vec<VecDeque<Box<Packet>>>,
+    out_bytes: Vec<u32>,
+    /// Credits toward the downstream input queue per (out port, vc);
+    /// `i64::MAX / 2` marks terminal-facing ports (infinite sink).
+    credits: Vec<[i64; NUM_VCS]>,
+    link_busy_until: Vec<Time>,
+    route_pending: bool,
+    last_notify: Vec<Time>,
+    rr_cursor: usize,
+    /// Average contention latency at this router (latency-map metric).
+    contention: RunningMean,
+    series: Option<TimeSeries>,
+}
+
+#[derive(Debug)]
+struct NicState {
+    queue: VecDeque<Box<Packet>>,
+    credits: [i64; NUM_VCS],
+    link_busy_until: Time,
+}
+
+/// Cumulative fabric counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FabricStats {
+    /// Data packets injected at sources.
+    pub offered_data: u64,
+    /// Data packets received at destinations.
+    pub accepted_data: u64,
+    /// ACK packets created (destination + router notifications).
+    pub acks_sent: u64,
+    /// ACK packets received back at sources.
+    pub acks_received: u64,
+    /// CFD trigger count (congestion notifications).
+    pub notifications: u64,
+}
+
+/// The simulated interconnection network.
+#[derive(Debug)]
+pub struct Fabric {
+    topo: AnyTopology,
+    cfg: NetworkConfig,
+    routers: Vec<RouterState>,
+    nics: Vec<NicState>,
+    q: EventQueue<NetEvent>,
+    deliveries: Vec<Delivery>,
+    next_id: u64,
+    clock: Time,
+    /// Cumulative counters.
+    pub stats: FabricStats,
+}
+
+impl Fabric {
+    /// Build a fabric over `topo` with configuration `cfg`.
+    pub fn new(topo: AnyTopology, cfg: NetworkConfig) -> Self {
+        cfg.validate();
+        let nr = topo.num_routers();
+        let mut routers = Vec::with_capacity(nr);
+        for r in 0..nr {
+            let rid = RouterId(r as u32);
+            let ports = topo.num_ports(rid);
+            let mut credits = Vec::with_capacity(ports);
+            for p in 0..ports {
+                match topo.neighbor(rid, Port(p as u8)) {
+                    Some(Endpoint::Router(..)) => {
+                        credits.push([cfg.input_buf_bytes as i64; NUM_VCS])
+                    }
+                    // Terminals consume at processor speed; links to
+                    // nowhere never transmit anyway.
+                    _ => credits.push([i64::MAX / 2; NUM_VCS]),
+                }
+            }
+            routers.push(RouterState {
+                in_q: (0..ports).map(|_| Default::default()).collect(),
+                out_q: (0..ports).map(|_| VecDeque::new()).collect(),
+                out_bytes: vec![0; ports],
+                credits,
+                link_busy_until: vec![0; ports],
+                route_pending: false,
+                last_notify: vec![0; ports],
+                rr_cursor: 0,
+                contention: RunningMean::new(),
+                series: cfg.contention_series_bucket_ns.map(TimeSeries::new),
+            });
+        }
+        let nics = (0..topo.num_terminals())
+            .map(|_| NicState {
+                queue: VecDeque::new(),
+                credits: [cfg.input_buf_bytes as i64; NUM_VCS],
+                link_busy_until: 0,
+            })
+            .collect();
+        Self {
+            topo,
+            cfg,
+            routers,
+            nics,
+            q: EventQueue::with_capacity(1 << 12),
+            deliveries: Vec::new(),
+            next_id: 1,
+            clock: 0,
+            stats: FabricStats::default(),
+        }
+    }
+
+    /// The topology the fabric runs over.
+    pub fn topology(&self) -> &AnyTopology {
+        &self.topo
+    }
+
+    /// The network configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.cfg
+    }
+
+    /// Current simulated time (time of the last processed event).
+    pub fn now(&self) -> Time {
+        self.clock
+    }
+
+    /// Allocate a unique packet id.
+    pub fn alloc_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Inject a packet at its source NIC. `packet.created` must not be in
+    /// the fabric's past.
+    pub fn inject(&mut self, packet: Packet) {
+        debug_assert!(packet.src.idx() < self.nics.len(), "unknown source");
+        debug_assert!(packet.dst.idx() < self.nics.len(), "unknown destination");
+        if packet.is_data() {
+            self.stats.offered_data += 1;
+        }
+        self.inject2(packet);
+    }
+
+    /// Time of the next pending event, if any.
+    pub fn next_event_time(&self) -> Option<Time> {
+        self.q.peek_time()
+    }
+
+    /// Process all events with time ≤ `until`. Returns the number of
+    /// events processed.
+    pub fn run_until(&mut self, until: Time) -> u64 {
+        let mut n = 0;
+        while let Some(t) = self.q.peek_time() {
+            if t > until {
+                break;
+            }
+            let entry = self.q.pop().expect("peeked");
+            self.clock = entry.time;
+            self.dispatch(entry.event);
+            n += 1;
+        }
+        self.clock = self.clock.max(until);
+        n
+    }
+
+    /// Process events until either a delivery occurs or `until` is
+    /// reached. Returns true when at least one delivery is pending.
+    ///
+    /// The host loop uses this to react to ACKs and received messages at
+    /// their actual timestamps (the trace player must unblock receives
+    /// promptly).
+    pub fn run_until_delivery(&mut self, until: Time) -> bool {
+        while self.deliveries.is_empty() {
+            match self.q.peek_time() {
+                Some(t) if t <= until => {
+                    let entry = self.q.pop().expect("peeked");
+                    self.clock = entry.time;
+                    self.dispatch(entry.event);
+                }
+                _ => break,
+            }
+        }
+        if self.deliveries.is_empty() {
+            self.clock = self.clock.max(until.min(self.q.peek_time().unwrap_or(until)));
+        }
+        !self.deliveries.is_empty()
+    }
+
+    /// Drain the network completely (or until `max_t`). Returns the time
+    /// of the last event.
+    pub fn run_to_quiescence(&mut self, max_t: Time) -> Time {
+        while let Some(t) = self.q.peek_time() {
+            if t > max_t {
+                break;
+            }
+            let entry = self.q.pop().expect("peeked");
+            self.clock = entry.time;
+            self.dispatch(entry.event);
+        }
+        self.clock
+    }
+
+    /// Take the accumulated deliveries (data at destinations, ACKs at
+    /// sources).
+    pub fn drain_deliveries(&mut self) -> Vec<Delivery> {
+        std::mem::take(&mut self.deliveries)
+    }
+
+    /// Average contention latency observed at router `r`, in µs.
+    pub fn router_contention_us(&self, r: RouterId) -> f64 {
+        self.routers[r.idx()].contention.mean()
+    }
+
+    /// Samples folded into router `r`'s contention average.
+    pub fn router_contention_count(&self, r: RouterId) -> u64 {
+        self.routers[r.idx()].contention.count()
+    }
+
+    /// The contention time series of router `r` (present when
+    /// `contention_series_bucket_ns` was configured).
+    pub fn router_series(&self, r: RouterId) -> Option<&TimeSeries> {
+        self.routers[r.idx()].series.as_ref()
+    }
+
+    fn dispatch(&mut self, ev: NetEvent) {
+        match ev {
+            NetEvent::Arrive { router, port, mut packet } => {
+                packet.queued_at = self.clock;
+                packet.decided_port = None;
+                let vc = (packet.route.header_id as usize).min(NUM_VCS - 1);
+                let r = &mut self.routers[router.idx()];
+                r.in_q[port.idx()][vc].push_back(packet);
+                if !r.route_pending {
+                    r.route_pending = true;
+                    self.q
+                        .schedule(self.clock + self.cfg.routing_delay_ns, NetEvent::RouteTick {
+                            router,
+                        });
+                }
+            }
+            NetEvent::RouteTick { router } => self.route_tick(router),
+            NetEvent::TryTx { router, port } => self.try_tx(router, port),
+            NetEvent::LinkFree { router, port } => {
+                self.q.schedule(self.clock, NetEvent::TryTx { router, port });
+            }
+            NetEvent::Credit { router, port, vc, bytes } => {
+                self.routers[router.idx()].credits[port.idx()][vc as usize] += bytes as i64;
+                self.q.schedule(self.clock, NetEvent::TryTx { router, port });
+            }
+            NetEvent::NicCredit { node, vc, bytes } => {
+                self.nics[node.idx()].credits[vc as usize] += bytes as i64;
+                self.q.schedule(self.clock, NetEvent::NicTx { node });
+            }
+            NetEvent::NicTx { node } => self.nic_tx(node),
+            NetEvent::Deliver { node, packet } => self.deliver(node, packet),
+        }
+    }
+
+    fn nic_tx(&mut self, node: NodeId) {
+        let nic = &mut self.nics[node.idx()];
+        let Some(head) = nic.queue.front() else { return };
+        if head.created > self.clock {
+            // The head was queued ahead of time (injection enqueues
+            // immediately); it must not leave before its creation time.
+            let at = head.created;
+            self.q.schedule(at, NetEvent::NicTx { node });
+            return;
+        }
+        if self.clock < nic.link_busy_until {
+            // A NicTx is always pending at end-of-serialization while the
+            // link is busy, so no extra retry is needed.
+            return;
+        }
+        let vc = (head.route.header_id as usize).min(NUM_VCS - 1);
+        if nic.credits[vc] < head.size as i64 {
+            return; // NicCredit will retry
+        }
+        let mut pkt = nic.queue.pop_front().expect("head");
+        nic.credits[vc] -= pkt.size as i64;
+        pkt.nic_depart = self.clock;
+        let ser = self.cfg.ser_ns(pkt.size);
+        nic.link_busy_until = self.clock + ser;
+        let router = self.topo.router_of(node);
+        let port = self.topo.terminal_port(node);
+        self.q.schedule(
+            self.clock + self.cfg.wire_delay_ns + self.cfg.header_ns,
+            NetEvent::Arrive { router, port, packet: pkt },
+        );
+        // Link free → try the next queued packet.
+        self.q.schedule(self.clock + ser, NetEvent::NicTx { node });
+    }
+
+    fn route_tick(&mut self, router: RouterId) {
+        self.routers[router.idx()].route_pending = false;
+        let ports = self.routers[router.idx()].in_q.len();
+        let lanes = ports * NUM_VCS;
+        loop {
+            let mut moved = false;
+            for step in 0..lanes {
+                let lane = (self.routers[router.idx()].rr_cursor + step) % lanes;
+                let (p, vc) = (lane / NUM_VCS, lane % NUM_VCS);
+                if self.try_move_in_to_out(router, p, vc) {
+                    self.routers[router.idx()].rr_cursor = (lane + 1) % lanes;
+                    moved = true;
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+    }
+
+    /// Move the head packet of `in_q[p][vc]` to its output queue if there
+    /// is room. Returns true when a packet moved.
+    fn try_move_in_to_out(&mut self, router: RouterId, p: usize, vc: usize) -> bool {
+        let rs = &mut self.routers[router.idx()];
+        let Some(head) = rs.in_q[p][vc].front_mut() else { return false };
+        let out = match head.decided_port {
+            Some(op) => op,
+            None => {
+                let op = if head.route.descriptor
+                    == prdrb_topology::PathDescriptor::AdaptiveUp
+                {
+                    // Fully adaptive ascent: among the minimal candidate
+                    // ports, take the least-occupied output queue
+                    // (deterministic tie-break by port index).
+                    let mut cands = Vec::with_capacity(4);
+                    self.topo.minimal_candidates(router, head.dst, &mut cands);
+                    cands
+                        .into_iter()
+                        .min_by_key(|p| (rs.out_bytes[p.idx()], p.idx()))
+                        .unwrap_or_else(|| next_port(&self.topo, router, head.dst, &mut head.route))
+                } else {
+                    next_port(&self.topo, router, head.dst, &mut head.route)
+                };
+                head.decided_port = Some(op);
+                op
+            }
+        };
+        let size = head.size;
+        if rs.out_bytes[out.idx()] + size > self.cfg.output_buf_bytes {
+            return false;
+        }
+        let mut pkt = rs.in_q[p][vc].pop_front().expect("head");
+        // Contention in the input queue beyond the fixed routing delay.
+        let wait = (self.clock - pkt.queued_at).saturating_sub(self.cfg.routing_delay_ns);
+        pkt.path_latency += wait;
+        pkt.queued_at = self.clock;
+        pkt.hops += 1;
+        rs.out_bytes[out.idx()] += size;
+        rs.out_q[out.idx()].push_back(pkt);
+        self.sample_contention(router, wait);
+        // Return the credit upstream now that the input slot is free.
+        match self.topo.neighbor(router, Port(p as u8)) {
+            Some(Endpoint::Router(ur, up)) => self.q.schedule(
+                self.clock + self.cfg.wire_delay_ns,
+                NetEvent::Credit { router: ur, port: up, vc: vc as u8, bytes: size },
+            ),
+            Some(Endpoint::Terminal(n)) => self.q.schedule(
+                self.clock + self.cfg.wire_delay_ns,
+                NetEvent::NicCredit { node: n, vc: vc as u8, bytes: size },
+            ),
+            None => {}
+        }
+        self.q.schedule(self.clock, NetEvent::TryTx { router, port: out });
+        true
+    }
+
+    fn try_tx(&mut self, router: RouterId, port: Port) {
+        let rs = &mut self.routers[router.idx()];
+        let Some(head) = rs.out_q[port.idx()].front() else { return };
+        if self.clock < rs.link_busy_until[port.idx()] {
+            // A LinkFree event is always pending while the link is busy;
+            // it re-triggers TryTx, so just back off.
+            return;
+        }
+        let neighbor = self.topo.neighbor(router, port);
+        let vc = (head.route.header_id as usize).min(NUM_VCS - 1);
+        if let Some(Endpoint::Router(..)) = neighbor {
+            if rs.credits[port.idx()][vc] < head.size as i64 {
+                return; // a Credit event will retry
+            }
+        }
+        let mut pkt = rs.out_q[port.idx()].pop_front().expect("head");
+        rs.out_bytes[port.idx()] -= pkt.size;
+        if matches!(neighbor, Some(Endpoint::Router(..))) {
+            rs.credits[port.idx()][vc] -= pkt.size as i64;
+        }
+        let wait = self.clock - pkt.queued_at;
+        pkt.path_latency += wait;
+        self.sample_contention(router, wait);
+        let ser = self.cfg.ser_ns(pkt.size);
+        self.routers[router.idx()].link_busy_until[port.idx()] = self.clock + ser;
+        self.q.schedule(self.clock + ser, NetEvent::LinkFree { router, port });
+        // Congestion monitoring: the CFD module fires when the output
+        // wait crossed the threshold (only for monitored data packets —
+        // control traffic is excluded).
+        if pkt.is_data() {
+            self.monitor_port(router, port, &mut pkt, wait);
+        }
+        match neighbor {
+            Some(Endpoint::Terminal(n)) => {
+                // Full packet must land before the node consumes it.
+                self.q.schedule(
+                    self.clock + self.cfg.wire_delay_ns + ser,
+                    NetEvent::Deliver { node: n, packet: pkt },
+                );
+            }
+            Some(Endpoint::Router(nr, np)) => {
+                // Cut-through: header hands off while the tail flows.
+                self.q.schedule(
+                    self.clock + self.cfg.wire_delay_ns + self.cfg.header_ns,
+                    NetEvent::Arrive { router: nr, port: np, packet: pkt },
+                );
+            }
+            None => panic!("transmitting into the void at {router}:{port}"),
+        }
+        // Output space freed: the routing stage may move more packets.
+        let rs = &mut self.routers[router.idx()];
+        if !rs.route_pending {
+            rs.route_pending = true;
+            self.q.schedule(self.clock, NetEvent::RouteTick { router });
+        }
+    }
+
+    /// CFD + GPA: identify contending flows when `wait` crossed the
+    /// threshold, honoring the per-port cooldown.
+    fn monitor_port(&mut self, router: RouterId, port: Port, pkt: &mut Packet, wait: Time) {
+        let mon = self.cfg.monitor;
+        if mon.mode == NotifyMode::Off || wait < mon.router_threshold_ns {
+            return;
+        }
+        let rs = &mut self.routers[router.idx()];
+        let last = rs.last_notify[port.idx()];
+        if last != 0 && self.clock.saturating_sub(last) < mon.cooldown_ns {
+            return;
+        }
+        let flows = contending_flows(
+            &rs.out_q[port.idx()],
+            Some(pkt),
+            mon.min_share,
+            mon.max_flows,
+        );
+        if flows.is_empty() {
+            return;
+        }
+        rs.last_notify[port.idx()] = self.clock;
+        self.stats.notifications += 1;
+        let pairs: Vec<_> = flows.iter().map(|c| c.flow).collect();
+        match mon.mode {
+            NotifyMode::Destination => {
+                // Ride the leaving packet to its destination; the ACK
+                // will carry it back (§3.2.2).
+                pkt.attach_flows(router, &pairs, mon.max_flows);
+            }
+            NotifyMode::Router => {
+                // GPA: notify each contending source directly (§3.4.1).
+                let sources: Vec<NodeId> = {
+                    let mut s: Vec<NodeId> = pairs.iter().map(|f| f.0).collect();
+                    s.dedup();
+                    s
+                };
+                for src in sources {
+                    let id = self.alloc_id();
+                    let ack = Packet::predictive_ack(
+                        id,
+                        router,
+                        src,
+                        pairs.clone(),
+                        self.clock,
+                        self.cfg.ack_bytes,
+                        pkt.dst,
+                    );
+                    self.stats.acks_sent += 1;
+                    self.router_inject(router, ack);
+                }
+            }
+            NotifyMode::Off => unreachable!(),
+        }
+    }
+
+    /// Inject a control packet directly from a router (predictive ACK).
+    /// Control packets use a dedicated channel: they bypass output-queue
+    /// capacity but share link bandwidth.
+    fn router_inject(&mut self, router: RouterId, mut pkt: Packet) {
+        let out = next_port(&self.topo, router, pkt.dst, &mut pkt.route);
+        pkt.queued_at = self.clock;
+        pkt.decided_port = Some(out);
+        let rs = &mut self.routers[router.idx()];
+        rs.out_bytes[out.idx()] += pkt.size;
+        rs.out_q[out.idx()].push_back(Box::new(pkt));
+        self.q.schedule(self.clock, NetEvent::TryTx { router, port: out });
+    }
+
+    fn deliver(&mut self, node: NodeId, mut packet: Box<Packet>) {
+        match packet.kind {
+            PacketKind::Data { needs_ack, .. } => {
+                self.stats.accepted_data += 1;
+                if needs_ack && self.cfg.acks_enabled {
+                    let id = self.alloc_id();
+                    let ack = Packet::ack_for(&mut packet, id, self.clock, self.cfg.ack_bytes);
+                    self.stats.acks_sent += 1;
+                    self.inject2(ack);
+                }
+            }
+            PacketKind::Ack { .. } => {
+                self.stats.acks_received += 1;
+            }
+        }
+        debug_assert_eq!(packet.dst, node, "misdelivered packet");
+        self.deliveries.push(Delivery { at: self.clock, packet });
+    }
+
+    /// Internal injection used by `inject` and ACK generation.
+    fn inject2(&mut self, packet: Packet) {
+        let at = packet.created.max(self.clock);
+        let node = packet.src;
+        if packet.src == packet.dst {
+            self.q.schedule(at + self.cfg.header_ns, NetEvent::Deliver {
+                node: packet.dst,
+                packet: Box::new(packet),
+            });
+            return;
+        }
+        self.nics[node.idx()].queue.push_back(Box::new(packet));
+        self.q.schedule(at, NetEvent::NicTx { node });
+    }
+
+    fn sample_contention(&mut self, router: RouterId, wait: Time) {
+        let rs = &mut self.routers[router.idx()];
+        let us = ns_to_us(wait);
+        rs.contention.push(us);
+        if let Some(series) = rs.series.as_mut() {
+            series.push(self.clock, us);
+        }
+    }
+}

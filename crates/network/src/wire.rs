@@ -1,0 +1,333 @@
+//! Wire encoding of the PR-DRB packet formats (§3.3.1).
+//!
+//! The thesis specifies concrete header layouts:
+//!
+//! * **data packet** (Fig 3.16): source, two intermediate nodes,
+//!   destination, path latency, the `P`/`F`/`T` flag bits, the 2-bit
+//!   `Header_id`, `MPI_type`, `MPI_sequence`, a reserved field ("MUST be
+//!   sent as 0 and ignored on reception"), then payload;
+//! * **ACK packet** (Fig 3.17): the same routing header plus latency and
+//!   the logical-call identification, no payload;
+//! * **predictive header** (Fig 3.18): option type, `Opt Data Len`
+//!   (`integer_size · n + 1`), the detecting router id (0 for the
+//!   destination-based scheme), and the contending-flow list.
+//!
+//! This module serializes [`Packet`]s to these layouts and parses them
+//! back — the on-the-wire ground truth for the simulator's in-memory
+//! representation. All integers are little-endian 32-bit ("integer-size
+//! type" in the thesis).
+
+use crate::packet::{FlowPair, Packet, PacketKind, PredictiveHeader};
+use prdrb_simcore::time::Time;
+use prdrb_topology::{NodeId, PathDescriptor, RouteState, RouterId};
+
+/// Sentinel for "no intermediate node" in the header words.
+const NO_NODE: u32 = u32::MAX;
+
+/// Flag bits of the third header word.
+const FLAG_P: u32 = 1 << 0; // predictive ACK was injected by a router
+const FLAG_F: u32 = 1 << 1; // final fragment
+const FLAG_T: u32 = 1 << 2; // type: 0 = data, 1 = ACK
+const HDR_SHIFT: u32 = 3; // 2-bit Header_id
+
+/// Errors raised while parsing a wire image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Input shorter than the fixed header.
+    Truncated,
+    /// The reserved field was not zero ("MUST be sent as 0").
+    ReservedNotZero,
+    /// The predictive option length field is inconsistent.
+    BadOptionLength,
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn get_u32(buf: &[u8], off: usize) -> Result<u32, WireError> {
+    buf.get(off..off + 4)
+        .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        .ok_or(WireError::Truncated)
+}
+
+/// Serialize a packet into its wire image.
+///
+/// Layout (words of 4 bytes):
+/// `src, in1, in2, dst | latency_lo, latency_hi | flags+header_id,
+/// mpi_type, mpi_sequence, reserved(=0) | [predictive option] |
+/// payload-length`
+pub fn encode(p: &Packet) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    let (in1, in2) = match p.route.descriptor {
+        PathDescriptor::Msp { in1, in2 } => (in1.0, in2.0),
+        PathDescriptor::TreeSeed { seed } => (seed, NO_NODE - 1),
+        PathDescriptor::MeshOrder { yx } => (u32::from(yx), NO_NODE - 2),
+        PathDescriptor::AdaptiveUp => (0, NO_NODE - 3),
+        PathDescriptor::Minimal => (NO_NODE, NO_NODE),
+    };
+    put_u32(&mut out, p.src.0);
+    put_u32(&mut out, in1);
+    put_u32(&mut out, in2);
+    put_u32(&mut out, p.dst.0);
+    put_u32(&mut out, (p.path_latency & 0xFFFF_FFFF) as u32);
+    put_u32(&mut out, (p.path_latency >> 32) as u32);
+    let (is_ack, final_frag, mpi_type, mpi_seq, pred_bit) = match p.kind {
+        PacketKind::Data { mpi_seq, final_frag, .. } => (false, final_frag, 0u32, mpi_seq, false),
+        PacketKind::Ack { data_msp, from_router, .. } => {
+            (true, false, data_msp as u32, 0, from_router.is_some())
+        }
+    };
+    let mut flags = (p.route.header_id as u32 & 0b11) << HDR_SHIFT;
+    if pred_bit {
+        flags |= FLAG_P;
+    }
+    if final_frag {
+        flags |= FLAG_F;
+    }
+    if is_ack {
+        flags |= FLAG_T;
+    }
+    put_u32(&mut out, flags);
+    put_u32(&mut out, mpi_type);
+    put_u32(&mut out, mpi_seq);
+    put_u32(&mut out, 0); // <Reserved> MUST be sent as 0
+    // Predictive option (Fig 3.18), present iff the header exists.
+    match &p.predictive {
+        Some(h) => {
+            put_u32(&mut out, 1); // option type: full predictive search
+            // Opt Data Len = integer_size * n + 1 (per the spec text).
+            put_u32(&mut out, 4 * (2 * h.flows.len() as u32) + 1);
+            put_u32(&mut out, h.router.map(|r| r.0 + 1).unwrap_or(0));
+            for &(s, d) in &h.flows {
+                put_u32(&mut out, s.0);
+                put_u32(&mut out, d.0);
+            }
+        }
+        None => put_u32(&mut out, 0), // option type 0: absent
+    }
+    put_u32(&mut out, p.size);
+    out
+}
+
+/// Fields recovered from a wire image (identity/timing fields such as
+/// packet id and timestamps are simulator-local and not on the wire).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WirePacket {
+    /// Source terminal.
+    pub src: NodeId,
+    /// Destination terminal.
+    pub dst: NodeId,
+    /// Routing header.
+    pub route: RouteState,
+    /// Accumulated path latency.
+    pub path_latency: Time,
+    /// ACK (`T` bit) vs data.
+    pub is_ack: bool,
+    /// `F` bit.
+    pub final_frag: bool,
+    /// `P` bit (router-injected predictive ACK).
+    pub predictive_bit: bool,
+    /// `MPI_type` word.
+    pub mpi_type: u32,
+    /// `MPI_sequence` word.
+    pub mpi_seq: u32,
+    /// Predictive option, when present.
+    pub predictive: Option<PredictiveHeader>,
+    /// Declared packet size.
+    pub size: u32,
+}
+
+/// Parse a wire image produced by [`encode`].
+pub fn decode(buf: &[u8]) -> Result<WirePacket, WireError> {
+    let src = get_u32(buf, 0)?;
+    let in1 = get_u32(buf, 4)?;
+    let in2 = get_u32(buf, 8)?;
+    let dst = get_u32(buf, 12)?;
+    let lat_lo = get_u32(buf, 16)? as u64;
+    let lat_hi = get_u32(buf, 20)? as u64;
+    let flags = get_u32(buf, 24)?;
+    let mpi_type = get_u32(buf, 28)?;
+    let mpi_seq = get_u32(buf, 32)?;
+    if get_u32(buf, 36)? != 0 {
+        return Err(WireError::ReservedNotZero);
+    }
+    let descriptor = match (in1, in2) {
+        (NO_NODE, NO_NODE) => PathDescriptor::Minimal,
+        (seed, x) if x == NO_NODE - 1 => PathDescriptor::TreeSeed { seed },
+        (yx, x) if x == NO_NODE - 2 => PathDescriptor::MeshOrder { yx: yx != 0 },
+        (_, x) if x == NO_NODE - 3 => PathDescriptor::AdaptiveUp,
+        (a, b) => PathDescriptor::Msp { in1: NodeId(a), in2: NodeId(b) },
+    };
+    let header_id = ((flags >> HDR_SHIFT) & 0b11) as u8;
+    let mut off = 40;
+    let opt_type = get_u32(buf, off)?;
+    off += 4;
+    let predictive = if opt_type != 0 {
+        let len = get_u32(buf, off)?;
+        off += 4;
+        if len == 0 || (len - 1) % 8 != 0 {
+            return Err(WireError::BadOptionLength);
+        }
+        let n = ((len - 1) / 8) as usize;
+        let router_raw = get_u32(buf, off)?;
+        off += 4;
+        let mut flows: Vec<FlowPair> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let s = get_u32(buf, off)?;
+            let d = get_u32(buf, off + 4)?;
+            off += 8;
+            flows.push((NodeId(s), NodeId(d)));
+        }
+        Some(PredictiveHeader {
+            router: (router_raw != 0).then(|| RouterId(router_raw - 1)),
+            flows,
+        })
+    } else {
+        None
+    };
+    let size = get_u32(buf, off)?;
+    Ok(WirePacket {
+        src: NodeId(src),
+        dst: NodeId(dst),
+        route: RouteState { descriptor, header_id },
+        path_latency: lat_lo | (lat_hi << 32),
+        is_ack: flags & FLAG_T != 0,
+        final_frag: flags & FLAG_F != 0,
+        predictive_bit: flags & FLAG_P != 0,
+        mpi_type,
+        mpi_seq,
+        predictive,
+        size,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_data() -> Packet {
+        let mut p = Packet::data(
+            7,
+            NodeId(3),
+            NodeId(60),
+            1024,
+            100,
+            RouteState::new(PathDescriptor::Msp { in1: NodeId(11), in2: NodeId(52) }),
+            2,
+            99,
+            5,
+            true,
+            true,
+        );
+        p.path_latency = 0x1_2345_6789; // exercises the 64-bit split
+        p.route.header_id = 1;
+        p
+    }
+
+    #[test]
+    fn data_roundtrip() {
+        let p = sample_data();
+        let w = decode(&encode(&p)).unwrap();
+        assert_eq!(w.src, p.src);
+        assert_eq!(w.dst, p.dst);
+        assert_eq!(w.route, p.route);
+        assert_eq!(w.path_latency, p.path_latency);
+        assert!(!w.is_ack);
+        assert!(w.final_frag);
+        assert!(!w.predictive_bit);
+        assert_eq!(w.mpi_seq, 5);
+        assert_eq!(w.size, 1024);
+        assert!(w.predictive.is_none());
+    }
+
+    #[test]
+    fn every_descriptor_roundtrips() {
+        for d in [
+            PathDescriptor::Minimal,
+            PathDescriptor::MeshOrder { yx: true },
+            PathDescriptor::MeshOrder { yx: false },
+            PathDescriptor::TreeSeed { seed: 13 },
+            PathDescriptor::AdaptiveUp,
+            PathDescriptor::Msp { in1: NodeId(1), in2: NodeId(2) },
+        ] {
+            let mut p = sample_data();
+            p.route = RouteState::new(d);
+            let w = decode(&encode(&p)).unwrap();
+            assert_eq!(w.route.descriptor, d, "{d:?}");
+        }
+    }
+
+    #[test]
+    fn predictive_header_roundtrips() {
+        let mut p = sample_data();
+        p.attach_flows(
+            RouterId(9),
+            &[(NodeId(1), NodeId(2)), (NodeId(3), NodeId(4))],
+            8,
+        );
+        let w = decode(&encode(&p)).unwrap();
+        let h = w.predictive.unwrap();
+        assert_eq!(h.router, Some(RouterId(9)));
+        assert_eq!(h.flows, vec![(NodeId(1), NodeId(2)), (NodeId(3), NodeId(4))]);
+    }
+
+    #[test]
+    fn ack_roundtrip_carries_bits() {
+        let mut data = sample_data();
+        let ack = Packet::ack_for(&mut data, 8, 1_000, 64);
+        let w = decode(&encode(&ack)).unwrap();
+        assert!(w.is_ack);
+        assert!(!w.predictive_bit);
+        assert_eq!(w.src, NodeId(60));
+        assert_eq!(w.dst, NodeId(3));
+        // Router-injected predictive ACK sets the P bit.
+        let pack = Packet::predictive_ack(
+            9,
+            RouterId(5),
+            NodeId(3),
+            vec![(NodeId(3), NodeId(60))],
+            0,
+            64,
+            NodeId(60),
+        );
+        let w = decode(&encode(&pack)).unwrap();
+        assert!(w.is_ack && w.predictive_bit);
+        assert_eq!(w.predictive.unwrap().router, Some(RouterId(5)));
+    }
+
+    #[test]
+    fn opt_data_len_matches_spec_formula() {
+        // "MUST be set equal to (integer_size · n) + 1" where the
+        // integer covers the (src, dst) pair words.
+        let mut p = sample_data();
+        p.attach_flows(RouterId(0), &[(NodeId(1), NodeId(2))], 8);
+        let bytes = encode(&p);
+        let len = u32::from_le_bytes(bytes[44..48].try_into().unwrap());
+        assert_eq!(len, 4 * 2 + 1);
+    }
+
+    #[test]
+    fn truncated_and_corrupt_inputs_are_rejected() {
+        let p = sample_data();
+        let bytes = encode(&p);
+        assert_eq!(decode(&bytes[..10]), Err(WireError::Truncated));
+        let mut bad = bytes.clone();
+        bad[36] = 1; // reserved must be zero
+        assert_eq!(decode(&bad), Err(WireError::ReservedNotZero));
+        let mut p2 = sample_data();
+        p2.attach_flows(RouterId(0), &[(NodeId(1), NodeId(2))], 8);
+        let mut bad2 = encode(&p2);
+        bad2[44] = 4; // (4-1) % 8 != 0
+        assert_eq!(decode(&bad2), Err(WireError::BadOptionLength));
+    }
+
+    #[test]
+    fn header_id_occupies_two_bits() {
+        for id in 0..=2u8 {
+            let mut p = sample_data();
+            p.route.header_id = id;
+            assert_eq!(decode(&encode(&p)).unwrap().route.header_id, id);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Deterministic event calendar.
+//!
+//! A min-heap keyed on `(time, sequence)`. The sequence number makes event
+//! ordering total: two events scheduled for the same instant pop in the
+//! order they were pushed, so simulations replay identically for a given
+//! seed — the property §4.3 of the thesis relies on when averaging seeded
+//! replicas.
+
+use crate::time::Time;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// An event plus its scheduling metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventEntry<E> {
+    /// Absolute simulated time at which the event fires.
+    pub time: Time,
+    /// Monotonic insertion index; breaks ties at equal `time`.
+    pub seq: u64,
+    /// The payload.
+    pub event: E,
+}
+
+impl<E> PartialOrd for EventEntry<E>
+where
+    E: Eq,
+{
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for EventEntry<E>
+where
+    E: Eq,
+{
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// The simulation calendar.
+///
+/// `E` is the simulator's event payload type. Popping returns events in
+/// nondecreasing time order; `now()` tracks the time of the last pop and
+/// scheduling into the past panics in debug builds (a causality bug).
+#[derive(Debug)]
+pub struct EventQueue<E: Eq> {
+    heap: BinaryHeap<Reverse<EventEntry<E>>>,
+    next_seq: u64,
+    now: Time,
+    pushed: u64,
+    popped: u64,
+}
+
+impl<E: Eq> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E: Eq> EventQueue<E> {
+    /// An empty calendar at time zero.
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new(), next_seq: 0, now: 0, pushed: 0, popped: 0 }
+    }
+
+    /// Pre-size the heap for an expected event population.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+            now: 0,
+            pushed: 0,
+            popped: 0,
+        }
+    }
+
+    /// Current simulated time: the timestamp of the most recently popped
+    /// event (zero before the first pop).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    pub fn schedule(&mut self, at: Time, event: E) {
+        debug_assert!(at >= self.now, "event scheduled in the past: {} < {}", at, self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pushed += 1;
+        self.heap.push(Reverse(EventEntry { time: at, seq, event }));
+    }
+
+    /// Schedule `event` `delay` ns after the current time.
+    pub fn schedule_in(&mut self, delay: Time, event: E) {
+        self.schedule(self.now.saturating_add(delay), event);
+    }
+
+    /// Pop the next event, advancing `now`.
+    pub fn pop(&mut self) -> Option<EventEntry<E>> {
+        let Reverse(entry) = self.heap.pop()?;
+        self.now = entry.time;
+        self.popped += 1;
+        Some(entry)
+    }
+
+    /// Timestamp of the next pending event without popping it.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events ever scheduled (throughput accounting).
+    pub fn total_scheduled(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Total events ever processed.
+    pub fn total_processed(&self) -> u64 {
+        self.popped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(30, "c");
+        q.schedule(10, "a");
+        q.schedule(20, "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.event).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100u32 {
+            q.schedule(42, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.event).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn now_tracks_last_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(5, ());
+        q.schedule(9, ());
+        assert_eq!(q.now(), 0);
+        q.pop();
+        assert_eq!(q.now(), 5);
+        q.pop();
+        assert_eq!(q.now(), 9);
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(100, 0u8);
+        q.pop();
+        q.schedule_in(50, 1u8);
+        let e = q.pop().unwrap();
+        assert_eq!((e.time, e.event), (150, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    #[cfg(debug_assertions)]
+    fn past_scheduling_panics_in_debug() {
+        let mut q = EventQueue::new();
+        q.schedule(100, ());
+        q.pop();
+        q.schedule(50, ());
+    }
+
+    #[test]
+    fn counters_track_push_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(1, ());
+        q.schedule(2, ());
+        q.pop();
+        assert_eq!(q.total_scheduled(), 2);
+        assert_eq!(q.total_processed(), 1);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut q = EventQueue::new();
+        q.schedule(7, ());
+        assert_eq!(q.peek_time(), Some(7));
+        assert_eq!(q.now(), 0);
+    }
+}

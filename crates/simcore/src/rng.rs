@@ -1,0 +1,167 @@
+//! Seeded random streams.
+//!
+//! The evaluation methodology (§4.3) runs each experiment under several
+//! random seeds and averages. `SimRng` wraps a splittable seeded PRNG so
+//! each component (every traffic source, every router tie-break) gets an
+//! independent deterministic stream derived from the master run seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic random stream for one simulation component.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// A stream seeded directly from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        Self { inner: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Derive an independent child stream for component `tag`.
+    ///
+    /// Mixing uses SplitMix64 so adjacent tags don't yield correlated
+    /// streams.
+    pub fn derive(&self, tag: u64) -> Self {
+        // SplitMix64 finalizer over (parent-seed-derived word, tag).
+        let mut z = self.seed_word().wrapping_add(tag.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        Self::new(z ^ (z >> 31))
+    }
+
+    fn seed_word(&self) -> u64 {
+        // Clone so deriving children never perturbs the parent stream.
+        let mut probe = self.inner.clone();
+        probe.next_u64()
+    }
+
+    /// Uniform integer in `[0, bound)`; `bound` must be positive.
+    pub fn below(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0);
+        self.inner.gen_range(0..bound)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo < hi);
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.inner.gen::<f64>() < p
+    }
+
+    /// Sample an index from an (unnormalized) non-negative weight vector.
+    /// Falls back to uniform choice when all weights are zero.
+    pub fn weighted(&mut self, weights: &[f64]) -> usize {
+        debug_assert!(!weights.is_empty());
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return self.below(weights.len());
+        }
+        let mut x = self.unit() * total;
+        for (i, w) in weights.iter().enumerate() {
+            x -= w;
+            if x < 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+
+    /// Access the raw rand RNG (for `rand` distribution adapters).
+    pub fn raw(&mut self) -> &mut StdRng {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.range(0, 1_000_000), b.range(0, 1_000_000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..64).filter(|_| a.range(0, u64::MAX - 1) == b.range(0, u64::MAX - 1)).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn derive_is_deterministic_and_independent_of_order() {
+        let root = SimRng::new(99);
+        let mut c1 = root.derive(5);
+        let mut c2 = root.derive(5);
+        assert_eq!(c1.range(0, 1 << 60), c2.range(0, 1 << 60));
+        // Deriving a child does not advance the parent.
+        let mut r1 = SimRng::new(99);
+        let _ = SimRng::new(99).derive(1);
+        let mut r2 = SimRng::new(99);
+        assert_eq!(r1.range(0, 1 << 60), r2.range(0, 1 << 60));
+    }
+
+    #[test]
+    fn siblings_differ() {
+        let root = SimRng::new(3);
+        let mut a = root.derive(0);
+        let mut b = root.derive(1);
+        let same = (0..64).filter(|_| a.range(0, 1 << 62) == b.range(0, 1 << 62)).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = SimRng::new(0);
+        for _ in 0..1000 {
+            assert!(r.below(13) < 13);
+        }
+    }
+
+    #[test]
+    fn weighted_prefers_heavy_entries() {
+        let mut r = SimRng::new(42);
+        let w = [1.0, 0.0, 9.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[r.weighted(&w)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > counts[0] * 5);
+    }
+
+    #[test]
+    fn weighted_all_zero_is_uniform_fallback() {
+        let mut r = SimRng::new(42);
+        let w = [0.0, 0.0];
+        let mut counts = [0usize; 2];
+        for _ in 0..1000 {
+            counts[r.weighted(&w)] += 1;
+        }
+        assert!(counts[0] > 300 && counts[1] > 300);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::new(5);
+        assert!(!(0..100).any(|_| r.chance(0.0)));
+        assert!((0..100).all(|_| r.chance(1.0)));
+    }
+}

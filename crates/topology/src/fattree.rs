@@ -1,0 +1,370 @@
+//! k-ary n-tree fat-tree topology (§2.1.5).
+//!
+//! A k-ary n-tree has `k^n` terminals and `n` levels of `k^(n-1)` switches.
+//! Level 0 is adjacent to the terminals; level `n-1` is the root level.
+//! A switch is identified by `(level, word)` where `word` is an
+//! `(n-1)`-digit base-k number `w_{n-2}..w_0`; switch `(l, w)` links to
+//! `(l+1, w')` iff the words differ only in digit `l`.
+//!
+//! Minimal routing is the two-phase NCA scheme the thesis describes: an
+//! *ascending* phase to one nearest common ancestor (where adaptivity
+//! lives — every up port is minimal) followed by a *descending*
+//! deterministic phase. Each distinct NCA defines one distinct minimal
+//! path; those are exactly the alternative paths DRB's metapath uses on
+//! this topology.
+
+use crate::ids::{Endpoint, NodeId, Port, RouterId};
+use crate::Topology;
+
+/// A k-ary n-tree.
+#[derive(Debug, Clone)]
+pub struct KAryNTree {
+    k: u32,
+    n: u32,
+    /// Switches per level: `k^(n-1)`.
+    spl: u32,
+    /// Terminals: `k^n`.
+    terminals: u32,
+}
+
+impl KAryNTree {
+    /// Build a k-ary n-tree. Requires `k ≥ 2`, `n ≥ 1`.
+    pub fn new(k: u32, n: u32) -> Self {
+        assert!(k >= 2, "arity must be at least 2");
+        assert!(n >= 1, "depth must be at least 1");
+        let spl = k.pow(n - 1);
+        let terminals = k.pow(n);
+        assert!(terminals <= 1 << 20, "tree too large");
+        Self { k, n, spl, terminals }
+    }
+
+    /// Arity (k).
+    pub fn arity(&self) -> u32 {
+        self.k
+    }
+
+    /// Depth in levels (n).
+    pub fn depth(&self) -> u32 {
+        self.n
+    }
+
+    /// Level of a switch (0 = leaf level).
+    pub fn level(&self, r: RouterId) -> u32 {
+        r.0 / self.spl
+    }
+
+    /// Word (position within the level) of a switch.
+    pub fn word(&self, r: RouterId) -> u32 {
+        r.0 % self.spl
+    }
+
+    /// Switch id for `(level, word)`.
+    pub fn switch(&self, level: u32, word: u32) -> RouterId {
+        debug_assert!(level < self.n && word < self.spl);
+        RouterId(level * self.spl + word)
+    }
+
+    /// Base-k digit `j` of `x`.
+    fn digit(&self, x: u32, j: u32) -> u32 {
+        (x / self.k.pow(j)) % self.k
+    }
+
+    /// `x` with base-k digit `j` replaced by `v`.
+    fn with_digit(&self, x: u32, j: u32, v: u32) -> u32 {
+        let p = self.k.pow(j);
+        x - self.digit(x, j) * p + v * p
+    }
+
+    /// Is switch `r` an ancestor of terminal `t`?
+    ///
+    /// `(l, w)` is an ancestor of `t` iff `w_j == t_{j+1}` for all
+    /// `j ∈ [l, n-2]` (all word digits at or above the switch's level
+    /// match the terminal's upper digits).
+    pub fn is_ancestor(&self, r: RouterId, t: NodeId) -> bool {
+        let l = self.level(r);
+        let w = self.word(r);
+        (l..self.n - 1).all(|j| self.digit(w, j) == self.digit(t.0, j + 1))
+    }
+
+    /// NCA level of two terminals: 0 when they share a leaf switch,
+    /// otherwise the highest differing digit position (≥ 1).
+    pub fn nca_level(&self, a: NodeId, b: NodeId) -> u32 {
+        (1..self.n).rev().find(|&j| self.digit(a.0, j) != self.digit(b.0, j)).unwrap_or(0)
+    }
+
+    /// Number of distinct minimal paths between two terminals: `k^m`
+    /// where `m` is the NCA level (1 when they share a leaf switch).
+    pub fn num_minimal_paths(&self, a: NodeId, b: NodeId) -> u64 {
+        (self.k as u64).pow(self.nca_level(a, b))
+    }
+
+    /// Next-hop port toward `dst`, ascending with the NCA choice encoded
+    /// in `seed` (base-k digits of `seed` pick the up port per level).
+    ///
+    /// `seed` is reduced modulo the number of minimal paths, so every
+    /// `u32` is a valid path selector.
+    pub fn port_with_seed(&self, r: RouterId, dst: NodeId, seed: u32) -> Port {
+        let l = self.level(r);
+        if self.is_ancestor(r, dst) {
+            // Descending phase: deterministic, digit `l` of dst.
+            Port(self.digit(dst.0, l) as u8)
+        } else {
+            // Ascending phase: free digit chosen by the seed.
+            let c = self.digit(seed, l);
+            Port((self.k + c) as u8)
+        }
+    }
+
+    /// Down port index (0..k) or up port index (k..2k) semantics helper.
+    pub fn is_up_port(&self, p: Port) -> bool {
+        (p.idx() as u32) >= self.k
+    }
+}
+
+impl Topology for KAryNTree {
+    fn num_terminals(&self) -> usize {
+        self.terminals as usize
+    }
+
+    fn num_routers(&self) -> usize {
+        (self.n * self.spl) as usize
+    }
+
+    fn num_ports(&self, r: RouterId) -> usize {
+        if self.level(r) == self.n - 1 {
+            self.k as usize // root level has no up ports
+        } else {
+            2 * self.k as usize
+        }
+    }
+
+    fn router_of(&self, n: NodeId) -> RouterId {
+        debug_assert!((n.0 as usize) < self.num_terminals());
+        // Leaf switch word = terminal digits t_{n-1}..t_1, i.e. t / k.
+        self.switch(0, n.0 / self.k)
+    }
+
+    fn terminal_port(&self, n: NodeId) -> Port {
+        Port(self.digit(n.0, 0) as u8)
+    }
+
+    fn neighbor(&self, r: RouterId, p: Port) -> Option<Endpoint> {
+        let l = self.level(r);
+        let w = self.word(r);
+        let pi = p.idx() as u32;
+        if pi < self.k {
+            // Down port.
+            if l == 0 {
+                Some(Endpoint::Terminal(NodeId(w * self.k + pi)))
+            } else {
+                // Child differs in digit (l-1); reverse port is the up
+                // port of the child that restores our digit, which is up
+                // port index = current digit (l-1)?  The child's up port
+                // `c` maps its digit (l-1)... up ports set digit = level,
+                // so the reverse of our down port is the child's up port
+                // with value equal to *our* digit (l-1) after the swap —
+                // i.e. the original w's digit (l-1).
+                let child = self.switch(l - 1, self.with_digit(w, l - 1, pi));
+                let back = Port((self.k + self.digit(w, l - 1)) as u8);
+                Some(Endpoint::Router(child, back))
+            }
+        } else if pi < 2 * self.k && l < self.n - 1 {
+            // Up port: set digit `l` of the word to (pi - k).
+            let v = pi - self.k;
+            let parent = self.switch(l + 1, self.with_digit(w, l, v));
+            // Parent's down port back to us selects digit `l` of *our*
+            // word.
+            let back = Port(self.digit(w, l) as u8);
+            Some(Endpoint::Router(parent, back))
+        } else {
+            None
+        }
+    }
+
+    fn minimal_port(&self, r: RouterId, dst: NodeId) -> Port {
+        let l = self.level(r);
+        if self.is_ancestor(r, dst) {
+            Port(self.digit(dst.0, l) as u8)
+        } else {
+            // Deterministic ascending choice: spread by destination
+            // (classic d-mod-k routing) — up digit = dst digit (l+1).
+            Port((self.k + self.digit(dst.0, l + 1)) as u8)
+        }
+    }
+
+    fn minimal_candidates(&self, r: RouterId, dst: NodeId, out: &mut Vec<Port>) {
+        out.clear();
+        if self.is_ancestor(r, dst) {
+            out.push(Port(self.digit(dst.0, self.level(r)) as u8));
+        } else {
+            // Every up port is minimal during the ascending phase.
+            for c in 0..self.k {
+                out.push(Port((self.k + c) as u8));
+            }
+        }
+    }
+
+    fn distance(&self, a: NodeId, b: NodeId) -> u32 {
+        if self.router_of(a) == self.router_of(b) {
+            0
+        } else {
+            2 * self.nca_level(a, b)
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("{}-ary {}-tree", self.k, self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t443() -> KAryNTree {
+        KAryNTree::new(4, 3)
+    }
+
+    #[test]
+    fn sizes_match_section_2_1_5() {
+        // "A k-ary n-tree has k^n leaf nodes and n levels of k^(n-1)
+        // switches. Each switch has 2k links."
+        let t = t443();
+        assert_eq!(t.num_terminals(), 64);
+        assert_eq!(t.num_routers(), 48);
+        assert_eq!(t.num_ports(t.switch(0, 0)), 8);
+        assert_eq!(t.num_ports(t.switch(2, 0)), 4); // roots: down only
+    }
+
+    #[test]
+    fn terminals_attach_to_leaf_switches() {
+        let t = t443();
+        assert_eq!(t.router_of(NodeId(0)), t.switch(0, 0));
+        assert_eq!(t.router_of(NodeId(5)), t.switch(0, 1));
+        assert_eq!(t.terminal_port(NodeId(5)), Port(1));
+        // Terminal link is consistent both ways.
+        assert_eq!(
+            t.neighbor(t.switch(0, 1), Port(1)),
+            Some(Endpoint::Terminal(NodeId(5)))
+        );
+    }
+
+    #[test]
+    fn links_are_symmetric() {
+        let t = t443();
+        for r in 0..t.num_routers() as u32 {
+            let rid = RouterId(r);
+            for p in 0..t.num_ports(rid) as u8 {
+                if let Some(Endpoint::Router(nr, np)) = t.neighbor(rid, Port(p)) {
+                    assert_eq!(
+                        t.neighbor(nr, np),
+                        Some(Endpoint::Router(rid, Port(p))),
+                        "asymmetric link r{r} p{p}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nca_levels() {
+        let t = t443();
+        // Same leaf switch (0..3 share switch (0,0)).
+        assert_eq!(t.nca_level(NodeId(0), NodeId(3)), 0);
+        // Differ in digit 1 only.
+        assert_eq!(t.nca_level(NodeId(0), NodeId(4)), 1);
+        // Differ in digit 2.
+        assert_eq!(t.nca_level(NodeId(0), NodeId(16)), 2);
+        assert_eq!(t.num_minimal_paths(NodeId(0), NodeId(16)), 16);
+        assert_eq!(t.num_minimal_paths(NodeId(0), NodeId(4)), 4);
+    }
+
+    #[test]
+    fn minimal_route_reaches_all_destinations() {
+        let t = t443();
+        for s in 0..64u32 {
+            for d in 0..64u32 {
+                let (src, dst) = (NodeId(s), NodeId(d));
+                let mut r = t.router_of(src);
+                let mut hops = 0u32;
+                loop {
+                    let p = t.minimal_port(r, dst);
+                    match t.neighbor(r, p) {
+                        Some(Endpoint::Terminal(n)) => {
+                            assert_eq!(n, dst);
+                            break;
+                        }
+                        Some(Endpoint::Router(nr, _)) => r = nr,
+                        None => panic!("route fell off the tree"),
+                    }
+                    hops += 1;
+                    assert!(hops <= 2 * t.depth(), "non-minimal walk {s}->{d}");
+                }
+                assert_eq!(hops, t.distance(src, dst), "distance mismatch {s}->{d}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_seed_yields_a_valid_minimal_path() {
+        let t = t443();
+        let (src, dst) = (NodeId(0), NodeId(63));
+        let paths = t.num_minimal_paths(src, dst) as u32;
+        assert_eq!(paths, 16);
+        let mut roots_seen = std::collections::HashSet::new();
+        for seed in 0..paths {
+            let mut r = t.router_of(src);
+            let mut hops = 0;
+            let mut highest = r;
+            loop {
+                let p = t.port_with_seed(r, dst, seed);
+                match t.neighbor(r, p) {
+                    Some(Endpoint::Terminal(n)) => {
+                        assert_eq!(n, dst);
+                        break;
+                    }
+                    Some(Endpoint::Router(nr, _)) => {
+                        if t.level(nr) > t.level(highest) {
+                            highest = nr;
+                        }
+                        r = nr;
+                    }
+                    None => panic!("seed {seed} fell off"),
+                }
+                hops += 1;
+                assert!(hops <= 2 * t.depth());
+            }
+            assert_eq!(hops, t.distance(src, dst), "seed {seed} not minimal");
+            roots_seen.insert(highest);
+        }
+        // All 16 distinct NCAs are exercised by the 16 seeds.
+        assert_eq!(roots_seen.len(), 16);
+    }
+
+    #[test]
+    fn ascending_candidates_are_all_up_ports() {
+        let t = t443();
+        let mut c = Vec::new();
+        t.minimal_candidates(t.router_of(NodeId(0)), NodeId(63), &mut c);
+        assert_eq!(c.len(), 4);
+        assert!(c.iter().all(|&p| t.is_up_port(p)));
+        // Descending: single candidate.
+        t.minimal_candidates(t.switch(2, 0), NodeId(5), &mut c);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn binary_tree_works_too() {
+        // 2-ary 5-tree: 32 terminals, 5 levels of 16 switches.
+        let t = KAryNTree::new(2, 5);
+        assert_eq!(t.num_terminals(), 32);
+        assert_eq!(t.num_routers(), 80);
+        assert_eq!(t.distance(NodeId(0), NodeId(31)), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn rejects_unary() {
+        let _ = KAryNTree::new(1, 3);
+    }
+}

@@ -1,0 +1,84 @@
+//! Identifier newtypes.
+//!
+//! Following the thesis' vocabulary (§3.1 "Initial Assumptions"):
+//! a **node** is a terminal/processing node, a **router** is a network
+//! device that forwards packets. Ports are router-local link indices.
+
+/// A terminal (processing) node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+/// A router (switch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RouterId(pub u32);
+
+/// A router-local port index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Port(pub u8);
+
+impl NodeId {
+    /// Index as `usize` for table lookups.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl RouterId {
+    /// Index as `usize` for table lookups.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl Port {
+    /// Index as `usize` for table lookups.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl std::fmt::Display for RouterId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl std::fmt::Display for Port {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// What sits at the far end of a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Endpoint {
+    /// Another router, reached on its port.
+    Router(RouterId, Port),
+    /// A terminal node.
+    Terminal(NodeId),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(RouterId(7).to_string(), "r7");
+        assert_eq!(Port(1).to_string(), "p1");
+    }
+
+    #[test]
+    fn idx_roundtrip() {
+        assert_eq!(NodeId(9).idx(), 9);
+        assert_eq!(RouterId(9).idx(), 9);
+        assert_eq!(Port(9).idx(), 9);
+    }
+}

@@ -1,0 +1,119 @@
+//! # prdrb-topology — network topologies and path machinery
+//!
+//! The two topologies of the thesis' evaluation chapter:
+//!
+//! * an 8×8 **2-D mesh** (Table 4.2, hot-spot experiments §4.5/§4.6.2), and
+//! * a **k-ary n-tree** fat-tree, instantiated as the 4-ary 3-tree of
+//!   Table 4.3 (§2.1.5, §4.6.3, §4.8).
+//!
+//! On top of the raw graphs this crate provides:
+//!
+//! * deterministic minimal routing (DOR on the mesh; NCA up/down on the
+//!   tree, §2.1.5),
+//! * [`PathDescriptor`]s — the fixed-size routing headers packets carry
+//!   (§3.3.1: source, two intermediate nodes, destination), and
+//! * [`altpath`] — generation of the *multi-step paths* (MSPs) DRB expands
+//!   a metapath with (§3.2.3, Figs 3.6/3.7).
+
+pub mod altpath;
+pub mod fattree;
+pub mod ids;
+pub mod mesh;
+pub mod route;
+
+pub use altpath::AltPathProvider;
+pub use fattree::KAryNTree;
+pub use ids::{Endpoint, NodeId, Port, RouterId};
+pub use mesh::Mesh2D;
+pub use route::{next_port, route_len, walk_route, PathDescriptor, RouteState};
+
+/// A network topology: routers, terminals, links and minimal routing.
+///
+/// Terminals (processing nodes, §3.1 "nodes") attach to routers; routers
+/// ("network nodes") forward packets. All methods are cheap and
+/// allocation-free so routing can run per-hop in the event loop.
+pub trait Topology {
+    /// Number of terminals (processing nodes).
+    fn num_terminals(&self) -> usize;
+    /// Number of routers.
+    fn num_routers(&self) -> usize;
+    /// Number of ports on router `r` (including terminal-facing ports).
+    fn num_ports(&self, r: RouterId) -> usize;
+    /// The router terminal `n` attaches to.
+    fn router_of(&self, n: NodeId) -> RouterId;
+    /// The port on `router_of(n)` that faces terminal `n`.
+    fn terminal_port(&self, n: NodeId) -> Port;
+    /// What is on the far side of `(r, p)`, if anything.
+    fn neighbor(&self, r: RouterId, p: Port) -> Option<Endpoint>;
+    /// Deterministic minimal next-hop port from `r` toward terminal `dst`.
+    fn minimal_port(&self, r: RouterId, dst: NodeId) -> Port;
+    /// All ports at `r` that lie on some minimal route to `dst`.
+    fn minimal_candidates(&self, r: RouterId, dst: NodeId, out: &mut Vec<Port>);
+    /// Router-hop distance between the attachment routers of `a` and `b`.
+    fn distance(&self, a: NodeId, b: NodeId) -> u32;
+    /// Human-readable name for reports.
+    fn label(&self) -> String;
+}
+
+/// Concrete topology dispatch (keeps the engine monomorphic and simple).
+#[derive(Debug, Clone)]
+pub enum AnyTopology {
+    /// 2-D mesh.
+    Mesh(Mesh2D),
+    /// k-ary n-tree fat-tree.
+    Tree(KAryNTree),
+}
+
+macro_rules! dispatch {
+    ($self:ident, $t:ident => $body:expr) => {
+        match $self {
+            AnyTopology::Mesh($t) => $body,
+            AnyTopology::Tree($t) => $body,
+        }
+    };
+}
+
+impl Topology for AnyTopology {
+    fn num_terminals(&self) -> usize {
+        dispatch!(self, t => t.num_terminals())
+    }
+    fn num_routers(&self) -> usize {
+        dispatch!(self, t => t.num_routers())
+    }
+    fn num_ports(&self, r: RouterId) -> usize {
+        dispatch!(self, t => t.num_ports(r))
+    }
+    fn router_of(&self, n: NodeId) -> RouterId {
+        dispatch!(self, t => t.router_of(n))
+    }
+    fn terminal_port(&self, n: NodeId) -> Port {
+        dispatch!(self, t => t.terminal_port(n))
+    }
+    fn neighbor(&self, r: RouterId, p: Port) -> Option<Endpoint> {
+        dispatch!(self, t => t.neighbor(r, p))
+    }
+    fn minimal_port(&self, r: RouterId, dst: NodeId) -> Port {
+        dispatch!(self, t => t.minimal_port(r, dst))
+    }
+    fn minimal_candidates(&self, r: RouterId, dst: NodeId, out: &mut Vec<Port>) {
+        dispatch!(self, t => t.minimal_candidates(r, dst, out))
+    }
+    fn distance(&self, a: NodeId, b: NodeId) -> u32 {
+        dispatch!(self, t => t.distance(a, b))
+    }
+    fn label(&self) -> String {
+        dispatch!(self, t => t.label())
+    }
+}
+
+impl AnyTopology {
+    /// The 8×8 mesh of Table 4.2.
+    pub fn mesh8x8() -> Self {
+        AnyTopology::Mesh(Mesh2D::new(8, 8))
+    }
+
+    /// The 4-ary 3-tree (64 terminals) of Table 4.3.
+    pub fn fat_tree_64() -> Self {
+        AnyTopology::Tree(KAryNTree::new(4, 3))
+    }
+}

@@ -1,0 +1,19 @@
+//! # prdrb-traffic — synthetic workloads
+//!
+//! The workload side of the evaluation (§4.4):
+//!
+//! * [`patterns`] — the systematic permutation benchmarks of Table 4.1
+//!   (bit reversal, perfect shuffle, matrix transpose) plus uniform
+//!   random traffic;
+//! * [`bursty`] — the bursty load schedules of Fig 2.6 (fixed-pattern
+//!   and variable-pattern bursts over a uniform background);
+//! * [`hotspot`] — the specific colliding-path scenarios of §4.5 used to
+//!   analyze the path-opening procedures (Figs 4.8/4.9).
+
+pub mod bursty;
+pub mod hotspot;
+pub mod patterns;
+
+pub use bursty::{BurstPattern, BurstSchedule};
+pub use hotspot::HotSpotScenario;
+pub use patterns::TrafficPattern;

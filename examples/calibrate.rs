@@ -1,0 +1,41 @@
+//! Calibration sweep (development tool): find the threshold regime where
+//! the paper's qualitative results appear at *both* evaluation loads —
+//! deterministic worst, DRB better, PR-DRB best on repetitive bursts.
+
+use pr_drb::prelude::*;
+
+fn run_avg(rate: f64, low_us: u64, high_us: u64, policy: PolicyKind) -> f64 {
+    let seeds = [1u64, 2, 3];
+    let total: f64 = seeds
+        .iter()
+        .map(|&seed| {
+            let schedule =
+                BurstSchedule::repetitive(TrafficPattern::Shuffle, rate, 1_000_000, 500_000);
+            let mut cfg =
+                SimConfig::synthetic(TopologyKind::FatTree443, policy, schedule, 32);
+            cfg.duration_ns = 9 * MILLISECOND;
+            cfg.max_ns = 9000 * MILLISECOND;
+            cfg.net.monitor.router_threshold_ns = 4_000;
+            cfg.drb.threshold_low_ns = low_us * MICROSECOND;
+            cfg.drb.threshold_high_ns = high_us * MICROSECOND;
+            cfg.seed = seed;
+            run(cfg).global_avg_latency_us
+        })
+        .sum();
+    total / 3.0
+}
+
+fn main() {
+    for rate in [400.0, 600.0] {
+        for (low, high) in [(3u64, 8u64), (4, 10), (5, 12), (8, 20)] {
+            let det = run_avg(rate, low, high, PolicyKind::Deterministic);
+            let drb = run_avg(rate, low, high, PolicyKind::Drb);
+            let pr = run_avg(rate, low, high, PolicyKind::PrDrb);
+            println!(
+                "rate {rate:4} thr {low:2}/{high:2}: det {det:8.2}  drb {drb:8.2} ({:+5.1}%)  pr {pr:8.2} ({:+5.1}% vs drb)",
+                100.0 * (drb / det - 1.0),
+                100.0 * (pr / drb - 1.0),
+            );
+        }
+    }
+}

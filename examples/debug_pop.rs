@@ -1,0 +1,79 @@
+//! Development tool: dissect POP execution time under policy variants.
+
+use pr_drb::prelude::*;
+use prdrb_engine::Simulation;
+
+fn run_pop(policy: PolicyKind, tune: impl Fn(&mut SimConfig), label: &str) {
+    let mut cfg = SimConfig::trace(TopologyKind::FatTree443, policy, pop(64, 24));
+    tune(&mut cfg);
+    cfg.label = label.into();
+    let r = Simulation::new(cfg).run();
+    println!(
+        "{:<28} lat {:>8.2} us  exec {:>9.3} ms  acks {:>7}  exp {:>5} shr {:>5} msgs {}",
+        label,
+        r.global_avg_latency_us,
+        r.exec_time_ns.unwrap_or(0) as f64 / 1e6,
+        r.acks_sent,
+        r.policy_stats.expansions,
+        r.policy_stats.shrinks,
+        r.messages,
+    );
+}
+
+fn main() {
+    run_pop(PolicyKind::Deterministic, |_| {}, "det");
+    run_pop(PolicyKind::Random, |_| {}, "random");
+    run_pop(PolicyKind::Drb, |_| {}, "drb default");
+    run_pop(PolicyKind::Drb, |c| c.drb.adjust_settle_ns = 10_000, "drb settle=10us");
+    run_pop(PolicyKind::Drb, |c| c.drb.max_paths = 2, "drb maxpaths=2");
+    run_pop(
+        PolicyKind::Drb,
+        |c| {
+            c.drb.threshold_low_ns = 20_000;
+            c.drb.threshold_high_ns = 50_000;
+        },
+        "drb thr=20/50",
+    );
+    run_pop(PolicyKind::Drb, |c| c.net.ack_bytes = 1, "drb ack=1B");
+    run_pop(
+        PolicyKind::Drb,
+        |c| {
+            c.drb.threshold_low_ns = 3_000;
+            c.drb.threshold_high_ns = 10_000;
+        },
+        "drb thr=3/10",
+    );
+    run_pop(
+        PolicyKind::PrDrb,
+        |c| {
+            c.drb.threshold_low_ns = 3_000;
+            c.drb.threshold_high_ns = 10_000;
+        },
+        "pr-drb thr=3/10",
+    );
+    run_pop(PolicyKind::Cyclic, |_| {}, "cyclic (staggered)");
+    for (lo, hi, settle) in [(1u64, 10u64, 20u64), (1, 10, 120), (1, 6, 20)] {
+        let label = format!("drb thr={lo}/{hi} settle={settle}");
+        let label: &'static str = Box::leak(label.into_boxed_str());
+        run_pop(
+            PolicyKind::Drb,
+            move |c| {
+                c.drb.threshold_low_ns = lo * 1_000;
+                c.drb.threshold_high_ns = hi * 1_000;
+                c.drb.adjust_settle_ns = settle * 1_000;
+            },
+            label,
+        );
+        let label2: &'static str =
+            Box::leak(format!("pr {lo}/{hi}/{settle}").into_boxed_str());
+        run_pop(
+            PolicyKind::PrDrb,
+            move |c| {
+                c.drb.threshold_low_ns = lo * 1_000;
+                c.drb.threshold_high_ns = hi * 1_000;
+                c.drb.adjust_settle_ns = settle * 1_000;
+            },
+            label2,
+        );
+    }
+}

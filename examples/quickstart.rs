@@ -1,0 +1,46 @@
+//! Quickstart: compare routing policies on the fat-tree under the
+//! shuffle permutation of Fig 4.14 (32 communicating nodes at
+//! 600 Mbps/node — the congested regime where adaptation matters).
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use pr_drb::prelude::*;
+
+fn main() {
+    println!("PR-DRB quickstart — 4-ary 3-tree, shuffle, 32 nodes @ 600 Mbps/node\n");
+    let mut reports = Vec::new();
+    for policy in [PolicyKind::Deterministic, PolicyKind::Drb, PolicyKind::PrDrb] {
+        // Repetitive bursts (Fig 2.6a): the workload PR-DRB learns from.
+        let schedule =
+            BurstSchedule::repetitive(TrafficPattern::Shuffle, 600.0, 1_000_000, 500_000);
+        let mut cfg =
+            SimConfig::synthetic(TopologyKind::FatTree443, policy, schedule, 32);
+        cfg.duration_ns = 9 * MILLISECOND;
+        cfg.label = format!("shuffle-32n-600M/{}", policy.label());
+        let report = run(cfg);
+        println!("{}", report.oneline());
+        reports.push(report);
+    }
+
+    println!("\nGlobal latency curves:");
+    let series: Vec<(&str, _)> =
+        reports.iter().map(|r| (r.policy.as_str(), &r.series)).collect();
+    print!("{}", render_series(&series, 12));
+
+    let det = SeriesSummary::of(&reports[0].series);
+    let drb = SeriesSummary::of(&reports[1].series);
+    let pr = SeriesSummary::of(&reports[2].series);
+    println!(
+        "\nDRB vs deterministic: {:+.1} % latency    PR-DRB vs DRB: {:+.1} %",
+        -100.0 * drb.reduction_vs(&det),
+        -100.0 * pr.reduction_vs(&drb),
+    );
+    println!(
+        "PR-DRB learning: {} patterns saved, {} reused, {} applications",
+        reports[2].policy_stats.patterns_found,
+        reports[2].policy_stats.patterns_reused,
+        reports[2].policy_stats.reuse_applications,
+    );
+}

@@ -1,0 +1,149 @@
+//! Workspace integration tests: full simulations spanning every crate
+//! (topology → network → core policies → engine → metrics).
+
+use pr_drb::prelude::*;
+
+fn quick_synth(
+    topology: TopologyKind,
+    policy: PolicyKind,
+    pattern: TrafficPattern,
+    mbps: f64,
+) -> SimConfig {
+    let schedule = BurstSchedule::continuous(pattern, mbps);
+    let mut cfg = SimConfig::synthetic(topology, policy, schedule, 32);
+    cfg.duration_ns = 300_000; // 0.3 ms — keep debug-mode tests fast
+    cfg.max_ns = 100 * MILLISECOND;
+    cfg
+}
+
+#[test]
+fn every_policy_runs_on_every_topology() {
+    for topology in [TopologyKind::Mesh8x8, TopologyKind::FatTree443] {
+        for policy in PolicyKind::ALL {
+            let r = run(quick_synth(topology, policy, TrafficPattern::Shuffle, 400.0));
+            assert_eq!(r.offered, r.accepted, "{policy:?} on {topology:?} lost packets");
+            assert!(r.messages > 50, "{policy:?} on {topology:?} barely injected");
+            assert!(r.global_avg_latency_us > 0.0);
+        }
+    }
+}
+
+#[test]
+fn all_patterns_deliver_everything() {
+    for pattern in [
+        TrafficPattern::Uniform,
+        TrafficPattern::Shuffle,
+        TrafficPattern::BitReversal,
+        TrafficPattern::Transpose,
+    ] {
+        let r = run(quick_synth(
+            TopologyKind::FatTree443,
+            PolicyKind::PrDrb,
+            pattern,
+            500.0,
+        ));
+        assert_eq!(r.offered, r.accepted);
+        assert_eq!(r.throughput_ratio(), 1.0);
+    }
+}
+
+#[test]
+fn trace_replay_end_to_end_for_every_app() {
+    let traces: Vec<Trace> = vec![
+        nas_lu(NasClass::S, 16),
+        nas_mg(NasClass::S, 16),
+        nas_ft(NasClass::S, 8),
+        lammps(LammpsProblem::Chain, 16),
+        lammps(LammpsProblem::Comb, 16),
+        pop(16, 3),
+        sweep3d(16),
+        smg2000(16),
+    ];
+    for trace in traces {
+        let name = trace.name.clone();
+        let cfg = SimConfig::trace(TopologyKind::FatTree443, PolicyKind::PrDrb, trace);
+        let r = run(cfg);
+        assert!(!r.truncated, "{name} did not complete");
+        assert!(r.exec_time_ns.unwrap() > 0, "{name} finished in zero time");
+        assert_eq!(r.offered, r.accepted, "{name} lost packets");
+    }
+}
+
+#[test]
+fn identical_seeds_replay_identically_through_the_whole_stack() {
+    let make = || {
+        let mut cfg = quick_synth(
+            TopologyKind::Mesh8x8,
+            PolicyKind::PrFrDrb,
+            TrafficPattern::Uniform,
+            600.0,
+        );
+        cfg.seed = 42;
+        cfg
+    };
+    let a = run(make());
+    let b = run(make());
+    assert_eq!(a.global_avg_latency_us, b.global_avg_latency_us);
+    assert_eq!(a.messages, b.messages);
+    assert_eq!(a.end_ns, b.end_ns);
+    assert_eq!(a.notifications, b.notifications);
+}
+
+#[test]
+fn replicas_helper_varies_seeds() {
+    let cfg = quick_synth(
+        TopologyKind::FatTree443,
+        PolicyKind::Deterministic,
+        TrafficPattern::Uniform,
+        300.0,
+    );
+    let reports = run_replicas(&cfg, &[1, 2, 3]);
+    assert_eq!(reports.len(), 3);
+    // Uniform traffic differs per seed, so the message mix differs.
+    let lats: Vec<f64> = reports.iter().map(|r| r.global_avg_latency_us).collect();
+    assert!(lats.iter().any(|&l| (l - lats[0]).abs() > 1e-12) || lats[0] > 0.0);
+}
+
+#[test]
+fn mesh_and_tree_latency_maps_have_topology_shapes() {
+    let mesh = run(quick_synth(
+        TopologyKind::Mesh8x8,
+        PolicyKind::Drb,
+        TrafficPattern::Shuffle,
+        600.0,
+    ));
+    assert_eq!(mesh.latency_map.shape, (8, 8));
+    let tree = run(quick_synth(
+        TopologyKind::FatTree443,
+        PolicyKind::Drb,
+        TrafficPattern::Shuffle,
+        600.0,
+    ));
+    assert_eq!(tree.latency_map.shape, (16, 3));
+}
+
+#[test]
+fn small_custom_topologies_work() {
+    for topology in [TopologyKind::Mesh { w: 4, h: 3 }, TopologyKind::Tree { k: 2, n: 3 }] {
+        let schedule = BurstSchedule::continuous(TrafficPattern::Uniform, 300.0);
+        let mut cfg = SimConfig::synthetic(topology, PolicyKind::PrDrb, schedule, 8);
+        cfg.duration_ns = 200_000;
+        cfg.max_ns = 100 * MILLISECOND;
+        let r = run(cfg);
+        assert_eq!(r.offered, r.accepted);
+    }
+}
+
+#[test]
+fn zero_duration_run_is_empty_but_sane() {
+    let mut cfg = quick_synth(
+        TopologyKind::Mesh8x8,
+        PolicyKind::Drb,
+        TrafficPattern::Uniform,
+        400.0,
+    );
+    cfg.duration_ns = 0;
+    let r = run(cfg);
+    assert_eq!(r.offered, r.accepted);
+    assert_eq!(r.throughput_ratio(), 1.0);
+}

@@ -1,0 +1,193 @@
+//! The paper's qualitative claims as integration tests.
+//!
+//! Scaled down so `cargo test` stays quick in debug builds; the
+//! full-scale versions live in the `repro` harness (one target per
+//! table/figure).
+
+use pr_drb::prelude::*;
+
+/// Congested fat-tree shuffle (one long repetitive-burst window).
+fn congested(policy: PolicyKind, seed: u64) -> RunReport {
+    let schedule =
+        BurstSchedule::repetitive(TrafficPattern::Shuffle, 700.0, 400_000, 200_000);
+    let mut cfg = SimConfig::synthetic(TopologyKind::FatTree443, policy, schedule, 32);
+    cfg.duration_ns = 1_800_000;
+    cfg.max_ns = 2000 * MILLISECOND;
+    cfg.seed = seed;
+    cfg.drb.adjust_settle_ns = 120_000;
+    run(cfg)
+}
+
+fn avg_latency(policy: PolicyKind) -> f64 {
+    let seeds = [1u64, 2, 3];
+    seeds.iter().map(|&s| congested(policy, s).global_avg_latency_us).sum::<f64>() / 3.0
+}
+
+#[test]
+fn drb_beats_deterministic_under_congestion() {
+    // Chapter 4's baseline claim: alternative-path balancing relieves
+    // the fixed-route hot links.
+    let det = avg_latency(PolicyKind::Deterministic);
+    let drb = avg_latency(PolicyKind::Drb);
+    assert!(
+        drb < det * 0.9,
+        "DRB should clearly beat deterministic under congestion: {drb:.1} vs {det:.1} us"
+    );
+}
+
+#[test]
+fn prdrb_does_not_lose_to_drb_and_learns() {
+    // §4.6: PR-DRB re-applies saved solutions on repetitive bursts and
+    // keeps (at least) DRB's latency.
+    let drb = avg_latency(PolicyKind::Drb);
+    let pr = avg_latency(PolicyKind::PrDrb);
+    assert!(
+        pr <= drb * 1.05,
+        "PR-DRB must not lose to DRB on repetitive traffic: {pr:.1} vs {drb:.1} us"
+    );
+    let r = congested(PolicyKind::PrDrb, 1);
+    assert!(r.policy_stats.patterns_found > 0, "no congestion patterns learned");
+    assert!(r.notifications > 0, "CFD never fired");
+}
+
+#[test]
+fn congestion_detection_only_under_congestion() {
+    // A lightly loaded network must not trigger the congestion
+    // machinery (the class-S observation of §4.8.2).
+    let schedule = BurstSchedule::continuous(TrafficPattern::Shuffle, 50.0);
+    let mut cfg =
+        SimConfig::synthetic(TopologyKind::FatTree443, PolicyKind::PrDrb, schedule, 32);
+    cfg.duration_ns = 500_000;
+    cfg.max_ns = 100 * MILLISECOND;
+    let r = run(cfg);
+    assert_eq!(r.policy_stats.expansions, 0, "no congestion, no path opening");
+}
+
+#[test]
+fn fr_watchdog_fires_under_heavy_congestion() {
+    // §4.8.4: FR-DRB reacts on missing ACKs instead of waiting for them.
+    let schedule = BurstSchedule::continuous(TrafficPattern::HotSpot(NodeId(63)), 900.0);
+    let mut cfg =
+        SimConfig::synthetic(TopologyKind::FatTree443, PolicyKind::FrDrb, schedule, 16);
+    cfg.duration_ns = 1_200_000;
+    cfg.max_ns = 2000 * MILLISECOND;
+    let r = run(cfg);
+    assert!(
+        r.policy_stats.watchdog_fires > 0 || r.policy_stats.expansions > 0,
+        "FR-DRB should react to the incast"
+    );
+}
+
+#[test]
+fn application_traces_prefer_adaptive_routing() {
+    // §4.8: Det never beats the DRB family on the congested traces.
+    let trace = || nas_mg(NasClass::A, 64);
+    let mut det_cfg = SimConfig::trace(TopologyKind::FatTree443, PolicyKind::Deterministic, trace());
+    let mut drb_cfg = SimConfig::trace(TopologyKind::FatTree443, PolicyKind::Drb, trace());
+    for c in [&mut det_cfg, &mut drb_cfg] {
+        c.drb.threshold_low_ns = 500;
+        c.drb.threshold_high_ns = 10_000;
+    }
+    let det = run(det_cfg);
+    let drb = run(drb_cfg);
+    assert!(
+        drb.global_avg_latency_us <= det.global_avg_latency_us * 1.02,
+        "DRB {:.1} vs det {:.1} us",
+        drb.global_avg_latency_us,
+        det.global_avg_latency_us
+    );
+    assert!(
+        drb.exec_time_ns.unwrap() <= det.exec_time_ns.unwrap() * 102 / 100,
+        "exec time should not regress"
+    );
+}
+
+#[test]
+fn offered_equals_accepted_even_at_saturation() {
+    // §4.2: "we guarantee that the ratio between the offered load and
+    // the accepted load is always maintained".
+    let schedule = BurstSchedule::continuous(TrafficPattern::HotSpot(NodeId(0)), 1500.0);
+    let mut cfg =
+        SimConfig::synthetic(TopologyKind::Mesh8x8, PolicyKind::Deterministic, schedule, 12);
+    cfg.duration_ns = 400_000;
+    cfg.max_ns = 4000 * MILLISECOND;
+    let r = run(cfg);
+    assert_eq!(r.offered, r.accepted);
+    assert_eq!(r.throughput_ratio(), 1.0);
+}
+
+#[test]
+fn trend_prediction_reacts_before_threshold() {
+    // §5.2 open line: predict congestion from the latency trajectory.
+    let schedule =
+        BurstSchedule::repetitive(TrafficPattern::Shuffle, 700.0, 400_000, 200_000);
+    let mut cfg = SimConfig::synthetic(TopologyKind::FatTree443, PolicyKind::PrDrb, schedule, 32);
+    cfg.duration_ns = 1_200_000;
+    cfg.max_ns = 2000 * MILLISECOND;
+    cfg.drb.trend_window = 8;
+    let r = run(cfg);
+    assert!(
+        r.policy_stats.trend_predictions > 0,
+        "the trend detector should fire on burst ramps"
+    );
+    assert_eq!(r.offered, r.accepted);
+}
+
+#[test]
+fn offline_preload_warms_the_solution_database() {
+    // §5.2 static variant: offline meta-information about the pattern.
+    use pr_drb::core::ProfiledFlow;
+    use pr_drb::simcore::SimRng;
+    let mut rng = SimRng::new(0);
+    let profile: Vec<ProfiledFlow> = (0..32u32)
+        .map(|s| ProfiledFlow {
+            src: NodeId(s),
+            dst: TrafficPattern::Shuffle.dest(NodeId(s), 64, &mut rng),
+            bytes: 1_000_000,
+        })
+        .collect();
+    let schedule =
+        BurstSchedule::repetitive(TrafficPattern::Shuffle, 700.0, 400_000, 200_000);
+    let mut cfg = SimConfig::synthetic(TopologyKind::FatTree443, PolicyKind::PrDrb, schedule, 32);
+    cfg.duration_ns = 1_200_000;
+    cfg.max_ns = 2000 * MILLISECOND;
+    cfg.preload_profile = profile;
+    let r = run(cfg);
+    assert!(
+        r.policy_stats.reuse_applications > 0,
+        "preloaded solutions should be applied from the first episode"
+    );
+}
+
+#[test]
+fn adaptive_per_hop_is_the_upper_reference() {
+    let run_k = |k: PolicyKind| {
+        let schedule = BurstSchedule::continuous(TrafficPattern::Shuffle, 700.0);
+        let mut cfg = SimConfig::synthetic(TopologyKind::FatTree443, k, schedule, 32);
+        cfg.duration_ns = 800_000;
+        cfg.max_ns = 2000 * MILLISECOND;
+        run(cfg)
+    };
+    let det = run_k(PolicyKind::Deterministic);
+    let ada = run_k(PolicyKind::Adaptive);
+    assert!(
+        ada.global_avg_latency_us < det.global_avg_latency_us,
+        "per-hop adaptivity must beat the fixed route: {:.1} vs {:.1}",
+        ada.global_avg_latency_us,
+        det.global_avg_latency_us
+    );
+    assert_eq!(ada.offered, ada.accepted);
+}
+
+#[test]
+fn tail_latencies_are_ordered() {
+    let schedule = BurstSchedule::continuous(TrafficPattern::Shuffle, 600.0);
+    let mut cfg =
+        SimConfig::synthetic(TopologyKind::FatTree443, PolicyKind::PrDrb, schedule, 32);
+    cfg.duration_ns = 600_000;
+    cfg.max_ns = 2000 * MILLISECOND;
+    let r = run(cfg);
+    let (p50, p95, p99) = r.tail_latency_us();
+    assert!(p50 > 0.0);
+    assert!(p50 <= p95 && p95 <= p99, "quantiles must be monotone: {p50} {p95} {p99}");
+}

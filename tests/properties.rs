@@ -1,0 +1,86 @@
+//! Workspace-level property-based tests: whole-stack invariants under
+//! randomized configurations.
+
+use pr_drb::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// No configuration loses packets: the credit-based fabric is
+    /// lossless for every policy, load and seed.
+    #[test]
+    fn lossless_for_any_policy_load_and_seed(
+        policy_idx in 0usize..7,
+        mbps in 100f64..1200f64,
+        seed in 0u64..1000,
+        mesh in proptest::bool::ANY,
+    ) {
+        let policy = PolicyKind::ALL[policy_idx];
+        let topology = if mesh { TopologyKind::Mesh8x8 } else { TopologyKind::FatTree443 };
+        let schedule = BurstSchedule::continuous(TrafficPattern::Uniform, mbps);
+        let mut cfg = SimConfig::synthetic(topology, policy, schedule, 16);
+        cfg.duration_ns = 150_000;
+        cfg.max_ns = 4000 * MILLISECOND;
+        cfg.seed = seed;
+        let r = run(cfg);
+        prop_assert_eq!(r.offered, r.accepted);
+        prop_assert!(r.end_ns < cfg_max());
+    }
+}
+
+fn cfg_max() -> u64 {
+    4000 * MILLISECOND
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any of the generated application traces completes on the fat
+    /// tree for any DRB-family policy (no player deadlock, no loss).
+    #[test]
+    fn traces_complete_for_random_small_rank_counts(
+        ranks in 4usize..20,
+        app in 0usize..4,
+        drb in proptest::bool::ANY,
+    ) {
+        let trace = match app {
+            0 => nas_lu(NasClass::S, ranks),
+            1 => sweep3d(ranks),
+            2 => pop(ranks, 2),
+            _ => smg2000(ranks),
+        };
+        let policy = if drb { PolicyKind::PrDrb } else { PolicyKind::Deterministic };
+        let cfg = SimConfig::trace(TopologyKind::FatTree443, policy, trace);
+        let r = run(cfg);
+        prop_assert!(!r.truncated);
+        prop_assert_eq!(r.offered, r.accepted);
+        prop_assert!(r.exec_time_ns.unwrap() > 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The per-destination running means (Eq 4.1) aggregate to a global
+    /// average (Eq 4.2) bounded by the min/max destination means.
+    #[test]
+    fn global_latency_is_between_destination_extremes(
+        seed in 0u64..100,
+    ) {
+        let schedule = BurstSchedule::continuous(TrafficPattern::Shuffle, 500.0);
+        let mut cfg = SimConfig::synthetic(
+            TopologyKind::FatTree443, PolicyKind::Deterministic, schedule, 32);
+        cfg.duration_ns = 150_000;
+        cfg.max_ns = 1000 * MILLISECOND;
+        cfg.seed = seed;
+        let r = run(cfg);
+        // The series' overall mean and the global average must agree on
+        // the order of magnitude (both built from the same samples).
+        let series_mean = SeriesSummary::of(&r.series).mean_us;
+        prop_assert!(series_mean > 0.0);
+        prop_assert!(r.global_avg_latency_us > 0.0);
+        prop_assert!(r.global_avg_latency_us < series_mean * 10.0 + 1.0);
+        prop_assert!(series_mean < r.global_avg_latency_us * 10.0 + 1.0);
+    }
+}
