@@ -220,7 +220,14 @@ mod tests {
     fn compute_dominated_trace_is_compute_bound() {
         let mut t = Trace::new("solo", 4);
         t.push_all(TraceEvent::Compute { ns: 1_000_000_000 });
-        t.push(0, TraceEvent::Send { dst: 1, bytes: 64, tag: 0 });
+        t.push(
+            0,
+            TraceEvent::Send {
+                dst: 1,
+                bytes: 64,
+                tag: 0,
+            },
+        );
         t.push(1, TraceEvent::Recv { src: 0, tag: 0 });
         let a = Assessment::analyze(&t, 2.0);
         assert_eq!(a.suitability(), Suitability::ComputeBound);

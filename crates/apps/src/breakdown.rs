@@ -29,7 +29,10 @@ pub fn call_breakdown(trace: &Trace) -> CallBreakdown {
         .into_iter()
         .map(|(k, v)| (k, 100.0 * v as f64 / total.max(1) as f64))
         .collect();
-    CallBreakdown { percent, total_calls: total }
+    CallBreakdown {
+        percent,
+        total_calls: total,
+    }
 }
 
 /// Render breakdowns for several applications as the rows/columns of
@@ -89,7 +92,10 @@ mod tests {
         // Table 2.1 LAMMPS: MPI_Allreduce ≈ 10.75 %.
         let b = call_breakdown(&lammps(LammpsProblem::Chain, 64));
         let all = b.percent.get("MPI_Allreduce").copied().unwrap_or(0.0);
-        assert!((3.0..=18.0).contains(&all), "Allreduce {all:.1}% out of band");
+        assert!(
+            (3.0..=18.0).contains(&all),
+            "Allreduce {all:.1}% out of band"
+        );
     }
 
     #[test]

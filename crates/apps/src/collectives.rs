@@ -42,7 +42,9 @@ impl Tagger {
 pub fn lower_collectives(trace: &Trace) -> Trace {
     let n = trace.num_ranks() as Rank;
     let mut out = Trace::new(trace.name.clone(), n as usize);
-    let mut tagger = Tagger { next: COLLECTIVE_TAG_BASE };
+    let mut tagger = Tagger {
+        next: COLLECTIVE_TAG_BASE,
+    };
 
     // Position of each rank's next collective — used to verify SPMD
     // consistency as we stream through.
@@ -60,8 +62,10 @@ pub fn lower_collectives(trace: &Trace) -> Trace {
     }
     // Pre-assign tags per collective instance. Reduce+bcast-style
     // lowerings need two tags.
-    let tags: Vec<(u32, u32)> =
-        upcoming[0].iter().map(|_| (tagger.fresh(), tagger.fresh())).collect();
+    let tags: Vec<(u32, u32)> = upcoming[0]
+        .iter()
+        .map(|_| (tagger.fresh(), tagger.fresh()))
+        .collect();
 
     for (r, evs) in trace.ranks.iter().enumerate() {
         let r = r as Rank;
@@ -114,7 +118,13 @@ fn emit_bcast(out: &mut Trace, me: Rank, n: Rank, root: Rank, bytes: u32, tag: u
     if v != 0 {
         let k = 31 - v.leading_zeros(); // highest set bit: the round we receive in
         let parent = v - (1 << k);
-        out.push(me, TraceEvent::Recv { src: unrel(parent, root, n), tag });
+        out.push(
+            me,
+            TraceEvent::Recv {
+                src: unrel(parent, root, n),
+                tag,
+            },
+        );
     }
     // Then forward in later rounds.
     for k in 0..rounds {
@@ -123,7 +133,14 @@ fn emit_bcast(out: &mut Trace, me: Rank, n: Rank, root: Rank, bytes: u32, tag: u
             // Only forward in rounds after we hold the data.
             let have_at = if v == 0 { 0 } else { 32 - v.leading_zeros() };
             if k >= have_at {
-                out.push(me, TraceEvent::Send { dst: unrel(v + bit, root, n), bytes, tag });
+                out.push(
+                    me,
+                    TraceEvent::Send {
+                        dst: unrel(v + bit, root, n),
+                        bytes,
+                        tag,
+                    },
+                );
             }
         }
     }
@@ -140,7 +157,13 @@ fn emit_reduce(out: &mut Trace, me: Rank, n: Rank, root: Rank, bytes: u32, tag: 
         if v < bit && v + bit < n {
             let have_at = if v == 0 { 0 } else { 32 - v.leading_zeros() };
             if k >= have_at {
-                out.push(me, TraceEvent::Recv { src: unrel(v + bit, root, n), tag });
+                out.push(
+                    me,
+                    TraceEvent::Recv {
+                        src: unrel(v + bit, root, n),
+                        tag,
+                    },
+                );
             }
         }
     }
@@ -148,7 +171,14 @@ fn emit_reduce(out: &mut Trace, me: Rank, n: Rank, root: Rank, bytes: u32, tag: 
     if v != 0 {
         let k = 31 - v.leading_zeros();
         let parent = v - (1 << k);
-        out.push(me, TraceEvent::Send { dst: unrel(parent, root, n), bytes, tag });
+        out.push(
+            me,
+            TraceEvent::Send {
+                dst: unrel(parent, root, n),
+                bytes,
+                tag,
+            },
+        );
     }
 }
 
@@ -165,7 +195,13 @@ mod tests {
     #[test]
     fn bcast_lowering_is_matched_and_collective_free() {
         for n in [2usize, 3, 4, 8, 13, 64] {
-            let t = collective_trace(n, TraceEvent::Bcast { root: 0, bytes: 512 });
+            let t = collective_trace(
+                n,
+                TraceEvent::Bcast {
+                    root: 0,
+                    bytes: 512,
+                },
+            );
             let l = lower_collectives(&t);
             assert!(l.check_matched().is_ok(), "n={n}");
             assert!(l.ranks.iter().flatten().all(|e| !e.is_collective()));
@@ -186,12 +222,16 @@ mod tests {
         let l = lower_collectives(&t);
         assert!(l.check_matched().is_ok());
         // The root never receives.
-        assert!(l.ranks[5].iter().all(|e| !matches!(e, TraceEvent::Recv { .. })));
+        assert!(l.ranks[5]
+            .iter()
+            .all(|e| !matches!(e, TraceEvent::Recv { .. })));
         // Every other rank receives exactly once.
         for (r, evs) in l.ranks.iter().enumerate() {
             if r != 5 {
-                let recvs =
-                    evs.iter().filter(|e| matches!(e, TraceEvent::Recv { .. })).count();
+                let recvs = evs
+                    .iter()
+                    .filter(|e| matches!(e, TraceEvent::Recv { .. }))
+                    .count();
                 assert_eq!(recvs, 1, "rank {r}");
             }
         }
@@ -262,7 +302,14 @@ mod tests {
     fn p2p_and_compute_pass_through() {
         let mut t = Trace::new("mix", 2);
         t.push(0, TraceEvent::Compute { ns: 100 });
-        t.push(0, TraceEvent::Send { dst: 1, bytes: 9, tag: 3 });
+        t.push(
+            0,
+            TraceEvent::Send {
+                dst: 1,
+                bytes: 9,
+                tag: 3,
+            },
+        );
         t.push(1, TraceEvent::Recv { src: 0, tag: 3 });
         t.push_all(TraceEvent::Barrier);
         let l = lower_collectives(&t);

@@ -18,7 +18,10 @@ pub struct CommMatrix {
 impl CommMatrix {
     /// Zero matrix over `n` ranks.
     pub fn new(n: usize) -> Self {
-        Self { n, bytes: vec![0; n * n] }
+        Self {
+            n,
+            bytes: vec![0; n * n],
+        }
     }
 
     /// Build from a trace's point-to-point sends (collectives should be
@@ -27,8 +30,8 @@ impl CommMatrix {
         let mut m = Self::new(trace.num_ranks());
         for (src, evs) in trace.ranks.iter().enumerate() {
             for e in evs {
-                if let TraceEvent::Send { dst, bytes, .. }
-                | TraceEvent::Isend { dst, bytes, .. } = e
+                if let TraceEvent::Send { dst, bytes, .. } | TraceEvent::Isend { dst, bytes, .. } =
+                    e
                 {
                     m.add(src, *dst as usize, *bytes as u64);
                 }
@@ -132,8 +135,22 @@ mod tests {
     #[test]
     fn accumulates_sends() {
         let mut t = Trace::new("t", 3);
-        t.push(0, TraceEvent::Send { dst: 1, bytes: 100, tag: 0 });
-        t.push(0, TraceEvent::Isend { dst: 1, bytes: 50, tag: 0 });
+        t.push(
+            0,
+            TraceEvent::Send {
+                dst: 1,
+                bytes: 100,
+                tag: 0,
+            },
+        );
+        t.push(
+            0,
+            TraceEvent::Isend {
+                dst: 1,
+                bytes: 50,
+                tag: 0,
+            },
+        );
         t.push(1, TraceEvent::Recv { src: 0, tag: 0 });
         t.push(1, TraceEvent::Irecv { src: 0, tag: 0 });
         let m = CommMatrix::from_trace(&t);
@@ -151,7 +168,10 @@ mod tests {
         let m = CommMatrix::from_trace(&sweep3d(64));
         let tdc = m.tdc();
         assert!((2.0..=5.0).contains(&tdc), "sweep TDC {tdc}");
-        assert!(m.diagonal_fraction(8) > 0.95, "sweep traffic hugs the diagonal");
+        assert!(
+            m.diagonal_fraction(8) > 0.95,
+            "sweep traffic hugs the diagonal"
+        );
     }
 
     #[test]

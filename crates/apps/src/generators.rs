@@ -64,7 +64,7 @@ pub enum LammpsProblem {
 /// Near-square 2-D factorization of `n`.
 pub fn grid2d(n: usize) -> (usize, usize) {
     let mut px = (n as f64).sqrt() as usize;
-    while px > 1 && n % px != 0 {
+    while px > 1 && !n.is_multiple_of(px) {
         px -= 1;
     }
     (px.max(1), n / px.max(1))
@@ -73,7 +73,7 @@ pub fn grid2d(n: usize) -> (usize, usize) {
 /// Near-cubic 3-D factorization of `n`.
 pub fn grid3d(n: usize) -> (usize, usize, usize) {
     let mut px = (n as f64).cbrt().round() as usize;
-    while px > 1 && n % px != 0 {
+    while px > 1 && !n.is_multiple_of(px) {
         px -= 1;
     }
     let px = px.max(1);
@@ -105,7 +105,14 @@ fn rank3(x: usize, y: usize, z: usize, px: usize, py: usize) -> Rank {
 /// every send has a matching receive globally.)
 fn shift_exchange(t: &mut Trace, me: Rank, plus: Rank, minus: Rank, bytes: u32, tag: u32) {
     t.push(me, TraceEvent::Irecv { src: minus, tag });
-    t.push(me, TraceEvent::Send { dst: plus, bytes, tag });
+    t.push(
+        me,
+        TraceEvent::Send {
+            dst: plus,
+            bytes,
+            tag,
+        },
+    );
     t.push(me, TraceEvent::Wait);
 }
 
@@ -134,26 +141,46 @@ pub fn nas_lu(class: NasClass, ranks: usize) -> Trace {
                     )
                 };
                 if let Some(fx) = from_x {
-                    t.push(r, TraceEvent::Recv { src: rank2(fx, y, px), tag: sweep });
+                    t.push(
+                        r,
+                        TraceEvent::Recv {
+                            src: rank2(fx, y, px),
+                            tag: sweep,
+                        },
+                    );
                 }
                 if let Some(fy) = from_y {
-                    t.push(r, TraceEvent::Recv { src: rank2(x, fy, px), tag: sweep });
+                    t.push(
+                        r,
+                        TraceEvent::Recv {
+                            src: rank2(x, fy, px),
+                            tag: sweep,
+                        },
+                    );
                 }
                 t.push(r, TraceEvent::Compute { ns: grain / 4 });
-                if sweep == 0 {
-                    if to_x < px {
-                        t.push(r, TraceEvent::Send { dst: rank2(to_x, y, px), bytes, tag: sweep });
-                    }
-                    if to_y < py {
-                        t.push(r, TraceEvent::Send { dst: rank2(x, to_y, px), bytes, tag: sweep });
-                    }
-                } else {
-                    if to_x < px {
-                        t.push(r, TraceEvent::Send { dst: rank2(to_x, y, px), bytes, tag: sweep });
-                    }
-                    if to_y < py {
-                        t.push(r, TraceEvent::Send { dst: rank2(x, to_y, px), bytes, tag: sweep });
-                    }
+                // Downstream neighbours: `to_x`/`to_y` already encode the
+                // sweep direction (wrapping_sub puts upstream edges out of
+                // range), so both sweeps share one send block.
+                if to_x < px {
+                    t.push(
+                        r,
+                        TraceEvent::Send {
+                            dst: rank2(to_x, y, px),
+                            bytes,
+                            tag: sweep,
+                        },
+                    );
+                }
+                if to_y < py {
+                    t.push(
+                        r,
+                        TraceEvent::Send {
+                            dst: rank2(x, to_y, px),
+                            bytes,
+                            tag: sweep,
+                        },
+                    );
                 }
             }
         }
@@ -172,7 +199,10 @@ pub fn nas_mg(class: NasClass, ranks: usize) -> Trace {
     let (px, py, pz) = grid3d(ranks);
     let levels = 4usize;
     let mut t = Trace::new(format!("NAS MG class {}", class.label()), ranks);
-    t.push_all(TraceEvent::Bcast { root: 0, bytes: 256 }); // setup parameters
+    t.push_all(TraceEvent::Bcast {
+        root: 0,
+        bytes: 256,
+    }); // setup parameters
     for _ in 0..iters {
         for l in 0..levels {
             let stride = 1usize << l;
@@ -252,7 +282,10 @@ pub fn lammps(problem: LammpsProblem, ranks: usize) -> Trace {
         LammpsProblem::Comb => format!("LAMMPS comb ({ranks} ranks)"),
     };
     let mut t = Trace::new(name, ranks);
-    t.push_all(TraceEvent::Bcast { root: 0, bytes: 1 << 10 }); // input deck
+    t.push_all(TraceEvent::Bcast {
+        root: 0,
+        bytes: 1 << 10,
+    }); // input deck
     for step in 0..steps {
         for r in 0..ranks as Rank {
             let (x, y, z) = coords3(r, px, py);
@@ -297,7 +330,10 @@ pub fn lammps(problem: LammpsProblem, ranks: usize) -> Trace {
         }
         // Occasional re-neighboring broadcast.
         if step % 8 == 7 {
-            t.push_all(TraceEvent::Bcast { root: 0, bytes: 512 });
+            t.push_all(TraceEvent::Bcast {
+                root: 0,
+                bytes: 512,
+            });
         }
     }
     t
@@ -313,7 +349,10 @@ pub fn pop(ranks: usize, steps: usize) -> Trace {
     let bytes = 8 << 10;
     let grain = 25 * MICROSECOND;
     let mut t = Trace::new(format!("POP ({ranks} ranks)"), ranks);
-    t.push_all(TraceEvent::Bcast { root: 0, bytes: 2 << 10 });
+    t.push_all(TraceEvent::Bcast {
+        root: 0,
+        bytes: 2 << 10,
+    });
     for step in 0..steps {
         // Baroclinic stage: 4-neighbor halo, non-blocking.
         for r in 0..ranks as Rank {
@@ -332,7 +371,14 @@ pub fn pop(ranks: usize, steps: usize) -> Trace {
                 }
                 let tag = 400 + i as u32;
                 t.push(r, TraceEvent::Irecv { src: minus, tag });
-                t.push(r, TraceEvent::Isend { dst: plus, bytes, tag });
+                t.push(
+                    r,
+                    TraceEvent::Isend {
+                        dst: plus,
+                        bytes,
+                        tag,
+                    },
+                );
                 t.push(r, TraceEvent::Waitall);
             }
             // Diagonal stencil corners (9-point barotropic operator).
@@ -341,7 +387,14 @@ pub fn pop(ranks: usize, steps: usize) -> Trace {
                 let sw = rank2((x + px - 1) % px, (y + py - 1) % py, px);
                 let tag = 408;
                 t.push(r, TraceEvent::Irecv { src: sw, tag });
-                t.push(r, TraceEvent::Isend { dst: ne, bytes: bytes / 4, tag });
+                t.push(
+                    r,
+                    TraceEvent::Isend {
+                        dst: ne,
+                        bytes: bytes / 4,
+                        tag,
+                    },
+                );
                 t.push(r, TraceEvent::Waitall);
             }
             // Scattered remote exchanges (land-mask repartitioning):
@@ -352,15 +405,20 @@ pub fn pop(ranks: usize, steps: usize) -> Trace {
                 // Anti-diagonal partner (r ↔ n-1-r) and half-shift
                 // partner (r ↔ r+n/2); both are involutions, so every
                 // send is matched by the partner's own send.
-                for (k, far) in
-                    [(0u32, n - 1 - r), (1u32, (r + n / 2) % n)].into_iter()
-                {
-                    if far == r || (k == 1 && n % 2 != 0) {
+                for (k, far) in [(0u32, n - 1 - r), (1u32, (r + n / 2) % n)].into_iter() {
+                    if far == r || (k == 1 && !n.is_multiple_of(2)) {
                         continue;
                     }
                     let tag = 410 + k;
                     t.push(r, TraceEvent::Irecv { src: far, tag });
-                    t.push(r, TraceEvent::Isend { dst: far, bytes: bytes / 2, tag });
+                    t.push(
+                        r,
+                        TraceEvent::Isend {
+                            dst: far,
+                            bytes: bytes / 2,
+                            tag,
+                        },
+                    );
                     t.push(r, TraceEvent::Waitall);
                 }
             }
@@ -396,24 +454,64 @@ pub fn sweep3d(ranks: usize) -> Trace {
             let (dx_pos, dy_pos) = (sweep & 1 == 0, sweep & 2 == 0);
             for r in 0..ranks as Rank {
                 let (x, y) = coords2(r, px);
-                let up_x = if dx_pos { x.checked_sub(1) } else { (x + 1 < px).then_some(x + 1) };
-                let up_y = if dy_pos { y.checked_sub(1) } else { (y + 1 < py).then_some(y + 1) };
+                let up_x = if dx_pos {
+                    x.checked_sub(1)
+                } else {
+                    (x + 1 < px).then_some(x + 1)
+                };
+                let up_y = if dy_pos {
+                    y.checked_sub(1)
+                } else {
+                    (y + 1 < py).then_some(y + 1)
+                };
                 if let Some(ux) = up_x {
-                    t.push(r, TraceEvent::Recv { src: rank2(ux, y, px), tag: 500 + (sweep % 4) });
+                    t.push(
+                        r,
+                        TraceEvent::Recv {
+                            src: rank2(ux, y, px),
+                            tag: 500 + (sweep % 4),
+                        },
+                    );
                 }
                 if let Some(uy) = up_y {
-                    t.push(r, TraceEvent::Recv { src: rank2(x, uy, px), tag: 500 + (sweep % 4) });
+                    t.push(
+                        r,
+                        TraceEvent::Recv {
+                            src: rank2(x, uy, px),
+                            tag: 500 + (sweep % 4),
+                        },
+                    );
                 }
                 t.push(r, TraceEvent::Compute { ns: grain });
-                let down_x =
-                    if dx_pos { (x + 1 < px).then_some(x + 1) } else { x.checked_sub(1) };
-                let down_y =
-                    if dy_pos { (y + 1 < py).then_some(y + 1) } else { y.checked_sub(1) };
+                let down_x = if dx_pos {
+                    (x + 1 < px).then_some(x + 1)
+                } else {
+                    x.checked_sub(1)
+                };
+                let down_y = if dy_pos {
+                    (y + 1 < py).then_some(y + 1)
+                } else {
+                    y.checked_sub(1)
+                };
                 if let Some(dx) = down_x {
-                    t.push(r, TraceEvent::Send { dst: rank2(dx, y, px), bytes, tag: 500 + (sweep % 4) });
+                    t.push(
+                        r,
+                        TraceEvent::Send {
+                            dst: rank2(dx, y, px),
+                            bytes,
+                            tag: 500 + (sweep % 4),
+                        },
+                    );
                 }
                 if let Some(dy) = down_y {
-                    t.push(r, TraceEvent::Send { dst: rank2(x, dy, px), bytes, tag: 500 + (sweep % 4) });
+                    t.push(
+                        r,
+                        TraceEvent::Send {
+                            dst: rank2(x, dy, px),
+                            bytes,
+                            tag: 500 + (sweep % 4),
+                        },
+                    );
                 }
             }
         }
@@ -484,7 +582,8 @@ mod tests {
         ];
         for t in &traces {
             assert!(!t.is_empty(), "{} empty", t.name);
-            t.check_matched().unwrap_or_else(|e| panic!("{}: {e}", t.name));
+            t.check_matched()
+                .unwrap_or_else(|e| panic!("{}: {e}", t.name));
         }
     }
 
@@ -512,8 +611,11 @@ mod tests {
             }
             if matches!(
                 e.call_name(),
-                Some("MPI_ISend") | Some("MPI_Waitall") | Some("MPI_Allreduce")
-                    | Some("MPI_Barrier") | Some("MPI_Bcast")
+                Some("MPI_ISend")
+                    | Some("MPI_Waitall")
+                    | Some("MPI_Allreduce")
+                    | Some("MPI_Barrier")
+                    | Some("MPI_Bcast")
             ) {
                 counted += 1.0;
             }
@@ -614,7 +716,10 @@ mod tests {
             total += peers.len();
         }
         let tdc = total as f64 / 64.0;
-        assert!(tdc > 4.0, "POP has remote partners beyond the 4-stencil, got {tdc}");
+        assert!(
+            tdc > 4.0,
+            "POP has remote partners beyond the 4-stencil, got {tdc}"
+        );
     }
 
     #[test]
@@ -627,8 +732,14 @@ mod tests {
 
     #[test]
     fn generators_work_on_odd_rank_counts() {
-        for t in [nas_lu(NasClass::S, 12), pop(12, 4), sweep3d(12), smg2000(12)] {
-            t.check_matched().unwrap_or_else(|e| panic!("{}: {e}", t.name));
+        for t in [
+            nas_lu(NasClass::S, 12),
+            pop(12, 4),
+            sweep3d(12),
+            smg2000(12),
+        ] {
+            t.check_matched()
+                .unwrap_or_else(|e| panic!("{}: {e}", t.name));
         }
     }
 }

@@ -21,8 +21,7 @@ pub use breakdown::{call_breakdown, render_table, CallBreakdown};
 pub use collectives::{lower_collectives, COLLECTIVE_TAG_BASE};
 pub use commmatrix::CommMatrix;
 pub use generators::{
-    grid2d, grid3d, lammps, nas_ft, nas_lu, nas_mg, pop, smg2000, sweep3d, LammpsProblem,
-    NasClass,
+    grid2d, grid3d, lammps, nas_ft, nas_lu, nas_mg, pop, smg2000, sweep3d, LammpsProblem, NasClass,
 };
 pub use phases::{analyze_phases, analyze_phases_with, Phase, PhaseReport};
 pub use trace::{Rank, Trace, TraceEvent};

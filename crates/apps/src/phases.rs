@@ -48,7 +48,10 @@ impl PhaseReport {
 
     /// Phases repeated at least `relevant_min` times (column 3).
     pub fn relevant_phases(&self) -> usize {
-        self.phases.iter().filter(|p| p.weight >= self.relevant_min).count()
+        self.phases
+            .iter()
+            .filter(|p| p.weight >= self.relevant_min)
+            .count()
     }
 
     /// Summed weight of the relevant phases (column 4).
@@ -68,9 +71,7 @@ fn hash_event(rank: usize, e: &TraceEvent, h: &mut DefaultHasher) {
         TraceEvent::Send { dst, bytes, .. } | TraceEvent::Isend { dst, bytes, .. } => {
             (0u8, rank, dst, bytes).hash(h)
         }
-        TraceEvent::Recv { src, .. } | TraceEvent::Irecv { src, .. } => {
-            (1u8, rank, src).hash(h)
-        }
+        TraceEvent::Recv { src, .. } | TraceEvent::Irecv { src, .. } => (1u8, rank, src).hash(h),
         TraceEvent::Wait | TraceEvent::Waitall => (2u8, rank).hash(h),
         TraceEvent::Allreduce { bytes } => (3u8, bytes).hash(h),
         TraceEvent::Reduce { root, bytes } => (4u8, root, bytes).hash(h),
@@ -106,11 +107,7 @@ pub fn analyze_phases_with(trace: &Trace, relevant_min: u64) -> PhaseReport {
                     break; // segment boundary for this rank
                 }
                 hash_event(rank, e, &mut h);
-                if matches!(
-                    e,
-                    TraceEvent::Send { .. }
-                        | TraceEvent::Isend { .. }
-                ) {
+                if matches!(e, TraceEvent::Send { .. } | TraceEvent::Isend { .. }) {
                     messages += 1;
                 }
             }
@@ -125,10 +122,17 @@ pub fn analyze_phases_with(trace: &Trace, relevant_min: u64) -> PhaseReport {
     }
     let mut phases: Vec<Phase> = counts
         .into_iter()
-        .map(|(signature, (weight, messages))| Phase { signature, weight, messages })
+        .map(|(signature, (weight, messages))| Phase {
+            signature,
+            weight,
+            messages,
+        })
         .collect();
     phases.sort_by(|a, b| b.weight.cmp(&a.weight).then(a.signature.cmp(&b.signature)));
-    PhaseReport { phases, relevant_min }
+    PhaseReport {
+        phases,
+        relevant_min,
+    }
 }
 
 /// Analyze with the default relevance threshold (weight ≥ 2).
@@ -148,8 +152,21 @@ mod tests {
         for _ in 0..reps {
             for r in 0..4u32 {
                 let peer = (r + 1) % 4;
-                t.push(r, TraceEvent::Send { dst: peer, bytes: 256, tag: 1 });
-                t.push(r, TraceEvent::Recv { src: (r + 3) % 4, tag: 1 });
+                t.push(
+                    r,
+                    TraceEvent::Send {
+                        dst: peer,
+                        bytes: 256,
+                        tag: 1,
+                    },
+                );
+                t.push(
+                    r,
+                    TraceEvent::Recv {
+                        src: (r + 3) % 4,
+                        tag: 1,
+                    },
+                );
             }
             t.push_all(TraceEvent::Allreduce { bytes: 8 });
         }
@@ -169,13 +186,30 @@ mod tests {
         let mut t = repetitive_trace(10);
         // One different phase: a bigger message ring.
         for r in 0..4u32 {
-            t.push(r, TraceEvent::Send { dst: (r + 2) % 4, bytes: 9999, tag: 2 });
-            t.push(r, TraceEvent::Recv { src: (r + 2) % 4, tag: 2 });
+            t.push(
+                r,
+                TraceEvent::Send {
+                    dst: (r + 2) % 4,
+                    bytes: 9999,
+                    tag: 2,
+                },
+            );
+            t.push(
+                r,
+                TraceEvent::Recv {
+                    src: (r + 2) % 4,
+                    tag: 2,
+                },
+            );
         }
         t.push_all(TraceEvent::Barrier);
         let report = analyze_phases(&t);
         assert_eq!(report.total_phases(), 2);
-        assert_eq!(report.relevant_phases(), 1, "the one-shot phase is not relevant");
+        assert_eq!(
+            report.relevant_phases(),
+            1,
+            "the one-shot phase is not relevant"
+        );
         assert_eq!(report.total_weight(), 10);
     }
 

@@ -127,7 +127,10 @@ pub struct Trace {
 impl Trace {
     /// An empty trace over `n` ranks.
     pub fn new(name: impl Into<String>, n: usize) -> Self {
-        Self { ranks: vec![Vec::new(); n], name: name.into() }
+        Self {
+            ranks: vec![Vec::new(); n],
+            name: name.into(),
+        }
     }
 
     /// Number of ranks.
@@ -191,10 +194,10 @@ impl Trace {
                         }
                         *sends.entry((src, r, tag)).or_default() -= 1;
                     }
-                    TraceEvent::Reduce { root, .. } | TraceEvent::Bcast { root, .. } => {
-                        if root >= n {
-                            return Err(format!("rank {r} collective root {root} invalid"));
-                        }
+                    TraceEvent::Reduce { root, .. } | TraceEvent::Bcast { root, .. }
+                        if root >= n =>
+                    {
+                        return Err(format!("rank {r} collective root {root} invalid"));
                     }
                     _ => {}
                 }
@@ -202,9 +205,7 @@ impl Trace {
         }
         for ((s, d, tag), count) in sends {
             if count != 0 {
-                return Err(format!(
-                    "unmatched p2p {s}->{d} tag {tag}: balance {count}"
-                ));
+                return Err(format!("unmatched p2p {s}->{d} tag {tag}: balance {count}"));
             }
         }
         Ok(())
@@ -217,8 +218,19 @@ mod tests {
 
     #[test]
     fn call_names_match_table_2_1_rows() {
-        assert_eq!(TraceEvent::Send { dst: 0, bytes: 1, tag: 0 }.call_name(), Some("MPI_Send"));
-        assert_eq!(TraceEvent::Allreduce { bytes: 8 }.call_name(), Some("MPI_Allreduce"));
+        assert_eq!(
+            TraceEvent::Send {
+                dst: 0,
+                bytes: 1,
+                tag: 0
+            }
+            .call_name(),
+            Some("MPI_Send")
+        );
+        assert_eq!(
+            TraceEvent::Allreduce { bytes: 8 }.call_name(),
+            Some("MPI_Allreduce")
+        );
         assert_eq!(TraceEvent::Compute { ns: 5 }.call_name(), None);
         assert!(TraceEvent::Barrier.is_collective());
         assert!(!TraceEvent::Wait.is_collective());
@@ -227,7 +239,14 @@ mod tests {
     #[test]
     fn push_and_count() {
         let mut t = Trace::new("test", 4);
-        t.push(0, TraceEvent::Send { dst: 1, bytes: 100, tag: 7 });
+        t.push(
+            0,
+            TraceEvent::Send {
+                dst: 1,
+                bytes: 100,
+                tag: 7,
+            },
+        );
         t.push(1, TraceEvent::Recv { src: 0, tag: 7 });
         t.push_all(TraceEvent::Compute { ns: 10 });
         assert_eq!(t.total_events(), 6);
@@ -238,7 +257,14 @@ mod tests {
     #[test]
     fn matched_trace_passes_check() {
         let mut t = Trace::new("ok", 2);
-        t.push(0, TraceEvent::Send { dst: 1, bytes: 4, tag: 1 });
+        t.push(
+            0,
+            TraceEvent::Send {
+                dst: 1,
+                bytes: 4,
+                tag: 1,
+            },
+        );
         t.push(1, TraceEvent::Recv { src: 0, tag: 1 });
         assert!(t.check_matched().is_ok());
     }
@@ -246,14 +272,28 @@ mod tests {
     #[test]
     fn unmatched_send_fails_check() {
         let mut t = Trace::new("bad", 2);
-        t.push(0, TraceEvent::Send { dst: 1, bytes: 4, tag: 1 });
+        t.push(
+            0,
+            TraceEvent::Send {
+                dst: 1,
+                bytes: 4,
+                tag: 1,
+            },
+        );
         assert!(t.check_matched().is_err());
     }
 
     #[test]
     fn out_of_range_peer_fails_check() {
         let mut t = Trace::new("bad", 2);
-        t.push(0, TraceEvent::Send { dst: 9, bytes: 4, tag: 1 });
+        t.push(
+            0,
+            TraceEvent::Send {
+                dst: 9,
+                bytes: 4,
+                tag: 1,
+            },
+        );
         let err = t.check_matched().unwrap_err();
         assert!(err.contains("out-of-range"));
     }

@@ -46,7 +46,11 @@ fn bench_tables_ch2(c: &mut Criterion) {
 fn bench_hotspot(c: &mut Criterion) {
     let mut g = c.benchmark_group("hotspot_mesh");
     g.sample_size(10);
-    for policy in [PolicyKind::Deterministic, PolicyKind::Drb, PolicyKind::PrDrb] {
+    for policy in [
+        PolicyKind::Deterministic,
+        PolicyKind::Drb,
+        PolicyKind::PrDrb,
+    ] {
         g.bench_function(format!("fig4_10_12_{}", policy.label()), |b| {
             b.iter_batched(
                 || {
@@ -123,5 +127,11 @@ fn bench_apps(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(figures, bench_tables_ch2, bench_hotspot, bench_permutation, bench_apps);
+criterion_group!(
+    figures,
+    bench_tables_ch2,
+    bench_hotspot,
+    bench_permutation,
+    bench_apps
+);
 criterion_main!(figures);

@@ -53,7 +53,13 @@ fn bench_routing(c: &mut Criterion) {
 fn bench_selection(c: &mut Criterion) {
     let mut mp = Metapath::new(PathDescriptor::Minimal, 7, 5_000);
     for i in 0..3 {
-        mp.open(PathDescriptor::Msp { in1: NodeId(i), in2: NodeId(i + 50) }, 9);
+        mp.open(
+            PathDescriptor::Msp {
+                in1: NodeId(i),
+                in2: NodeId(i + 50),
+            },
+            9,
+        );
     }
     let mut rng = SimRng::new(7);
     c.bench_function("eq_3_6_path_selection", |b| {
@@ -89,8 +95,16 @@ fn bench_monitor(c: &mut Criterion) {
 fn bench_solution_db(c: &mut Criterion) {
     let mut db = SolutionDb::new();
     for i in 0..64u32 {
-        let pattern: Vec<_> = (0..6).map(|j| (NodeId(i + j), NodeId(100 + i + j))).collect();
-        db.save(pattern, vec![(PathDescriptor::Minimal, 6)], 5_000, 0.8, Similarity::Overlap);
+        let pattern: Vec<_> = (0..6)
+            .map(|j| (NodeId(i + j), NodeId(100 + i + j)))
+            .collect();
+        db.save(
+            pattern,
+            vec![(PathDescriptor::Minimal, 6)],
+            5_000,
+            0.8,
+            Similarity::Overlap,
+        );
     }
     let probe = normalize((0..5).map(|j| (NodeId(30 + j), NodeId(130 + j))).collect());
     c.bench_function("solution_db_lookup_64", |b| {

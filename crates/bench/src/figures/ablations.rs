@@ -7,49 +7,99 @@
 //! * the settle window behind "one path at a time" (§4.5.1);
 //! * the metapath size cap (4 paths in the evaluation).
 
-use super::{ft_cfg, run_labeled, Target};
+use super::{ft_cfg, Target};
 use crate::FigureOutput;
 use prdrb_core::{PolicyKind, Similarity};
 use prdrb_engine::RunReport;
 use prdrb_simcore::time::MICROSECOND;
 use prdrb_traffic::TrafficPattern;
-use rayon::prelude::*;
 
 /// Registry entries for this module.
 pub fn targets() -> Vec<Target> {
     vec![
-        Target { id: "ablate_thresholds", title: "Ablation — zone thresholds", run: thresholds },
-        Target { id: "ablate_notification", title: "Ablation — destination vs router notification", run: notification },
-        Target { id: "ablate_similarity", title: "Ablation — pattern-similarity bar", run: similarity },
-        Target { id: "ablate_settle", title: "Ablation — path-opening settle window", run: settle },
-        Target { id: "ablate_maxpaths", title: "Ablation — metapath size cap", run: maxpaths },
-        Target { id: "ablate_trend", title: "Extension — §5.2 latency-trend prediction", run: trend },
-        Target { id: "ablate_static", title: "Extension — §5.2 static (offline) variant", run: static_variant },
-        Target { id: "ablate_adaptive", title: "Extension — fully adaptive per-hop reference", run: adaptive },
+        Target {
+            id: "ablate_thresholds",
+            title: "Ablation — zone thresholds",
+            run: thresholds,
+        },
+        Target {
+            id: "ablate_notification",
+            title: "Ablation — destination vs router notification",
+            run: notification,
+        },
+        Target {
+            id: "ablate_similarity",
+            title: "Ablation — pattern-similarity bar",
+            run: similarity,
+        },
+        Target {
+            id: "ablate_settle",
+            title: "Ablation — path-opening settle window",
+            run: settle,
+        },
+        Target {
+            id: "ablate_maxpaths",
+            title: "Ablation — metapath size cap",
+            run: maxpaths,
+        },
+        Target {
+            id: "ablate_trend",
+            title: "Extension — §5.2 latency-trend prediction",
+            run: trend,
+        },
+        Target {
+            id: "ablate_static",
+            title: "Extension — §5.2 static (offline) variant",
+            run: static_variant,
+        },
+        Target {
+            id: "ablate_adaptive",
+            title: "Extension — fully adaptive per-hop reference",
+            run: adaptive,
+        },
     ]
 }
 
-fn base_run(mutate: impl Fn(&mut prdrb_engine::SimConfig), label: String) -> RunReport {
+fn base_cfg(
+    mutate: impl Fn(&mut prdrb_engine::SimConfig),
+    label: String,
+) -> prdrb_engine::SimConfig {
     let mut cfg = ft_cfg(PolicyKind::PrDrb, TrafficPattern::Shuffle, 600.0, 32);
     mutate(&mut cfg);
-    run_labeled(cfg, label)
+    cfg.label = label;
+    cfg
+}
+
+fn base_run(mutate: impl Fn(&mut prdrb_engine::SimConfig), label: String) -> RunReport {
+    sweep(vec![base_cfg(mutate, label)])
+        .pop()
+        .expect("one report")
+}
+
+/// Run an ablation grid through the engine's parallel sweep executor and
+/// the shared run cache, each point averaged over the seeded replicas
+/// (§4.3) so single-seed noise cannot flip a comparison; reports come
+/// back in grid order.
+fn sweep(cfgs: Vec<prdrb_engine::SimConfig>) -> Vec<RunReport> {
+    super::run_replicated(cfgs)
 }
 
 fn thresholds() -> FigureOutput {
     let mut out = FigureOutput::new("ablate_thresholds", "zone thresholds (low/high µs)");
     let grid: Vec<(u64, u64)> = vec![(4, 10), (8, 20), (12, 40), (20, 80)];
-    let reports: Vec<RunReport> = grid
-        .par_iter()
-        .map(|&(lo, hi)| {
-            base_run(
-                |c| {
-                    c.drb.threshold_low_ns = lo * MICROSECOND;
-                    c.drb.threshold_high_ns = hi * MICROSECOND;
-                },
-                format!("thr {lo}/{hi}"),
-            )
-        })
-        .collect();
+    let reports = sweep(
+        grid.iter()
+            .map(|&(lo, hi)| {
+                base_cfg(
+                    |c| {
+                        c.drb.threshold_low_ns = lo * MICROSECOND;
+                        c.drb.threshold_high_ns = hi * MICROSECOND;
+                    },
+                    format!("thr {lo}/{hi}"),
+                )
+            })
+            .collect(),
+    );
     for r in &reports {
         out.push(r.oneline());
     }
@@ -57,7 +107,10 @@ fn thresholds() -> FigureOutput {
         .iter()
         .map(|r| r.global_avg_latency_us)
         .fold(f64::INFINITY, f64::min);
-    let worst = reports.iter().map(|r| r.global_avg_latency_us).fold(0.0, f64::max);
+    let worst = reports
+        .iter()
+        .map(|r| r.global_avg_latency_us)
+        .fold(0.0, f64::max);
     out.check(
         "threshold placement matters: aggressive thresholds adapt earlier",
         format!("best {best:.2} us vs worst {worst:.2} us"),
@@ -67,8 +120,10 @@ fn thresholds() -> FigureOutput {
 }
 
 fn notification() -> FigureOutput {
-    let mut out =
-        FigureOutput::new("ablate_notification", "destination-based vs router-based (§3.4)");
+    let mut out = FigureOutput::new(
+        "ablate_notification",
+        "destination-based vs router-based (§3.4)",
+    );
     let dest = base_run(|c| c.drb.router_based = false, "destination-based".into());
     let router = base_run(|c| c.drb.router_based = true, "router-based".into());
     out.push(dest.oneline());
@@ -96,10 +151,11 @@ fn notification() -> FigureOutput {
 fn similarity() -> FigureOutput {
     let mut out = FigureOutput::new("ablate_similarity", "pattern-similarity bar (0.5–1.0)");
     let bars = [0.5, 0.8, 0.95];
-    let reports: Vec<RunReport> = bars
-        .par_iter()
-        .map(|&s| base_run(|c| c.drb.min_similarity = s, format!("sim {s}")))
-        .collect();
+    let reports = sweep(
+        bars.iter()
+            .map(|&s| base_cfg(|c| c.drb.min_similarity = s, format!("sim {s}")))
+            .collect(),
+    );
     for r in &reports {
         out.push(format!(
             "{}  (reuse {} / saved {})",
@@ -112,17 +168,18 @@ fn similarity() -> FigureOutput {
         "a lower similarity bar reuses solutions at least as often",
         format!(
             "reuse at 0.5: {}, at 0.95: {}",
-            reports[0].policy_stats.reuse_applications,
-            reports[2].policy_stats.reuse_applications
+            reports[0].policy_stats.reuse_applications, reports[2].policy_stats.reuse_applications
         ),
-        reports[0].policy_stats.reuse_applications
-            >= reports[2].policy_stats.reuse_applications,
+        reports[0].policy_stats.reuse_applications >= reports[2].policy_stats.reuse_applications,
     );
     let jaccard = base_run(|c| c.drb.similarity = Similarity::Jaccard, "jaccard".into());
     out.push(jaccard.oneline());
     out.check(
         "the 0.8 overlap default keeps latency within the family's band",
-        format!("{:.2} us (default) vs {:.2} us (jaccard)", reports[1].global_avg_latency_us, jaccard.global_avg_latency_us),
+        format!(
+            "{:.2} us (default) vs {:.2} us (jaccard)",
+            reports[1].global_avg_latency_us, jaccard.global_avg_latency_us
+        ),
         reports[1].global_avg_latency_us <= jaccard.global_avg_latency_us * 1.25,
     );
     out
@@ -131,16 +188,23 @@ fn similarity() -> FigureOutput {
 fn settle() -> FigureOutput {
     let mut out = FigureOutput::new("ablate_settle", "path-opening settle window");
     let windows = [20u64, 120, 400];
-    let reports: Vec<RunReport> = windows
-        .par_iter()
-        .map(|&w| {
-            let mut drb_cfg = ft_cfg(PolicyKind::Drb, TrafficPattern::Shuffle, 600.0, 32);
-            drb_cfg.drb.adjust_settle_ns = w * MICROSECOND;
-            run_labeled(drb_cfg, format!("drb settle {w}us"))
-        })
-        .collect();
+    let reports = sweep(
+        windows
+            .iter()
+            .map(|&w| {
+                let mut drb_cfg = ft_cfg(PolicyKind::Drb, TrafficPattern::Shuffle, 600.0, 32);
+                drb_cfg.drb.adjust_settle_ns = w * MICROSECOND;
+                drb_cfg.label = format!("drb settle {w}us");
+                drb_cfg
+            })
+            .collect(),
+    );
     for r in &reports {
-        out.push(format!("{}  (expansions {})", r.oneline(), r.policy_stats.expansions));
+        out.push(format!(
+            "{}  (expansions {})",
+            r.oneline(),
+            r.policy_stats.expansions
+        ));
     }
     out.check(
         "slower settling (fewer, more deliberate openings) costs DRB adaptation speed",
@@ -217,7 +281,10 @@ fn static_variant() -> FigureOutput {
     };
     let cold = base_run(|_| {}, "pr-drb (cold)".into());
     let profile2 = profile.clone();
-    let warm = base_run(move |c| c.preload_profile = profile2.clone(), "pr-drb (preloaded)".into());
+    let warm = base_run(
+        move |c| c.preload_profile = profile2.clone(),
+        "pr-drb (preloaded)".into(),
+    );
     out.push(cold.oneline());
     out.push(warm.oneline());
     out.push(format!(
@@ -226,7 +293,10 @@ fn static_variant() -> FigureOutput {
     ));
     out.check(
         "preloaded solutions are applied from the first episode onward",
-        format!("{} applications in the preloaded run", warm.policy_stats.reuse_applications),
+        format!(
+            "{} applications in the preloaded run",
+            warm.policy_stats.reuse_applications
+        ),
         warm.policy_stats.reuse_applications > 0,
     );
     out.check(
@@ -253,13 +323,20 @@ fn adaptive() -> FigureOutput {
         "ablate_adaptive",
         "fully adaptive per-hop routing as an upper-reference baseline",
     );
-    let runs: Vec<RunReport> = [PolicyKind::Deterministic, PolicyKind::Adaptive, PolicyKind::PrDrb]
-        .par_iter()
+    let runs = sweep(
+        [
+            PolicyKind::Deterministic,
+            PolicyKind::Adaptive,
+            PolicyKind::PrDrb,
+        ]
+        .iter()
         .map(|&k| {
-            let cfg = ft_cfg(k, TrafficPattern::Shuffle, 600.0, 32);
-            run_labeled(cfg, k.label().to_string())
+            let mut cfg = ft_cfg(k, TrafficPattern::Shuffle, 600.0, 32);
+            cfg.label = k.label().to_string();
+            cfg
         })
-        .collect();
+        .collect(),
+    );
     for r in &runs {
         out.push(r.oneline());
     }
@@ -268,12 +345,18 @@ fn adaptive() -> FigureOutput {
     let pr = &runs[2];
     out.check(
         "per-hop adaptivity beats the fixed route (taxonomy of Fig 2.5)",
-        format!("{:.2} us vs det {:.2} us", ada.global_avg_latency_us, det.global_avg_latency_us),
+        format!(
+            "{:.2} us vs det {:.2} us",
+            ada.global_avg_latency_us, det.global_avg_latency_us
+        ),
         ada.global_avg_latency_us < det.global_avg_latency_us,
     );
     out.check(
         "PR-DRB approaches the adaptive reference without per-hop hardware state",
-        format!("pr {:.2} us vs adaptive {:.2} us", pr.global_avg_latency_us, ada.global_avg_latency_us),
+        format!(
+            "pr {:.2} us vs adaptive {:.2} us",
+            pr.global_avg_latency_us, ada.global_avg_latency_us
+        ),
         pr.global_avg_latency_us <= ada.global_avg_latency_us * 3.0,
     );
     out
@@ -282,10 +365,11 @@ fn adaptive() -> FigureOutput {
 fn maxpaths() -> FigureOutput {
     let mut out = FigureOutput::new("ablate_maxpaths", "metapath size cap");
     let caps = [1usize, 2, 4, 8];
-    let reports: Vec<RunReport> = caps
-        .par_iter()
-        .map(|&m| base_run(|c| c.drb.max_paths = m, format!("max {m} paths")))
-        .collect();
+    let reports = sweep(
+        caps.iter()
+            .map(|&m| base_cfg(|c| c.drb.max_paths = m, format!("max {m} paths")))
+            .collect(),
+    );
     for r in &reports {
         out.push(r.oneline());
     }

@@ -13,23 +13,70 @@ use prdrb_simcore::stats::TimeSeries;
 /// Registry entries for this module.
 pub fn targets() -> Vec<Target> {
     vec![
-        Target { id: "fig4_20", title: "Fig 4.20 — NAS LU latency maps (Det/DRB/PR-DRB)", run: fig4_20 },
-        Target { id: "fig4_21", title: "Fig 4.21 — NAS MG global latency & execution time", run: fig4_21 },
-        Target { id: "fig4_22", title: "Figs 4.22/4.23 — NAS MG router contention", run: fig4_22 },
-        Target { id: "fig4_24", title: "Fig 4.24 — LAMMPS latency maps", run: fig4_24 },
-        Target { id: "fig4_25", title: "Fig 4.25 — LAMMPS global latency & execution time", run: fig4_25 },
-        Target { id: "fig4_26", title: "Fig 4.26 — LAMMPS contention + learned patterns", run: fig4_26 },
-        Target { id: "fig4_27", title: "Fig 4.27 — POP global latency & execution time (7 policies)", run: fig4_27 },
-        Target { id: "fig4_28", title: "Figs 4.28/A.5–A.7 — POP router contention", run: fig4_28 },
-        Target { id: "fig4_29", title: "Fig 4.29 — POP latency maps (non-DRB)", run: fig4_29 },
-        Target { id: "fig4_30", title: "Fig 4.30 — POP latency maps (DRB family)", run: fig4_30 },
+        Target {
+            id: "fig4_20",
+            title: "Fig 4.20 — NAS LU latency maps (Det/DRB/PR-DRB)",
+            run: fig4_20,
+        },
+        Target {
+            id: "fig4_21",
+            title: "Fig 4.21 — NAS MG global latency & execution time",
+            run: fig4_21,
+        },
+        Target {
+            id: "fig4_22",
+            title: "Figs 4.22/4.23 — NAS MG router contention",
+            run: fig4_22,
+        },
+        Target {
+            id: "fig4_24",
+            title: "Fig 4.24 — LAMMPS latency maps",
+            run: fig4_24,
+        },
+        Target {
+            id: "fig4_25",
+            title: "Fig 4.25 — LAMMPS global latency & execution time",
+            run: fig4_25,
+        },
+        Target {
+            id: "fig4_26",
+            title: "Fig 4.26 — LAMMPS contention + learned patterns",
+            run: fig4_26,
+        },
+        Target {
+            id: "fig4_27",
+            title: "Fig 4.27 — POP global latency & execution time (7 policies)",
+            run: fig4_27,
+        },
+        Target {
+            id: "fig4_28",
+            title: "Figs 4.28/A.5–A.7 — POP router contention",
+            run: fig4_28,
+        },
+        Target {
+            id: "fig4_29",
+            title: "Fig 4.29 — POP latency maps (non-DRB)",
+            run: fig4_29,
+        },
+        Target {
+            id: "fig4_30",
+            title: "Fig 4.30 — POP latency maps (DRB family)",
+            run: fig4_30,
+        },
     ]
 }
 
-const TRIO: [PolicyKind; 3] = [PolicyKind::Deterministic, PolicyKind::Drb, PolicyKind::PrDrb];
+const TRIO: [PolicyKind; 3] = [
+    PolicyKind::Deterministic,
+    PolicyKind::Drb,
+    PolicyKind::PrDrb,
+];
 
 fn by(reports: &[RunReport], k: PolicyKind) -> &RunReport {
-    reports.iter().find(|r| r.policy == k.label()).expect("policy present")
+    reports
+        .iter()
+        .find(|r| r.policy == k.label())
+        .expect("policy present")
 }
 
 fn fig4_20() -> FigureOutput {
@@ -43,8 +90,10 @@ fn fig4_20() -> FigureOutput {
             r.latency_map.contended_routers()
         ));
         out.push(r.latency_map.render());
-        out.artifacts
-            .push(write_artifact(&format!("fig4_20_{}.csv", r.policy), &r.latency_map.to_csv()));
+        out.artifacts.push(write_artifact(
+            &format!("fig4_20_{}.csv", r.policy),
+            &r.latency_map.to_csv(),
+        ));
     }
     let det = by(&reports, PolicyKind::Deterministic);
     let drb = by(&reports, PolicyKind::Drb);
@@ -74,7 +123,10 @@ fn fig4_20() -> FigureOutput {
 }
 
 fn fig4_21() -> FigureOutput {
-    let mut out = FigureOutput::new("fig4_21", "NAS MG global latency & execution time, classes S/A/B");
+    let mut out = FigureOutput::new(
+        "fig4_21",
+        "NAS MG global latency & execution time, classes S/A/B",
+    );
     let mut rows = Vec::new();
     for class in [NasClass::S, NasClass::A, NasClass::B] {
         let reports = run_policies(|k| trace_cfg(k, nas_mg(class, 64)), &TRIO);
@@ -102,7 +154,10 @@ fn fig4_21() -> FigureOutput {
         let drb = by(reports, PolicyKind::Drb);
         let pr = by(reports, PolicyKind::PrDrb);
         out.check(
-            format!("class {}: DRB/PR-DRB cut global latency vs Det (paper 65 %/60 %)", class.label()),
+            format!(
+                "class {}: DRB/PR-DRB cut global latency vs Det (paper 65 %/60 %)",
+                class.label()
+            ),
             format!(
                 "det {:.2}, drb {:.2}, pr {:.2} us",
                 det.global_avg_latency_us, drb.global_avg_latency_us, pr.global_avg_latency_us
@@ -116,7 +171,10 @@ fn fig4_21() -> FigureOutput {
             pr.exec_time_ns.unwrap_or(u64::MAX),
         );
         out.check(
-            format!("class {}: execution time improves vs Det (paper 8 %/23 %)", class.label()),
+            format!(
+                "class {}: execution time improves vs Det (paper 8 %/23 %)",
+                class.label()
+            ),
             format!(
                 "det {:.3} ms, drb {:.3} ms, pr {:.3} ms",
                 et_det as f64 / 1e6,
@@ -132,9 +190,7 @@ fn fig4_21() -> FigureOutput {
 /// Most-contended routers of a report (descending).
 fn hottest(r: &RunReport, n: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..r.latency_map.values_us.len()).collect();
-    idx.sort_by(|&a, &b| {
-        r.latency_map.values_us[b].total_cmp(&r.latency_map.values_us[a])
-    });
+    idx.sort_by(|&a, &b| r.latency_map.values_us[b].total_cmp(&r.latency_map.values_us[a]));
     idx.truncate(n);
     idx
 }
@@ -160,15 +216,20 @@ fn contention_figure(
         ));
         let pairs: Vec<(&str, _)> = vec![("drb", sd), ("pr-drb", sp)];
         out.push(render_series(&pairs, 8));
-        out.artifacts
-            .push(write_artifact(&format!("{id}_router{router}.csv"), &series_csv(&pairs)));
+        out.artifacts.push(write_artifact(
+            &format!("{id}_router{router}.csv"),
+            &series_csv(&pairs),
+        ));
         if pr.latency_map.values_us[router] <= drb.latency_map.values_us[router] * 1.05 {
             improvements += 1;
         }
     }
     out.check(
         "PR-DRB keeps contention bounded at/below DRB on the hot routers",
-        format!("{improvements} of {} hot routers improved or equal", hot.len()),
+        format!(
+            "{improvements} of {} hot routers improved or equal",
+            hot.len()
+        ),
         improvements * 2 >= hot.len(),
     );
     out
@@ -186,7 +247,11 @@ fn fig4_24() -> FigureOutput {
     let mut out = FigureOutput::new("fig4_24", "LAMMPS latency maps");
     let reports = run_policies(|k| trace_cfg(k, lammps(LammpsProblem::Comb, 64)), &TRIO);
     for r in &reports {
-        out.push(format!("{} map (peak {:.2} us):", r.policy, r.latency_map.peak_us()));
+        out.push(format!(
+            "{} map (peak {:.2} us):",
+            r.policy,
+            r.latency_map.peak_us()
+        ));
         out.push(r.latency_map.render());
     }
     let det = by(&reports, PolicyKind::Deterministic);
@@ -267,11 +332,13 @@ fn fig4_26() -> FigureOutput {
     );
     out.check(
         "patterns repeat and the saved solutions get re-applied",
-        format!("{} reused, {} applications", s.patterns_reused, s.reuse_applications),
+        format!(
+            "{} reused, {} applications",
+            s.patterns_reused, s.reuse_applications
+        ),
         s.reuse_applications > 0,
     );
-    let mut inner =
-        contention_figure("fig4_26_contention", "LAMMPS router contention", reports, 2);
+    let mut inner = contention_figure("fig4_26_contention", "LAMMPS router contention", reports, 2);
     out.push(std::mem::take(&mut inner.body));
     out.checks.append(&mut inner.checks);
     out
@@ -348,8 +415,12 @@ fn fig4_27() -> FigureOutput {
 fn fig4_28() -> FigureOutput {
     let reports = pop_reports(&[PolicyKind::Drb, PolicyKind::PrDrb]);
     let pr_stats = by(&reports, PolicyKind::PrDrb).policy_stats;
-    let mut out =
-        contention_figure("fig4_28", "POP router contention (DRB vs PR-DRB)", reports, 6);
+    let mut out = contention_figure(
+        "fig4_28",
+        "POP router contention (DRB vs PR-DRB)",
+        reports,
+        6,
+    );
     out.push(format!(
         "PR-DRB pattern statistics: {} found, {} repeated, {} applications \
          (paper: e.g. 143 found / 40 repeated at one router)",
@@ -357,7 +428,10 @@ fn fig4_28() -> FigureOutput {
     ));
     out.check(
         "contending-flow patterns are found and re-applied on POP",
-        format!("{} / {}", pr_stats.patterns_found, pr_stats.reuse_applications),
+        format!(
+            "{} / {}",
+            pr_stats.patterns_found, pr_stats.reuse_applications
+        ),
         pr_stats.patterns_found > 0,
     );
     out
@@ -365,10 +439,17 @@ fn fig4_28() -> FigureOutput {
 
 fn fig4_29() -> FigureOutput {
     let mut out = FigureOutput::new("fig4_29", "POP latency maps — non-DRB policies");
-    let reports =
-        pop_reports(&[PolicyKind::Deterministic, PolicyKind::Cyclic, PolicyKind::Random]);
+    let reports = pop_reports(&[
+        PolicyKind::Deterministic,
+        PolicyKind::Cyclic,
+        PolicyKind::Random,
+    ]);
     for r in &reports {
-        out.push(format!("{} (peak {:.2} us):", r.policy, r.latency_map.peak_us()));
+        out.push(format!(
+            "{} (peak {:.2} us):",
+            r.policy,
+            r.latency_map.peak_us()
+        ));
         out.push(r.latency_map.render());
     }
     let det = by(&reports, PolicyKind::Deterministic);
@@ -391,7 +472,11 @@ fn fig4_30() -> FigureOutput {
     let drbs = pop_reports(&[PolicyKind::PrDrb, PolicyKind::FrDrb, PolicyKind::PrFrDrb]);
     let base = pop_reports(&[PolicyKind::Cyclic, PolicyKind::Random]);
     for r in &drbs {
-        out.push(format!("{} (peak {:.2} us):", r.policy, r.latency_map.peak_us()));
+        out.push(format!(
+            "{} (peak {:.2} us):",
+            r.policy,
+            r.latency_map.peak_us()
+        ));
         out.push(r.latency_map.render());
     }
     let pr = by(&drbs, PolicyKind::PrDrb);

@@ -5,8 +5,8 @@
 use super::Target;
 use crate::{write_artifact, FigureOutput};
 use prdrb_apps::{
-    analyze_phases, call_breakdown, lammps, nas_ft, nas_lu, nas_mg, pop, render_table,
-    smg2000, sweep3d, CommMatrix, LammpsProblem, NasClass,
+    analyze_phases, call_breakdown, lammps, nas_ft, nas_lu, nas_mg, pop, render_table, smg2000,
+    sweep3d, CommMatrix, LammpsProblem, NasClass,
 };
 use prdrb_simcore::SimRng;
 use prdrb_topology::NodeId;
@@ -15,15 +15,51 @@ use prdrb_traffic::{BurstSchedule, TrafficPattern};
 /// Registry entries for this module.
 pub fn targets() -> Vec<Target> {
     vec![
-        Target { id: "table2_1", title: "Table 2.1 — MPI call breakdown", run: table2_1 },
-        Target { id: "table2_2", title: "Table 2.2 — application phases & weights", run: table2_2 },
-        Target { id: "fig2_6", title: "Fig 2.6 — bursty traffic shapes", run: fig2_6 },
-        Target { id: "fig2_10", title: "Fig 2.10 — LAMMPS chain communication matrix", run: fig2_10 },
-        Target { id: "fig2_11", title: "Fig 2.11 — LAMMPS comb communication matrix", run: fig2_11 },
-        Target { id: "fig2_12", title: "Fig 2.12 — Sweep3D topological connectivity", run: fig2_12 },
-        Target { id: "fig2_13", title: "Fig 2.13 — POP communication matrix", run: fig2_13 },
-        Target { id: "table4_1", title: "Table 4.1 — synthetic pattern definitions", run: table4_1 },
-        Target { id: "sec4_7", title: "§4.7 — application analysis technique", run: sec4_7 },
+        Target {
+            id: "table2_1",
+            title: "Table 2.1 — MPI call breakdown",
+            run: table2_1,
+        },
+        Target {
+            id: "table2_2",
+            title: "Table 2.2 — application phases & weights",
+            run: table2_2,
+        },
+        Target {
+            id: "fig2_6",
+            title: "Fig 2.6 — bursty traffic shapes",
+            run: fig2_6,
+        },
+        Target {
+            id: "fig2_10",
+            title: "Fig 2.10 — LAMMPS chain communication matrix",
+            run: fig2_10,
+        },
+        Target {
+            id: "fig2_11",
+            title: "Fig 2.11 — LAMMPS comb communication matrix",
+            run: fig2_11,
+        },
+        Target {
+            id: "fig2_12",
+            title: "Fig 2.12 — Sweep3D topological connectivity",
+            run: fig2_12,
+        },
+        Target {
+            id: "fig2_13",
+            title: "Fig 2.13 — POP communication matrix",
+            run: fig2_13,
+        },
+        Target {
+            id: "table4_1",
+            title: "Table 4.1 — synthetic pattern definitions",
+            run: table4_1,
+        },
+        Target {
+            id: "sec4_7",
+            title: "§4.7 — application analysis technique",
+            run: sec4_7,
+        },
     ]
 }
 
@@ -43,11 +79,16 @@ fn table2_1() -> FigureOutput {
             .and_then(|(_, b)| b.percent.get(call).copied())
             .unwrap_or(0.0)
     };
-    let pop_listed_all: f64 =
-        ["MPI_ISend", "MPI_Waitall", "MPI_Allreduce", "MPI_Barrier", "MPI_Bcast"]
-            .iter()
-            .map(|c| get("POP", c))
-            .sum();
+    let pop_listed_all: f64 = [
+        "MPI_ISend",
+        "MPI_Waitall",
+        "MPI_Allreduce",
+        "MPI_Barrier",
+        "MPI_Bcast",
+    ]
+    .iter()
+    .map(|c| get("POP", c))
+    .sum();
     let pop_all = 100.0 * get("POP", "MPI_Allreduce") / pop_listed_all.max(1e-9);
     out.check(
         "POP: MPI_Allreduce ~= 29.3 % of calls",
@@ -57,10 +98,16 @@ fn table2_1() -> FigureOutput {
     // The paper's POP row lists no receive calls at all, so its
     // percentages are over {ISend, Waitall, Allreduce, Barrier, Bcast};
     // compare on the same basis.
-    let pop_listed: f64 = ["MPI_ISend", "MPI_Waitall", "MPI_Allreduce", "MPI_Barrier", "MPI_Bcast"]
-        .iter()
-        .map(|c| get("POP", c))
-        .sum();
+    let pop_listed: f64 = [
+        "MPI_ISend",
+        "MPI_Waitall",
+        "MPI_Allreduce",
+        "MPI_Barrier",
+        "MPI_Bcast",
+    ]
+    .iter()
+    .map(|c| get("POP", c))
+    .sum();
     let pop_isend = 100.0 * get("POP", "MPI_ISend") / pop_listed.max(1e-9);
     out.check(
         "POP: MPI_ISend ~= 34.9 % (of the calls the paper's row lists)",
@@ -121,13 +168,22 @@ fn table2_2() -> FigureOutput {
     }
     out.check(
         "every application exhibits repetitive phases (weight >> 1)",
-        if all_repetitive { "all weights >= 2" } else { "some app not repetitive" }.to_string(),
+        if all_repetitive {
+            "all weights >= 2"
+        } else {
+            "some app not repetitive"
+        }
+        .to_string(),
         all_repetitive,
     );
     let popr = analyze_phases(&apps.last().unwrap().1);
     out.check(
         "POP has the largest phase population (140 phases / weight 38158 in paper)",
-        format!("{} phases, weight {}", popr.total_phases(), popr.total_weight()),
+        format!(
+            "{} phases, weight {}",
+            popr.total_phases(),
+            popr.total_weight()
+        ),
         popr.total_weight() > 40,
     );
     out
@@ -162,7 +218,11 @@ fn fig2_6() -> FigureOutput {
     // Fig 2.6a: same pattern each burst; Fig 2.6b: pattern changes.
     let b0 = fixed.at(100_000).1.label();
     let b1 = fixed.at(1_600_000).1.label();
-    out.check("fixed bursty: every burst repeats the same pattern", format!("{b0} == {b1}"), b0 == b1);
+    out.check(
+        "fixed bursty: every burst repeats the same pattern",
+        format!("{b0} == {b1}"),
+        b0 == b1,
+    );
     let v0 = variable.at(100_000).1.label();
     let v1 = variable.at(1_600_000).1.label();
     out.check(
@@ -176,10 +236,17 @@ fn fig2_6() -> FigureOutput {
 
 fn matrix_figure(id: &'static str, title: &'static str, m: CommMatrix) -> FigureOutput {
     let mut out = FigureOutput::new(id, title);
-    out.push(format!("TDC (avg distinct destinations per rank): {:.2}", m.tdc()));
-    out.push(format!("traffic within +-8 of the diagonal: {:.1} %", 100.0 * m.diagonal_fraction(8)));
+    out.push(format!(
+        "TDC (avg distinct destinations per rank): {:.2}",
+        m.tdc()
+    ));
+    out.push(format!(
+        "traffic within +-8 of the diagonal: {:.1} %",
+        100.0 * m.diagonal_fraction(8)
+    ));
     out.push(m.render(16));
-    out.artifacts.push(write_artifact(&format!("{id}.csv"), &matrix_csv(&m)));
+    out.artifacts
+        .push(write_artifact(&format!("{id}.csv"), &matrix_csv(&m)));
     out
 }
 
@@ -201,7 +268,11 @@ fn fig2_10() -> FigureOutput {
     let mut out = matrix_figure("fig2_10", "LAMMPS chain: neighbors + far partners", m64);
     out.check(
         "chain TDC ~= 7, independent of rank count",
-        format!("64 ranks: {:.1}, 256 ranks: {:.1}", out_tdc(&lammps(LammpsProblem::Chain, 64)), m256.tdc()),
+        format!(
+            "64 ranks: {:.1}, 256 ranks: {:.1}",
+            out_tdc(&lammps(LammpsProblem::Chain, 64)),
+            m256.tdc()
+        ),
         (m256.tdc() - out_tdc(&lammps(LammpsProblem::Chain, 64))).abs() < 2.0,
     );
     out
@@ -229,7 +300,11 @@ fn fig2_12() -> FigureOutput {
     let m = CommMatrix::from_trace(&sweep3d(64));
     let (tdc, diag) = (m.tdc(), m.diagonal_fraction(8));
     let mut out = matrix_figure("fig2_12", "Sweep3D: strictly neighbor diagonal", m);
-    out.check("Sweep3D TDC ~= 4", format!("{tdc:.1}"), (2.0..5.5).contains(&tdc));
+    out.check(
+        "Sweep3D TDC ~= 4",
+        format!("{tdc:.1}"),
+        (2.0..5.5).contains(&tdc),
+    );
     out.check(
         "communications performed around the diagonal, mostly neighbors",
         format!("{:.1} % near-diagonal", 100.0 * diag),
@@ -242,7 +317,11 @@ fn fig2_13() -> FigureOutput {
     let m = CommMatrix::from_trace(&pop(64, 16));
     let (tdc, diag) = (m.tdc(), m.diagonal_fraction(8));
     let mut out = matrix_figure("fig2_13", "POP: diagonal bands + scattered remotes", m);
-    out.check("POP TDC up to ~11 (> stencil's 4)", format!("{tdc:.1}"), tdc > 4.0);
+    out.check(
+        "POP TDC up to ~11 (> stencil's 4)",
+        format!("{tdc:.1}"),
+        tdc > 4.0,
+    );
     out.check(
         "diagonal bands plus scattered remote communications",
         format!("{:.1} % near-diagonal (rest scattered)", 100.0 * diag),
@@ -290,11 +369,17 @@ fn sec4_7() -> FigureOutput {
 fn table4_1() -> FigureOutput {
     let mut out = FigureOutput::new("table4_1", "synthetic traffic pattern definitions");
     let mut rng = SimRng::new(1);
-    out.push(format!("{:<18} {}", "Pattern", "destinations of sources 0..8 (64 nodes)"));
+    out.push(format!(
+        "{:<18} {}",
+        "Pattern", "destinations of sources 0..8 (64 nodes)"
+    ));
     let mut ok = true;
-    for p in [TrafficPattern::BitReversal, TrafficPattern::Shuffle, TrafficPattern::Transpose] {
-        let dests: Vec<u32> =
-            (0..8).map(|s| p.dest(NodeId(s), 64, &mut rng).0).collect();
+    for p in [
+        TrafficPattern::BitReversal,
+        TrafficPattern::Shuffle,
+        TrafficPattern::Transpose,
+    ] {
+        let dests: Vec<u32> = (0..8).map(|s| p.dest(NodeId(s), 64, &mut rng).0).collect();
         out.push(format!("{:<18} {:?}", p.label(), dests));
         // Check the defining identities on a sample.
         let d1 = p.dest(NodeId(0b000001), 64, &mut rng).0;
@@ -308,7 +393,12 @@ fn table4_1() -> FigureOutput {
     }
     out.check(
         "d_i = s_{n-1-i} (reversal), s_{(i-1) mod n} (shuffle), s_{(i+n/2) mod n} (transpose)",
-        if ok { "all identities hold on samples" } else { "identity violated" }.to_string(),
+        if ok {
+            "all identities hold on samples"
+        } else {
+            "identity violated"
+        }
+        .to_string(),
         ok,
     );
     out

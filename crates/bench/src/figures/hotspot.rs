@@ -15,12 +15,36 @@ use prdrb_traffic::{BurstSchedule, HotSpotScenario, TrafficPattern};
 /// Registry entries for this module.
 pub fn targets() -> Vec<Target> {
     vec![
-        Target { id: "table4_2", title: "Table 4.2 — hot-spot simulation parameters", run: table4_2 },
-        Target { id: "fig4_8", title: "Fig 4.8 — path opening, hot-spot situation 1", run: fig4_8 },
-        Target { id: "fig4_9", title: "Fig 4.9 — path opening, hot-spot situations 2 & 3", run: fig4_9 },
-        Target { id: "fig4_10", title: "Fig 4.10 — mesh latency map, DRB", run: fig4_10_11 },
-        Target { id: "fig4_11", title: "Fig 4.11 — mesh latency map, PR-DRB", run: fig4_10_11 },
-        Target { id: "fig4_12", title: "Fig 4.12 — mesh average latency over bursts", run: fig4_12 },
+        Target {
+            id: "table4_2",
+            title: "Table 4.2 — hot-spot simulation parameters",
+            run: table4_2,
+        },
+        Target {
+            id: "fig4_8",
+            title: "Fig 4.8 — path opening, hot-spot situation 1",
+            run: fig4_8,
+        },
+        Target {
+            id: "fig4_9",
+            title: "Fig 4.9 — path opening, hot-spot situations 2 & 3",
+            run: fig4_9,
+        },
+        Target {
+            id: "fig4_10",
+            title: "Fig 4.10 — mesh latency map, DRB",
+            run: fig4_10_11,
+        },
+        Target {
+            id: "fig4_11",
+            title: "Fig 4.11 — mesh latency map, PR-DRB",
+            run: fig4_10_11,
+        },
+        Target {
+            id: "fig4_12",
+            title: "Fig 4.12 — mesh average latency over bursts",
+            run: fig4_12,
+        },
     ]
 }
 
@@ -28,17 +52,28 @@ fn table4_2() -> FigureOutput {
     let mut out = FigureOutput::new("table4_2", "simulation parameters (hot-spot)");
     let cfg = mesh_cfg(PolicyKind::PrDrb, 400.0);
     out.push(format!("Topology            : mesh 8x8"));
-    out.push(format!("Flow control        : virtual cut-through (credits)"));
+    out.push(format!(
+        "Flow control        : virtual cut-through (credits)"
+    ));
     out.push(format!("Link bandwidth      : {} Gbps", cfg.net.link_gbps));
-    out.push(format!("Packet size         : {} bytes", cfg.net.packet_bytes));
+    out.push(format!(
+        "Packet size         : {} bytes",
+        cfg.net.packet_bytes
+    ));
     out.push(format!(
         "Buffers             : {} KiB/input-VC, {} KiB/output",
         cfg.net.input_buf_bytes / 1024,
         cfg.net.output_buf_bytes / 1024
     ));
     out.push(format!("Generation rate     : 400 / 600 Mbps per node"));
-    out.push(format!("Patterns            : perfect shuffle bursts + uniform noise"));
-    out.check("parameters match Table 4.2", "2 Gbps, 1024 B, VCT, mesh 8x8", true);
+    out.push(format!(
+        "Patterns            : perfect shuffle bursts + uniform noise"
+    ));
+    out.check(
+        "parameters match Table 4.2",
+        "2 Gbps, 1024 B, VCT, mesh 8x8",
+        true,
+    );
     out
 }
 
@@ -64,8 +99,16 @@ fn scenario_cfg(policy: PolicyKind, scenario: &HotSpotScenario, mbps: f64) -> Si
 
 fn path_opening(id: &'static str, title: &'static str, scenario: HotSpotScenario) -> FigureOutput {
     let mut out = FigureOutput::new(id, title);
-    out.push(format!("scenario: {} — {} hot flows + {} noise nodes", scenario.name, scenario.flows.len(), scenario.noise_nodes.len()));
-    let det = run_labeled(scenario_cfg(PolicyKind::Deterministic, &scenario, 700.0), "det");
+    out.push(format!(
+        "scenario: {} — {} hot flows + {} noise nodes",
+        scenario.name,
+        scenario.flows.len(),
+        scenario.noise_nodes.len()
+    ));
+    let det = run_labeled(
+        scenario_cfg(PolicyKind::Deterministic, &scenario, 700.0),
+        "det",
+    );
     let drb = run_labeled(scenario_cfg(PolicyKind::Drb, &scenario, 700.0), "drb");
     out.push(format!(
         "deterministic: avg latency {:8.2} us, {} contended routers",
@@ -111,16 +154,27 @@ fn path_opening(id: &'static str, title: &'static str, scenario: HotSpotScenario
 }
 
 fn fig4_8() -> FigureOutput {
-    path_opening("fig4_8", "hot-spot situation 1", HotSpotScenario::situation1(&Mesh2D::new(8, 8)))
+    path_opening(
+        "fig4_8",
+        "hot-spot situation 1",
+        HotSpotScenario::situation1(&Mesh2D::new(8, 8)),
+    )
 }
 
 fn fig4_9() -> FigureOutput {
-    path_opening("fig4_9", "hot-spot situations 2 & 3", HotSpotScenario::situation2(&Mesh2D::new(8, 8)))
+    path_opening(
+        "fig4_9",
+        "hot-spot situations 2 & 3",
+        HotSpotScenario::situation2(&Mesh2D::new(8, 8)),
+    )
 }
 
 fn fig4_10_11() -> FigureOutput {
     let mut out = FigureOutput::new("fig4_10_11", "mesh latency maps: DRB vs PR-DRB (bursty)");
-    let reports = run_policies(|k| mesh_cfg(k, 600.0), &[PolicyKind::Drb, PolicyKind::PrDrb]);
+    let reports = run_policies(
+        |k| mesh_cfg(k, 600.0),
+        &[PolicyKind::Drb, PolicyKind::PrDrb],
+    );
     let (drb, pr) = (&reports[0], &reports[1]);
     out.push("DRB latency map:");
     out.push(drb.latency_map.render());
@@ -133,16 +187,29 @@ fn fig4_10_11() -> FigureOutput {
         drb.global_avg_latency_us,
         pr.global_avg_latency_us
     ));
-    out.artifacts.push(write_artifact("fig4_10_drb_map.csv", &drb.latency_map.to_csv()));
-    out.artifacts.push(write_artifact("fig4_11_prdrb_map.csv", &pr.latency_map.to_csv()));
+    out.artifacts.push(write_artifact(
+        "fig4_10_drb_map.csv",
+        &drb.latency_map.to_csv(),
+    ));
+    out.artifacts.push(write_artifact(
+        "fig4_11_prdrb_map.csv",
+        &pr.latency_map.to_csv(),
+    ));
     out.check(
         "PR-DRB's highest map value is lower than DRB's (better distribution)",
-        format!("{:.2} vs {:.2} us", pr.latency_map.peak_us(), drb.latency_map.peak_us()),
+        format!(
+            "{:.2} vs {:.2} us",
+            pr.latency_map.peak_us(),
+            drb.latency_map.peak_us()
+        ),
         pr.latency_map.peak_us() <= drb.latency_map.peak_us() * 1.05,
     );
     out.check(
         "global latency reduction of about 20 % (paper) — direction must hold",
-        format!("{:+.1} %", pct(pr.global_avg_latency_us, drb.global_avg_latency_us)),
+        format!(
+            "{:+.1} %",
+            pct(pr.global_avg_latency_us, drb.global_avg_latency_us)
+        ),
         pr.global_avg_latency_us <= drb.global_avg_latency_us * 1.02,
     );
     out.check(
@@ -154,22 +221,37 @@ fn fig4_10_11() -> FigureOutput {
 }
 
 fn fig4_12() -> FigureOutput {
-    let mut out = FigureOutput::new("fig4_12", "average latency in the mesh over repetitive bursts");
-    let reports = run_policies(|k| mesh_cfg(k, 600.0), &[PolicyKind::Drb, PolicyKind::PrDrb]);
+    let mut out = FigureOutput::new(
+        "fig4_12",
+        "average latency in the mesh over repetitive bursts",
+    );
+    let reports = run_policies(
+        |k| mesh_cfg(k, 600.0),
+        &[PolicyKind::Drb, PolicyKind::PrDrb],
+    );
     let (drb, pr) = (&reports[0], &reports[1]);
     let pairs: Vec<(&str, _)> = vec![("drb", &drb.series), ("pr-drb", &pr.series)];
     out.push(render_series(&pairs, 12));
-    out.artifacts.push(write_artifact("fig4_12.csv", &series_csv(&pairs)));
+    out.artifacts
+        .push(write_artifact("fig4_12.csv", &series_csv(&pairs)));
     let sd = SeriesSummary::of(&drb.series);
     let sp = SeriesSummary::of(&pr.series);
     out.check(
         "PR-DRB reaches better global latency in less time (mean below DRB)",
-        format!("drb {:.2} us vs pr-drb {:.2} us ({:+.1} %)", sd.mean_us, sp.mean_us, pct(sp.mean_us, sd.mean_us)),
+        format!(
+            "drb {:.2} us vs pr-drb {:.2} us ({:+.1} %)",
+            sd.mean_us,
+            sp.mean_us,
+            pct(sp.mean_us, sd.mean_us)
+        ),
         sp.mean_us <= sd.mean_us * 1.02,
     );
     out.check(
         "throughput is not penalized (offered == accepted for both)",
-        format!("drb {}/{}, pr {}/{}", drb.accepted, drb.offered, pr.accepted, pr.offered),
+        format!(
+            "drb {}/{}, pr {}/{}",
+            drb.accepted, drb.offered, pr.accepted, pr.offered
+        ),
         drb.offered == drb.accepted && pr.offered == pr.accepted,
     );
     out

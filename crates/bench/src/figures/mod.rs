@@ -14,7 +14,7 @@ pub mod permutation;
 use crate::{scaled, FigureOutput};
 use prdrb_apps::Trace;
 use prdrb_core::PolicyKind;
-use prdrb_engine::{RunReport, SimConfig, Simulation, TopologyKind};
+use prdrb_engine::{RunReport, SimConfig, TopologyKind};
 use prdrb_simcore::time::MILLISECOND;
 use prdrb_traffic::{BurstSchedule, TrafficPattern};
 
@@ -41,12 +41,7 @@ pub fn registry() -> Vec<Target> {
 
 /// Table 4.3 synthetic fat-tree configuration: repetitive permutation
 /// bursts at `mbps` per node over `nodes` communicating nodes.
-pub fn ft_cfg(
-    policy: PolicyKind,
-    pattern: TrafficPattern,
-    mbps: f64,
-    nodes: usize,
-) -> SimConfig {
+pub fn ft_cfg(policy: PolicyKind, pattern: TrafficPattern, mbps: f64, nodes: usize) -> SimConfig {
     // Long bursts relative to DRB's adaptation time, as in the thesis'
     // figures (whose x-axes span whole seconds): the predictive gain is
     // the skipped transitory state at each burst head.
@@ -69,8 +64,7 @@ fn set_load_proportional_thresholds(cfg: &mut SimConfig, mbps: f64) {
 
 /// Table 4.2 mesh configuration: bursty shuffle over uniform noise.
 pub fn mesh_cfg(policy: PolicyKind, mbps: f64) -> SimConfig {
-    let schedule =
-        BurstSchedule::repetitive(TrafficPattern::Shuffle, mbps, 1_000_000, 500_000);
+    let schedule = BurstSchedule::repetitive(TrafficPattern::Shuffle, mbps, 1_000_000, 500_000);
     let mut cfg = SimConfig::synthetic(TopologyKind::Mesh8x8, policy, schedule, 64);
     cfg.duration_ns = scaled(9 * MILLISECOND);
     cfg.net.monitor.router_threshold_ns = 4_000;
@@ -93,83 +87,62 @@ pub fn trace_cfg(policy: PolicyKind, trace: Trace) -> SimConfig {
     cfg
 }
 
-/// Run one configuration with a label.
+/// Run one configuration with a label, through the shared run cache.
 pub fn run_labeled(mut cfg: SimConfig, label: impl Into<String>) -> RunReport {
     cfg.label = label.into();
-    Simulation::new(cfg).run()
+    prdrb_engine::run_cached(cfg, crate::run_cache()).0
 }
 
 /// Number of seeded replicas per configuration (§4.3 methodology);
-/// override with `PRDRB_SEEDS`.
+/// override with `PRDRB_SEEDS`. The parallel sweep executor plus the
+/// run cache make replicas cheap, so the default leans high enough
+/// that no paper-vs-measured comparison rides on single-seed noise.
 pub fn num_seeds() -> u64 {
-    std::env::var("PRDRB_SEEDS").ok().and_then(|s| s.parse().ok()).unwrap_or(3)
+    std::env::var("PRDRB_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5)
 }
 
 /// Run the same config under several policies, each averaged over the
-/// seeded replicas, in parallel. The returned report is the seed-1 run
-/// (for series/maps) with the headline scalars replaced by the
-/// cross-seed averages.
+/// seeded replicas, through the engine's parallel sweep executor (and
+/// the shared run cache). The returned report is the seed-1 run (for
+/// series/maps) with the headline scalars replaced by the cross-seed
+/// folds of [`RunReport::fold_replicas`].
 pub fn run_policies(
-    make: impl Fn(PolicyKind) -> SimConfig + Sync,
+    make: impl Fn(PolicyKind) -> SimConfig,
     kinds: &[PolicyKind],
 ) -> Vec<RunReport> {
-    use rayon::prelude::*;
-    let seeds: Vec<u64> = (1..=num_seeds()).collect();
-    let jobs: Vec<(PolicyKind, u64)> =
-        kinds.iter().flat_map(|&k| seeds.iter().map(move |&s| (k, s))).collect();
-    let mut runs: Vec<(PolicyKind, u64, RunReport)> = jobs
-        .into_par_iter()
-        .map(|(k, seed)| {
-            let mut cfg = make(k);
-            cfg.seed = seed;
-            if cfg.label.is_empty() {
-                cfg.label = k.label().into();
-            } else {
-                cfg.label = format!("{}/{}", cfg.label, k.label());
-            }
-            (k, seed, Simulation::new(cfg).run())
-        })
-        .collect();
-    runs.sort_by_key(|(k, s, _)| (kinds.iter().position(|x| x == k), *s));
-    kinds
-        .iter()
-        .map(|&k| {
-            let group: Vec<RunReport> = runs
-                .extract_if(.., |(rk, _, _)| *rk == k)
-                .map(|(_, _, r)| r)
-                .collect();
-            average_reports(group)
-        })
-        .collect()
+    let mut cfgs: Vec<SimConfig> = Vec::with_capacity(kinds.len());
+    for &k in kinds {
+        let mut cfg = make(k);
+        if cfg.label.is_empty() {
+            cfg.label = k.label().into();
+        } else {
+            cfg.label = format!("{}/{}", cfg.label, k.label());
+        }
+        cfgs.push(cfg);
+    }
+    run_replicated(cfgs)
 }
 
-/// Fold seeded replicas into one report: seed-1's series/maps, averaged
-/// scalars.
-fn average_reports(mut group: Vec<RunReport>) -> RunReport {
-    let n = group.len() as f64;
-    let avg_lat = group.iter().map(|r| r.global_avg_latency_us).sum::<f64>() / n;
-    let avg_exec = {
-        let times: Vec<u64> = group.iter().filter_map(|r| r.exec_time_ns).collect();
-        (!times.is_empty())
-            .then(|| times.iter().sum::<u64>() / times.len() as u64)
-    };
-    let avg_map: Vec<f64> = (0..group[0].latency_map.values_us.len())
-        .map(|i| group.iter().map(|r| r.latency_map.values_us[i]).sum::<f64>() / n)
+/// Run each configuration over the seeded replicas (§4.3) through the
+/// engine's parallel sweep executor and the shared run cache, folding
+/// each config's replicas into one report. Input order is preserved.
+pub fn run_replicated(cfgs: Vec<SimConfig>) -> Vec<RunReport> {
+    let seeds: Vec<u64> = (1..=num_seeds()).collect();
+    let jobs: Vec<SimConfig> = cfgs
+        .iter()
+        .flat_map(|c| {
+            seeds.iter().map(|&s| {
+                let mut c = c.clone();
+                c.seed = s;
+                c
+            })
+        })
         .collect();
-    let mut first = group.remove(0);
-    first.global_avg_latency_us = avg_lat;
-    first.exec_time_ns = avg_exec;
-    first.latency_map.values_us = avg_map;
-    for r in group {
-        first.quantiles.merge(&r.quantiles);
-        first.messages += r.messages;
-        first.offered += r.offered;
-        first.accepted += r.accepted;
-        first.notifications += r.notifications;
-        first.policy_stats.expansions += r.policy_stats.expansions;
-        first.policy_stats.patterns_found += r.policy_stats.patterns_found;
-        first.policy_stats.patterns_reused += r.policy_stats.patterns_reused;
-        first.policy_stats.reuse_applications += r.policy_stats.reuse_applications;
-    }
-    first
+    let mut runs = prdrb_engine::run_many(jobs, crate::run_cache()).into_iter();
+    cfgs.iter()
+        .map(|_| RunReport::fold_replicas(runs.by_ref().take(seeds.len()).collect()))
+        .collect()
 }

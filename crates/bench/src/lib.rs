@@ -15,7 +15,9 @@
 
 pub mod figures;
 
+use prdrb_engine::RunCache;
 use std::path::PathBuf;
+use std::sync::OnceLock;
 
 /// Root directory for generated artifacts.
 pub fn results_dir() -> PathBuf {
@@ -35,11 +37,31 @@ pub fn write_artifact(name: &str, contents: &str) -> PathBuf {
     p
 }
 
+/// The shared run cache every bench target runs through. Controlled by
+/// `PRDRB_CACHE`: unset → `results_dir()/.cache` (caching ON), a path →
+/// that directory, `off`/`0` → disabled. Results are content-addressed
+/// by a stable hash of the full `SimConfig`, so a stale hit is
+/// impossible — delete the directory to reclaim disk, never for
+/// correctness.
+pub fn run_cache() -> Option<&'static RunCache> {
+    static CACHE: OnceLock<Option<RunCache>> = OnceLock::new();
+    CACHE
+        .get_or_init(|| match std::env::var("PRDRB_CACHE") {
+            Ok(v) if v == "off" || v == "0" => None,
+            Ok(dir) if !dir.is_empty() => Some(RunCache::new(dir)),
+            _ => Some(RunCache::new(results_dir().join(".cache"))),
+        })
+        .as_ref()
+}
+
 /// Duration scale factor: `PRDRB_SCALE` (default 1.0) multiplies the
 /// simulated durations so CI / quick runs can shrink every experiment
 /// uniformly.
 pub fn scale() -> f64 {
-    std::env::var("PRDRB_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
+    std::env::var("PRDRB_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0)
 }
 
 /// Scale a nanosecond duration by [`scale`].
@@ -61,7 +83,11 @@ pub struct Expectation {
 impl Expectation {
     /// Build a check line.
     pub fn new(paper: impl Into<String>, measured: impl Into<String>, holds: bool) -> Self {
-        Self { paper: paper.into(), measured: measured.into(), holds }
+        Self {
+            paper: paper.into(),
+            measured: measured.into(),
+            holds,
+        }
     }
 
     /// Render with a ✓/✗ marker.
@@ -93,7 +119,11 @@ pub struct FigureOutput {
 impl FigureOutput {
     /// Start an output for `id`.
     pub fn new(id: &str, title: &str) -> Self {
-        Self { id: id.into(), title: title.into(), ..Default::default() }
+        Self {
+            id: id.into(),
+            title: title.into(),
+            ..Default::default()
+        }
     }
 
     /// Append body text.
@@ -161,7 +191,10 @@ mod tests {
 
     #[test]
     fn figure_output_accumulates() {
-        std::env::set_var("PRDRB_RESULTS", std::env::temp_dir().join("prdrb-test-results"));
+        std::env::set_var(
+            "PRDRB_RESULTS",
+            std::env::temp_dir().join("prdrb-test-results"),
+        );
         let mut f = FigureOutput::new("test_fig", "a test");
         f.push("hello");
         f.check("x > y", "x=2 y=1", true);

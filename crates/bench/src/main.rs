@@ -8,7 +8,9 @@
 //! ```
 //!
 //! Environment: `PRDRB_RESULTS` (output dir, default `results/`),
-//! `PRDRB_SCALE` (duration multiplier for quick runs, default 1.0).
+//! `PRDRB_SCALE` (duration multiplier for quick runs, default 1.0),
+//! `PRDRB_SEEDS` (replicas per config, default 5), `PRDRB_CACHE`
+//! (run-cache dir; `off`/`0` disables, default `results/.cache`).
 
 use prdrb_bench::figures::{registry, Target};
 use rayon::prelude::*;
@@ -41,24 +43,48 @@ fn main() {
         sel
     };
     let started = std::time::Instant::now();
-    let outputs: Vec<(String, String, bool)> = selected
+    prdrb_engine::reset_cache_stats();
+    let outputs: Vec<(String, String, bool, f64)> = selected
         .par_iter()
         .map(|t| {
+            let t0 = std::time::Instant::now();
             let out = (t.run)();
             let ok = out.all_hold();
-            (t.id.to_string(), out.finish(), ok)
+            (
+                t.id.to_string(),
+                out.finish(),
+                ok,
+                t0.elapsed().as_secs_f64(),
+            )
         })
         .collect();
     let mut failed = 0;
-    for (_, text, ok) in &outputs {
+    for (_, text, ok, _) in &outputs {
         println!("{text}");
         if !ok {
             failed += 1;
         }
     }
+    println!("per-target wall-clock:");
+    for (id, _, ok, secs) in &outputs {
+        println!(
+            "  {:<22} {:>8.2} s  [{}]",
+            id,
+            secs,
+            if *ok { "ok" } else { "!!" }
+        );
+    }
+    let (hits, misses) = prdrb_engine::cache_stats();
+    let cache_line = match prdrb_bench::run_cache() {
+        Some(c) => format!(
+            "run cache: {hits} hit(s), {misses} miss(es) in {}",
+            c.dir().display()
+        ),
+        None => "run cache: disabled (PRDRB_CACHE=off)".into(),
+    };
     println!(
         "\n{} target(s) in {:.1} s; {} with all checks holding, {} with deviations; \
-         artifacts in {}",
+         {cache_line}; artifacts in {}",
         outputs.len(),
         started.elapsed().as_secs_f64(),
         outputs.len() - failed,

@@ -86,27 +86,42 @@ impl DrbConfig {
 
     /// PR-DRB: DRB plus the predictive solution database.
     pub fn pr_drb() -> Self {
-        Self { predictive: true, ..Self::default() }
+        Self {
+            predictive: true,
+            ..Self::default()
+        }
     }
 
     /// FR-DRB: DRB with the fast-response watchdog timer.
     pub fn fr_drb() -> Self {
-        Self { watchdog_ns: Some(60 * MICROSECOND), ..Self::default() }
+        Self {
+            watchdog_ns: Some(60 * MICROSECOND),
+            ..Self::default()
+        }
     }
 
     /// Predictive FR-DRB (the modular composition shown for POP, §4.8.4).
     pub fn pr_fr_drb() -> Self {
-        Self { predictive: true, ..Self::fr_drb() }
+        Self {
+            predictive: true,
+            ..Self::fr_drb()
+        }
     }
 
     /// PR-DRB with the §5.2 latency-trend predictor enabled.
     pub fn pr_drb_trend() -> Self {
-        Self { trend_window: 8, ..Self::pr_drb() }
+        Self {
+            trend_window: 8,
+            ..Self::pr_drb()
+        }
     }
 
     /// Sanity-check the configuration.
     pub fn validate(&self) {
-        assert!(self.threshold_low_ns < self.threshold_high_ns, "zone thresholds inverted");
+        assert!(
+            self.threshold_low_ns < self.threshold_high_ns,
+            "zone thresholds inverted"
+        );
         assert!(self.max_paths >= 1);
         assert!((0.0..=1.0).contains(&self.ewma_alpha));
         assert!((0.0..=1.0).contains(&self.min_similarity));
@@ -130,7 +145,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "inverted")]
     fn rejects_inverted_thresholds() {
-        DrbConfig { threshold_low_ns: 10, threshold_high_ns: 5, ..Default::default() }
-            .validate();
+        DrbConfig {
+            threshold_low_ns: 10,
+            threshold_high_ns: 5,
+            ..Default::default()
+        }
+        .validate();
     }
 }

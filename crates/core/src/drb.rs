@@ -19,9 +19,9 @@
 
 use crate::config::DrbConfig;
 use crate::metapath::Metapath;
-use crate::trend::TrendDetector;
 use crate::policy::{base_path, PolicyStats, RoutingPolicy};
 use crate::solutions::{normalize, SolutionDb};
+use crate::trend::TrendDetector;
 use crate::zones::{Transition, Zone, ZoneTracker};
 use prdrb_network::{FlowPair, NotifyMode, Packet, PacketKind};
 use prdrb_simcore::time::Time;
@@ -89,7 +89,10 @@ impl DrbPolicy {
 
     /// Number of open paths for a flow (1 when never seen).
     pub fn open_paths(&self, src: NodeId, dst: NodeId) -> usize {
-        self.flows.get(&(src, dst)).map(|f| f.metapath.len()).unwrap_or(1)
+        self.flows
+            .get(&(src, dst))
+            .map(|f| f.metapath.len())
+            .unwrap_or(1)
     }
 
     /// The solution database of one source, if it saved anything.
@@ -141,7 +144,13 @@ impl DrbPolicy {
     }
 
     /// Lazily compute the ordered alternative list for a flow.
-    fn ensure_alts(topo: &AnyTopology, cfg: &DrbConfig, fs: &mut FlowState, src: NodeId, dst: NodeId) {
+    fn ensure_alts(
+        topo: &AnyTopology,
+        cfg: &DrbConfig,
+        fs: &mut FlowState,
+        src: NodeId,
+        dst: NodeId,
+    ) {
         if fs.alts.is_some() {
             return;
         }
@@ -172,29 +181,38 @@ impl DrbPolicy {
                 .map(|f| !f.solution_applied)
                 .unwrap_or(true);
         if try_lookup {
-            let pattern = self
+            let (pattern, open_now) = self
                 .flows
                 .get(&(src, dst))
-                .map(|f| normalize(f.pattern.clone()))
+                .map(|f| (normalize(f.pattern.clone()), f.metapath.len()))
                 .unwrap_or_default();
             if !pattern.is_empty() {
                 let db = self.dbs.entry(src).or_default();
-                if let Some(sol) = db.lookup(&pattern, cfg.min_similarity, cfg.similarity) {
-                    let paths = sol.paths.clone();
-                    if let Some(fs) = self.flows.get_mut(&(src, dst)) {
-                        // "Maximum path expansion is directly done"
-                        // (§4.6.3): install the full saved set at once.
-                        fs.metapath.install(&paths);
-                        fs.last_adjust = now;
-                        fs.solution_applied = true;
+                if let Some(i) = db.find(&pattern, cfg.min_similarity, cfg.similarity) {
+                    // Applying a saved solution is an *expansion*
+                    // shortcut (Fig 3.15): never let a stale match
+                    // shrink (or sideways-swap) a metapath congestion
+                    // already grew past it — fall through to the normal
+                    // one-path-at-a-time opening instead.
+                    if db.get(i).paths.len() > open_now {
+                        let paths = db.apply(i).paths.clone();
+                        if let Some(fs) = self.flows.get_mut(&(src, dst)) {
+                            // "Maximum path expansion is directly done"
+                            // (§4.6.3): install the full saved set at once.
+                            fs.metapath.install(&paths);
+                            fs.last_adjust = now;
+                            fs.solution_applied = true;
+                        }
+                        return;
                     }
-                    return;
                 }
             }
         }
         // Standard opening procedure: next unopened candidate.
         let topo = self.topo.clone();
-        let Some(fs) = self.flows.get_mut(&(src, dst)) else { return };
+        let Some(fs) = self.flows.get_mut(&(src, dst)) else {
+            return;
+        };
         if fs.metapath.len() >= cfg.max_paths {
             return;
         }
@@ -239,7 +257,9 @@ impl DrbPolicy {
             }
         }
         let mp_latency = fs.metapath.latency_ns();
-        let tr = fs.zone.observe(mp_latency, cfg.threshold_low_ns, cfg.threshold_high_ns);
+        let tr = fs
+            .zone
+            .observe(mp_latency, cfg.threshold_low_ns, cfg.threshold_high_ns);
         let zone = fs.zone.zone();
         // §5.2 trend prediction: react while still in the working zone
         // if the latency trajectory will cross Threshold_High soon.
@@ -352,13 +372,21 @@ impl RoutingPolicy for DrbPolicy {
     }
 
     fn on_ack(&mut self, ack: &Packet, now: Time) {
-        let PacketKind::Ack { data_latency, data_msp, from_router } = ack.kind else {
+        let PacketKind::Ack {
+            data_latency,
+            data_msp,
+            from_router,
+        } = ack.kind
+        else {
             debug_assert!(false, "on_ack called with a data packet");
             return;
         };
         let me = ack.dst; // ACKs are addressed to the original source
-        let flows: Vec<FlowPair> =
-            ack.predictive.as_ref().map(|h| h.flows.clone()).unwrap_or_default();
+        let flows: Vec<FlowPair> = ack
+            .predictive
+            .as_ref()
+            .map(|h| h.flows.clone())
+            .unwrap_or_default();
         if from_router.is_some() {
             // Predictive (router-injected) early notification: act on
             // every listed flow we originate — congestion is live now.
@@ -380,15 +408,16 @@ impl RoutingPolicy for DrbPolicy {
     }
 
     fn tick(&mut self, now: Time) {
-        let Some(watchdog) = self.cfg.watchdog_ns else { return };
+        let Some(watchdog) = self.cfg.watchdog_ns else {
+            return;
+        };
         // FR-DRB: an ACK overdue on an active flow is a congestion sign
         // (§4.8.4) — react without waiting for the notification.
         let overdue: Vec<(NodeId, NodeId)> = self
             .flows
             .iter()
             .filter(|(_, fs)| {
-                fs.outstanding > 0
-                    && now.saturating_sub(fs.last_send.max(fs.last_ack)) > watchdog
+                fs.outstanding > 0 && now.saturating_sub(fs.last_send.max(fs.last_ack)) > watchdog
             })
             .map(|(&k, _)| k)
             .collect();
@@ -454,7 +483,11 @@ mod tests {
             msp_index: 0,
             path_latency: 0,
             hops: 0,
-            kind: PacketKind::Ack { data_latency: latency, data_msp: msp, from_router: None },
+            kind: PacketKind::Ack {
+                data_latency: latency,
+                data_msp: msp,
+                from_router: None,
+            },
             predictive: None,
             queued_at: 0,
             decided_port: None,
@@ -479,7 +512,13 @@ mod tests {
     fn drb(topo: AnyTopology, cfg: DrbConfig) -> DrbPolicy {
         // Tests drive ACKs at arbitrary timestamps; disable the settle
         // pacing except where a test exercises it explicitly.
-        DrbPolicy::new(topo, DrbConfig { adjust_settle_ns: 0, ..cfg })
+        DrbPolicy::new(
+            topo,
+            DrbConfig {
+                adjust_settle_ns: 0,
+                ..cfg
+            },
+        )
     }
 
     #[test]
@@ -511,7 +550,10 @@ mod tests {
 
     #[test]
     fn settle_window_paces_openings() {
-        let cfg = DrbConfig { adjust_settle_ns: 40_000, ..DrbConfig::drb() };
+        let cfg = DrbConfig {
+            adjust_settle_ns: 40_000,
+            ..DrbConfig::drb()
+        };
         let mut p = DrbPolicy::new(AnyTopology::mesh8x8(), cfg);
         let mut rng = SimRng::new(1);
         let _ = p.choose(NodeId(0), NodeId(63), 0, &mut rng);
@@ -558,7 +600,11 @@ mod tests {
         for _ in 0..200 {
             used.insert(p.choose(NodeId(0), NodeId(63), 10, &mut rng).0);
         }
-        assert!(used.len() >= 3, "traffic should spread, used {}", used.len());
+        assert!(
+            used.len() >= 3,
+            "traffic should spread, used {}",
+            used.len()
+        );
     }
 
     #[test]
@@ -569,7 +615,10 @@ mod tests {
         let pattern = [(0, 63), (1, 62), (2, 61)];
         // Episode 1: congestion with a visible contending pattern.
         for i in 0..3u64 {
-            p.on_ack(&ack_with_flows(0, 63, 100 * MICROSECOND, 0, &pattern), i + 1);
+            p.on_ack(
+                &ack_with_flows(0, 63, 100 * MICROSECOND, 0, &pattern),
+                i + 1,
+            );
         }
         assert_eq!(p.open_paths(NodeId(0), NodeId(63)), 4);
         // Latency settles → H→M saves the 4-path solution (60 µs per
@@ -588,7 +637,10 @@ mod tests {
         assert_eq!(p.open_paths(NodeId(0), NodeId(63)), 1);
         // Episode 2: the same pattern reappears → solution applied at
         // once (full expansion in one step, no gradual opening).
-        p.on_ack(&ack_with_flows(0, 63, 100 * MICROSECOND, 0, &pattern), 1_000);
+        p.on_ack(
+            &ack_with_flows(0, 63, 100 * MICROSECOND, 0, &pattern),
+            1_000,
+        );
         assert_eq!(
             p.open_paths(NodeId(0), NodeId(63)),
             4,
@@ -605,7 +657,10 @@ mod tests {
         let _ = p.choose(NodeId(0), NodeId(63), 0, &mut rng);
         let pattern = [(0, 63), (1, 62)];
         for i in 0..3u64 {
-            p.on_ack(&ack_with_flows(0, 63, 100 * MICROSECOND, 0, &pattern), i + 1);
+            p.on_ack(
+                &ack_with_flows(0, 63, 100 * MICROSECOND, 0, &pattern),
+                i + 1,
+            );
         }
         for i in 0..4u8 {
             p.on_ack(&ack(0, 63, 60 * MICROSECOND, i), 100);
@@ -615,7 +670,10 @@ mod tests {
 
     #[test]
     fn watchdog_fires_without_acks() {
-        let cfg = DrbConfig { watchdog_ns: Some(10 * MICROSECOND), ..DrbConfig::drb() };
+        let cfg = DrbConfig {
+            watchdog_ns: Some(10 * MICROSECOND),
+            ..DrbConfig::drb()
+        };
         let mut p = drb(AnyTopology::mesh8x8(), cfg);
         let mut rng = SimRng::new(5);
         let _ = p.choose(NodeId(0), NodeId(63), 0, &mut rng);
@@ -624,7 +682,11 @@ mod tests {
         assert_eq!(p.stats().watchdog_fires, 0, "not overdue yet");
         p.tick(20 * MICROSECOND);
         assert_eq!(p.stats().watchdog_fires, 1);
-        assert_eq!(p.open_paths(NodeId(0), NodeId(63)), 2, "expanded without any ACK");
+        assert_eq!(
+            p.open_paths(NodeId(0), NodeId(63)),
+            2,
+            "expanded without any ACK"
+        );
         // Re-armed: the next tick shortly after does not refire.
         p.tick(21 * MICROSECOND);
         assert_eq!(p.stats().watchdog_fires, 1);
@@ -632,21 +694,32 @@ mod tests {
 
     #[test]
     fn router_based_predictive_ack_reacts_immediately() {
-        let cfg = DrbConfig { router_based: true, ..DrbConfig::pr_drb() };
+        let cfg = DrbConfig {
+            router_based: true,
+            ..DrbConfig::pr_drb()
+        };
         let mut p = drb(AnyTopology::mesh8x8(), cfg);
         assert_eq!(p.notify_mode(), NotifyMode::Router);
         let mut rng = SimRng::new(5);
         let _ = p.choose(NodeId(3), NodeId(60), 0, &mut rng);
         // A router-injected predictive ACK listing our flow.
         let mut a = ack_with_flows(3, 60, 0, 0, &[(3, 60), (4, 59)]);
-        if let PacketKind::Ack { ref mut from_router, .. } = a.kind {
+        if let PacketKind::Ack {
+            ref mut from_router,
+            ..
+        } = a.kind
+        {
             *from_router = Some(prdrb_topology::RouterId(7));
         }
         p.on_ack(&a, 1_000);
         assert_eq!(p.open_paths(NodeId(3), NodeId(60)), 2, "early expansion");
         // Flows we do not originate are ignored.
         let mut b = ack_with_flows(3, 60, 0, 0, &[(9, 50)]);
-        if let PacketKind::Ack { ref mut from_router, .. } = b.kind {
+        if let PacketKind::Ack {
+            ref mut from_router,
+            ..
+        } = b.kind
+        {
             *from_router = Some(prdrb_topology::RouterId(7));
         }
         p.on_ack(&b, 2_000);

@@ -29,11 +29,11 @@ pub mod zones;
 pub use config::{DrbConfig, Similarity};
 pub use drb::DrbPolicy;
 pub use metapath::{Metapath, MspEntry};
+pub use offline::{heavy_flows, predicted_contenders, preload, ProfiledFlow};
 pub use policy::{
     make_policy, AdaptivePerHop, CyclicPriority, Deterministic, PolicyKind, PolicyStats,
     RandomMinimal, RoutingPolicy,
 };
-pub use offline::{heavy_flows, predicted_contenders, preload, ProfiledFlow};
 pub use solutions::{normalize, similarity, Solution, SolutionDb};
 pub use trend::TrendDetector;
 pub use zones::{Transition, Zone, ZoneTracker};

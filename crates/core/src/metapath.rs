@@ -49,6 +49,12 @@ impl Metapath {
         self.msps.len()
     }
 
+    /// A metapath is never empty: it always holds at least the original
+    /// path (present for the `len`/`is_empty` convention only).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
     /// True if only the original path is open.
     pub fn is_single(&self) -> bool {
         self.msps.len() == 1
@@ -66,9 +72,18 @@ impl Metapath {
         if self.msps.iter().any(|e| e.descriptor == descriptor) {
             return false;
         }
-        let best =
-            self.msps.iter().map(|e| e.latency_ns).fold(f64::INFINITY, f64::min).max(1.0);
-        self.msps.push(MspEntry { descriptor, latency_ns: best, len, samples: 0 });
+        let best = self
+            .msps
+            .iter()
+            .map(|e| e.latency_ns)
+            .fold(f64::INFINITY, f64::min)
+            .max(1.0);
+        self.msps.push(MspEntry {
+            descriptor,
+            latency_ns: best,
+            len,
+            samples: 0,
+        });
         true
     }
 
@@ -92,14 +107,23 @@ impl Metapath {
     /// §3.2.6). Keeps latency estimates of descriptors that stay open.
     pub fn install(&mut self, paths: &[(PathDescriptor, u32)]) {
         let old = std::mem::take(&mut self.msps);
-        let best = old.iter().map(|e| e.latency_ns).fold(f64::INFINITY, f64::min).max(1.0);
+        let best = old
+            .iter()
+            .map(|e| e.latency_ns)
+            .fold(f64::INFINITY, f64::min)
+            .max(1.0);
         for &(descriptor, len) in paths {
             let latency_ns = old
                 .iter()
                 .find(|e| e.descriptor == descriptor)
                 .map(|e| e.latency_ns)
                 .unwrap_or(best);
-            self.msps.push(MspEntry { descriptor, latency_ns, len, samples: 0 });
+            self.msps.push(MspEntry {
+                descriptor,
+                latency_ns,
+                len,
+                samples: 0,
+            });
         }
         if self.msps.is_empty() {
             self.msps = old;
@@ -162,7 +186,10 @@ mod tests {
     use prdrb_topology::NodeId;
 
     fn msp(i: u32) -> PathDescriptor {
-        PathDescriptor::Msp { in1: NodeId(i), in2: NodeId(i + 100) }
+        PathDescriptor::Msp {
+            in1: NodeId(i),
+            in2: NodeId(i + 100),
+        }
     }
 
     fn mp3() -> Metapath {
@@ -231,7 +258,10 @@ mod tests {
         // bias) would give ~0.83 / 0.083 / 0.083; the mild short-path
         // bias pushes it higher.
         assert!(counts[0] > 7_500, "fast path got {}", counts[0]);
-        assert!(counts[1] > 100 && counts[2] > 100, "slow paths still probed");
+        assert!(
+            counts[1] > 100 && counts[2] > 100,
+            "slow paths still probed"
+        );
     }
 
     #[test]

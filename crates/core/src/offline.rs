@@ -41,7 +41,11 @@ pub fn heavy_flows(profile: &[ProfiledFlow], fraction: f64) -> Vec<ProfiledFlow>
         return Vec::new();
     }
     let bar = (max as f64 * fraction) as u64;
-    profile.iter().copied().filter(|f| f.bytes >= bar && f.src != f.dst).collect()
+    profile
+        .iter()
+        .copied()
+        .filter(|f| f.bytes >= bar && f.src != f.dst)
+        .collect()
 }
 
 /// Flows whose *original* routes share at least one router with `flow`'s
@@ -73,7 +77,10 @@ pub fn predicted_contenders(
 /// Returns the number of solutions installed.
 pub fn preload(policy: &mut DrbPolicy, topo: &AnyTopology, profile: &[ProfiledFlow]) -> usize {
     let cfg: DrbConfig = *policy.config();
-    assert!(cfg.predictive, "preloading is only meaningful for the predictive variants");
+    assert!(
+        cfg.predictive,
+        "preloading is only meaningful for the predictive variants"
+    );
     let heavy = heavy_flows(profile, 0.5);
     let provider = AltPathProvider::new(topo);
     let mut installed = 0;
@@ -111,10 +118,26 @@ mod tests {
     fn profile_mesh_corridor() -> Vec<ProfiledFlow> {
         // Three heavy row-3 flows sharing the corridor + one light flow.
         vec![
-            ProfiledFlow { src: NodeId(24), dst: NodeId(23), bytes: 1_000_000 },
-            ProfiledFlow { src: NodeId(25), dst: NodeId(47), bytes: 900_000 },
-            ProfiledFlow { src: NodeId(26), dst: NodeId(15), bytes: 800_000 },
-            ProfiledFlow { src: NodeId(0), dst: NodeId(1), bytes: 1_000 },
+            ProfiledFlow {
+                src: NodeId(24),
+                dst: NodeId(23),
+                bytes: 1_000_000,
+            },
+            ProfiledFlow {
+                src: NodeId(25),
+                dst: NodeId(47),
+                bytes: 900_000,
+            },
+            ProfiledFlow {
+                src: NodeId(26),
+                dst: NodeId(15),
+                bytes: 800_000,
+            },
+            ProfiledFlow {
+                src: NodeId(0),
+                dst: NodeId(1),
+                bytes: 1_000,
+            },
         ]
     }
 
@@ -124,7 +147,11 @@ mod tests {
         assert_eq!(h.len(), 3, "the light flow is excluded");
         assert!(heavy_flows(&[], 0.5).is_empty());
         // Self-flows are never heavy.
-        let selfish = [ProfiledFlow { src: NodeId(1), dst: NodeId(1), bytes: 10 }];
+        let selfish = [ProfiledFlow {
+            src: NodeId(1),
+            dst: NodeId(1),
+            bytes: 10,
+        }];
         assert!(heavy_flows(&selfish, 0.1).is_empty());
     }
 
@@ -143,7 +170,10 @@ mod tests {
         let topo = AnyTopology::mesh8x8();
         let mut p = DrbPolicy::new(
             topo.clone(),
-            DrbConfig { adjust_settle_ns: 0, ..DrbConfig::pr_drb() },
+            DrbConfig {
+                adjust_settle_ns: 0,
+                ..DrbConfig::pr_drb()
+            },
         );
         let n = preload(&mut p, &topo, &profile_mesh_corridor());
         assert_eq!(n, 3, "three heavy flows preloaded");
@@ -164,7 +194,11 @@ mod tests {
             msp_index: 0,
             path_latency: 0,
             hops: 0,
-            kind: PacketKind::Ack { data_latency: 100 * MICROSECOND, data_msp: 0, from_router: None },
+            kind: PacketKind::Ack {
+                data_latency: 100 * MICROSECOND,
+                data_msp: 0,
+                from_router: None,
+            },
             predictive: None,
             queued_at: 0,
             decided_port: None,
@@ -201,7 +235,11 @@ mod tests {
         // Four same-leaf sources all crossing to the far subtree share
         // their column's uplinks under the deterministic routing.
         let profile: Vec<ProfiledFlow> = (0..4)
-            .map(|i| ProfiledFlow { src: NodeId(i), dst: NodeId(60 + i), bytes: 1_000_000 })
+            .map(|i| ProfiledFlow {
+                src: NodeId(i),
+                dst: NodeId(60 + i),
+                bytes: 1_000_000,
+            })
             .collect();
         let n = preload(&mut p, &topo, &profile);
         assert_eq!(n, 4);

@@ -119,7 +119,9 @@ impl RoutingPolicy for Deterministic {
         match &self.topo {
             AnyTopology::Mesh(_) => (PathDescriptor::Minimal, 0),
             AnyTopology::Tree(t) => (
-                PathDescriptor::TreeSeed { seed: AltPathProvider::tree_det_seed(t, src) },
+                PathDescriptor::TreeSeed {
+                    seed: AltPathProvider::tree_det_seed(t, src),
+                },
                 0,
             ),
         }
@@ -139,7 +141,10 @@ pub struct RandomMinimal {
 impl RandomMinimal {
     /// Random routing over `topo`.
     pub fn new(topo: AnyTopology) -> Self {
-        Self { topo, chosen: HashMap::new() }
+        Self {
+            topo,
+            chosen: HashMap::new(),
+        }
     }
 }
 
@@ -161,12 +166,16 @@ impl RoutingPolicy for RandomMinimal {
                 if src == dst {
                     PathDescriptor::Minimal
                 } else {
-                    PathDescriptor::MeshOrder { yx: rng.chance(0.5) }
+                    PathDescriptor::MeshOrder {
+                        yx: rng.chance(0.5),
+                    }
                 }
             }
             AnyTopology::Tree(t) => {
                 let n = t.num_minimal_paths(src, dst).max(1) as usize;
-                PathDescriptor::TreeSeed { seed: rng.below(n) as u32 }
+                PathDescriptor::TreeSeed {
+                    seed: rng.below(n) as u32,
+                }
             }
         });
         (desc, 0)
@@ -219,7 +228,10 @@ pub struct CyclicPriority {
 impl CyclicPriority {
     /// Cyclic routing over `topo`.
     pub fn new(topo: AnyTopology) -> Self {
-        Self { topo, counters: HashMap::new() }
+        Self {
+            topo,
+            counters: HashMap::new(),
+        }
     }
 }
 
@@ -331,17 +343,27 @@ pub fn make_policy(
         PolicyKind::Adaptive => Box::new(AdaptivePerHop::new(topo.clone())),
         PolicyKind::Drb => Box::new(crate::drb::DrbPolicy::new(
             topo.clone(),
-            crate::config::DrbConfig { predictive: false, watchdog_ns: None, ..drb_cfg },
+            crate::config::DrbConfig {
+                predictive: false,
+                watchdog_ns: None,
+                ..drb_cfg
+            },
         )),
         PolicyKind::PrDrb => Box::new(crate::drb::DrbPolicy::new(
             topo.clone(),
-            crate::config::DrbConfig { predictive: true, watchdog_ns: None, ..drb_cfg },
+            crate::config::DrbConfig {
+                predictive: true,
+                watchdog_ns: None,
+                ..drb_cfg
+            },
         )),
         PolicyKind::FrDrb => Box::new(crate::drb::DrbPolicy::new(
             topo.clone(),
             crate::config::DrbConfig {
                 predictive: false,
-                watchdog_ns: drb_cfg.watchdog_ns.or(crate::config::DrbConfig::fr_drb().watchdog_ns),
+                watchdog_ns: drb_cfg
+                    .watchdog_ns
+                    .or(crate::config::DrbConfig::fr_drb().watchdog_ns),
                 ..drb_cfg
             },
         )),
@@ -349,7 +371,9 @@ pub fn make_policy(
             topo.clone(),
             crate::config::DrbConfig {
                 predictive: true,
-                watchdog_ns: drb_cfg.watchdog_ns.or(crate::config::DrbConfig::fr_drb().watchdog_ns),
+                watchdog_ns: drb_cfg
+                    .watchdog_ns
+                    .or(crate::config::DrbConfig::fr_drb().watchdog_ns),
                 ..drb_cfg
             },
         )),
@@ -426,7 +450,11 @@ mod tests {
                 seeds.insert(seed);
             }
         }
-        assert!(seeds.len() >= 6, "flows should spread over NCAs, got {}", seeds.len());
+        assert!(
+            seeds.len() >= 6,
+            "flows should spread over NCAs, got {}",
+            seeds.len()
+        );
     }
 
     #[test]

@@ -95,15 +95,16 @@ impl SolutionDb {
         self.entries.is_empty()
     }
 
-    /// Look up the best-matching saved solution for `observed` (already
-    /// normalized), requiring at least `min_similarity`. Counts a reuse
-    /// on hit.
-    pub fn lookup(
-        &mut self,
+    /// Index of the best-matching saved solution for `observed` (already
+    /// normalized), requiring at least `min_similarity`. Does not count a
+    /// reuse — callers that actually install the solution follow up with
+    /// [`SolutionDb::apply`].
+    pub fn find(
+        &self,
         observed: &[FlowPair],
         min_similarity: f64,
         measure: Similarity,
-    ) -> Option<&Solution> {
+    ) -> Option<usize> {
         if observed.is_empty() {
             return None;
         }
@@ -114,14 +115,36 @@ impl SolutionDb {
                 best = Some((i, s));
             }
         }
-        let (i, _) = best?;
+        best.map(|(i, _)| i)
+    }
+
+    /// The saved solution at `i` (from [`SolutionDb::find`]).
+    pub fn get(&self, i: usize) -> &Solution {
+        &self.entries[i]
+    }
+
+    /// Count an application of solution `i` and return it.
+    pub fn apply(&mut self, i: usize) -> &Solution {
         let e = &mut self.entries[i];
         if e.hits == 0 {
             self.patterns_reused += 1;
         }
         e.hits += 1;
         self.reuse_applications += 1;
-        Some(&self.entries[i])
+        &self.entries[i]
+    }
+
+    /// Look up the best-matching saved solution for `observed` (already
+    /// normalized), requiring at least `min_similarity`. Counts a reuse
+    /// on hit.
+    pub fn lookup(
+        &mut self,
+        observed: &[FlowPair],
+        min_similarity: f64,
+        measure: Similarity,
+    ) -> Option<&Solution> {
+        let i = self.find(observed, min_similarity, measure)?;
+        Some(self.apply(i))
     }
 
     /// Save (or improve) the solution for `pattern`. An existing matching
@@ -151,7 +174,12 @@ impl SolutionDb {
             }
         }
         self.patterns_found += 1;
-        self.entries.push(Solution { pattern, paths, best_latency_ns: latency_ns, hits: 0 });
+        self.entries.push(Solution {
+            pattern,
+            paths,
+            best_latency_ns: latency_ns,
+            hits: 0,
+        });
     }
 
     /// Iterate over the saved solutions.
@@ -231,16 +259,23 @@ mod tests {
         let mut db = SolutionDb::new();
         let pat = vec![fp(1, 2)];
         db.save(pat.clone(), paths(), 9_000, 0.8, Similarity::Overlap);
-        let better = vec![(PathDescriptor::Minimal, 7), (PathDescriptor::MeshOrder { yx: true }, 7)];
+        let better = vec![
+            (PathDescriptor::Minimal, 7),
+            (PathDescriptor::MeshOrder { yx: true }, 7),
+        ];
         db.save(pat.clone(), better.clone(), 4_000, 0.8, Similarity::Overlap);
         assert_eq!(db.len(), 1, "no duplicate entry");
         assert_eq!(db.improvements, 1);
-        let hit = db.lookup(&normalize(pat.clone()), 0.8, Similarity::Overlap).unwrap();
+        let hit = db
+            .lookup(&normalize(pat.clone()), 0.8, Similarity::Overlap)
+            .unwrap();
         assert_eq!(hit.best_latency_ns, 4_000);
         assert_eq!(hit.paths, better);
         // A worse solution does not overwrite.
         db.save(pat.clone(), paths(), 20_000, 0.8, Similarity::Overlap);
-        let hit = db.lookup(&normalize(pat), 0.8, Similarity::Overlap).unwrap();
+        let hit = db
+            .lookup(&normalize(pat), 0.8, Similarity::Overlap)
+            .unwrap();
         assert_eq!(hit.best_latency_ns, 4_000);
     }
 

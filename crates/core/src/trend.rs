@@ -24,7 +24,10 @@ pub struct TrendDetector {
 impl TrendDetector {
     /// A detector keeping the last `window` samples (at least 3).
     pub fn new(window: usize) -> Self {
-        Self { window: window.max(3), samples: Vec::new() }
+        Self {
+            window: window.max(3),
+            samples: Vec::new(),
+        }
     }
 
     /// Record a metapath-latency observation.

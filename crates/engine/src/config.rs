@@ -117,7 +117,11 @@ impl SimConfig {
             policy,
             drb: DrbConfig::default(),
             net: NetworkConfig::default(),
-            workload: Workload::Synthetic { schedule, active_nodes, msg_bytes: 1024 },
+            workload: Workload::Synthetic {
+                schedule,
+                active_nodes,
+                msg_bytes: 1024,
+            },
             seed: 1,
             duration_ns: 2 * MILLISECOND,
             max_ns: 400 * MILLISECOND,

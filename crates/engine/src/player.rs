@@ -80,7 +80,11 @@ impl Player {
                 finish_time: 0,
             })
             .collect();
-        Self { trace, state, done: 0 }
+        Self {
+            trace,
+            state,
+            done: 0,
+        }
     }
 
     /// Number of ranks.
@@ -103,7 +107,10 @@ impl Player {
     pub fn deliver(&mut self, rank: Rank, src: Rank, tag: u32) -> bool {
         let st = &mut self.state[rank as usize];
         *st.mailbox.entry((src, tag)).or_default() += 1;
-        matches!(st.blocked, Blocked::Recv(..) | Blocked::Wait | Blocked::Waitall)
+        matches!(
+            st.blocked,
+            Blocked::Recv(..) | Blocked::Wait | Blocked::Waitall
+        )
     }
 
     fn try_consume(st: &mut RankState, src: Rank, tag: u32) -> bool {
@@ -178,7 +185,12 @@ impl Player {
                     st.blocked = Blocked::Compute(now.saturating_add(ns));
                 }
                 TraceEvent::Send { dst, bytes, tag } | TraceEvent::Isend { dst, bytes, tag } => {
-                    sends.push(SendOp { src: rank, dst, bytes, tag });
+                    sends.push(SendOp {
+                        src: rank,
+                        dst,
+                        bytes,
+                        tag,
+                    });
                 }
                 TraceEvent::Recv { src, tag } => {
                     st.blocked = Blocked::Recv(src, tag);
@@ -219,12 +231,27 @@ mod tests {
     #[test]
     fn send_recv_roundtrip() {
         let mut p = player(|t| {
-            t.push(0, TraceEvent::Send { dst: 1, bytes: 64, tag: 5 });
+            t.push(
+                0,
+                TraceEvent::Send {
+                    dst: 1,
+                    bytes: 64,
+                    tag: 5,
+                },
+            );
             t.push(1, TraceEvent::Recv { src: 0, tag: 5 });
         });
         let mut sends = Vec::new();
         assert_eq!(p.advance(0, 0, &mut sends), None);
-        assert_eq!(sends, vec![SendOp { src: 0, dst: 1, bytes: 64, tag: 5 }]);
+        assert_eq!(
+            sends,
+            vec![SendOp {
+                src: 0,
+                dst: 1,
+                bytes: 64,
+                tag: 5
+            }]
+        );
         // Rank 1 blocks until delivery.
         assert_eq!(p.advance(1, 0, &mut sends), None);
         assert!(!p.all_done());
@@ -255,8 +282,22 @@ mod tests {
             t.push(0, TraceEvent::Irecv { src: 1, tag: 2 });
             t.push(0, TraceEvent::Wait);
             t.push(0, TraceEvent::Wait);
-            t.push(1, TraceEvent::Send { dst: 0, bytes: 8, tag: 1 });
-            t.push(1, TraceEvent::Send { dst: 0, bytes: 8, tag: 2 });
+            t.push(
+                1,
+                TraceEvent::Send {
+                    dst: 0,
+                    bytes: 8,
+                    tag: 1,
+                },
+            );
+            t.push(
+                1,
+                TraceEvent::Send {
+                    dst: 0,
+                    bytes: 8,
+                    tag: 2,
+                },
+            );
         });
         let mut sends = Vec::new();
         p.advance(0, 0, &mut sends);
@@ -277,8 +318,22 @@ mod tests {
             t.push(0, TraceEvent::Irecv { src: 1, tag: 1 });
             t.push(0, TraceEvent::Irecv { src: 1, tag: 2 });
             t.push(0, TraceEvent::Waitall);
-            t.push(1, TraceEvent::Send { dst: 0, bytes: 8, tag: 1 });
-            t.push(1, TraceEvent::Send { dst: 0, bytes: 8, tag: 2 });
+            t.push(
+                1,
+                TraceEvent::Send {
+                    dst: 0,
+                    bytes: 8,
+                    tag: 1,
+                },
+            );
+            t.push(
+                1,
+                TraceEvent::Send {
+                    dst: 0,
+                    bytes: 8,
+                    tag: 2,
+                },
+            );
         });
         let mut sends = Vec::new();
         p.advance(0, 0, &mut sends);
@@ -296,7 +351,14 @@ mod tests {
         let mut p = player(|t| {
             t.push(0, TraceEvent::Compute { ns: 100 });
             t.push(0, TraceEvent::Recv { src: 1, tag: 9 });
-            t.push(1, TraceEvent::Send { dst: 0, bytes: 8, tag: 9 });
+            t.push(
+                1,
+                TraceEvent::Send {
+                    dst: 0,
+                    bytes: 8,
+                    tag: 9,
+                },
+            );
         });
         let mut sends = Vec::new();
         // The message lands before rank 0 even posts the receive.

@@ -1,7 +1,7 @@
 //! Run reports: everything a figure needs from one simulation.
 
 use prdrb_core::PolicyStats;
-use prdrb_metrics::{LatencyMap, LatencyQuantiles, SeriesSummary};
+use prdrb_metrics::{LatencyMap, LatencyQuantiles, ReportAggregate, SeriesSummary};
 use prdrb_simcore::stats::TimeSeries;
 use prdrb_simcore::time::Time;
 
@@ -46,6 +46,55 @@ pub struct RunReport {
 }
 
 impl RunReport {
+    /// Fold seeded replicas into one representative report (§4.3): the
+    /// first replica's series/maps frame the figures, the headline
+    /// scalars become cross-seed means (min/max available through
+    /// [`ReportAggregate`] directly), quantile sketches merge losslessly
+    /// and event counters sum. Replica order is significant for f64
+    /// means, so callers must pass reports in a deterministic order —
+    /// the engine's sweep executor already does.
+    pub fn fold_replicas(replicas: Vec<RunReport>) -> RunReport {
+        assert!(!replicas.is_empty(), "cannot fold zero replicas");
+        let mut agg = ReportAggregate::new();
+        for r in &replicas {
+            agg.push_scalars(r.global_avg_latency_us, r.exec_time_ns);
+            agg.merge_quantiles(&r.quantiles);
+            agg.push_map(&r.latency_map.values_us);
+            agg.add_counter("messages", r.messages);
+            agg.add_counter("offered", r.offered);
+            agg.add_counter("accepted", r.accepted);
+            agg.add_counter("acks_sent", r.acks_sent);
+            agg.add_counter("notifications", r.notifications);
+            agg.add_counter("expansions", r.policy_stats.expansions);
+            agg.add_counter("shrinks", r.policy_stats.shrinks);
+            agg.add_counter("patterns_found", r.policy_stats.patterns_found);
+            agg.add_counter("patterns_reused", r.policy_stats.patterns_reused);
+            agg.add_counter("reuse_applications", r.policy_stats.reuse_applications);
+            agg.add_counter("watchdog_fires", r.policy_stats.watchdog_fires);
+            agg.add_counter("trend_predictions", r.policy_stats.trend_predictions);
+        }
+        let mut first = replicas.into_iter().next().expect("non-empty");
+        first.global_avg_latency_us = agg.latency_us().mean();
+        first.exec_time_ns = agg.exec_mean_ns();
+        first.quantiles = agg.quantiles().clone();
+        first.latency_map.values_us = agg.map_means();
+        first.messages = agg.counter("messages");
+        first.offered = agg.counter("offered");
+        first.accepted = agg.counter("accepted");
+        first.acks_sent = agg.counter("acks_sent");
+        first.notifications = agg.counter("notifications");
+        first.policy_stats = PolicyStats {
+            expansions: agg.counter("expansions"),
+            shrinks: agg.counter("shrinks"),
+            patterns_found: agg.counter("patterns_found"),
+            patterns_reused: agg.counter("patterns_reused"),
+            reuse_applications: agg.counter("reuse_applications"),
+            watchdog_fires: agg.counter("watchdog_fires"),
+            trend_predictions: agg.counter("trend_predictions"),
+        };
+        first
+    }
+
     /// Summary of the global latency curve.
     pub fn summary(&self) -> SeriesSummary {
         SeriesSummary::of(&self.series)

@@ -105,7 +105,11 @@ impl Simulation {
 
     fn setup_workload(&mut self) {
         match &self.cfg.workload {
-            Workload::Synthetic { active_nodes, msg_bytes, .. } => {
+            Workload::Synthetic {
+                active_nodes,
+                msg_bytes,
+                ..
+            } => {
                 let n = (*active_nodes).min(self.topo.num_terminals());
                 for i in 0..n {
                     self.streams.push(Stream {
@@ -115,7 +119,13 @@ impl Simulation {
                     });
                 }
             }
-            Workload::Flows { flows, mbps, noise_nodes, noise_mbps, msg_bytes } => {
+            Workload::Flows {
+                flows,
+                mbps,
+                noise_nodes,
+                noise_mbps,
+                msg_bytes,
+            } => {
                 for &(src, dst) in flows {
                     self.streams.push(Stream {
                         node: src,
@@ -203,7 +213,9 @@ impl Simulation {
     }
 
     fn tick_policy(&mut self, now: Time) {
-        let Some(iv) = self.policy.tick_interval() else { return };
+        let Some(iv) = self.policy.tick_interval() else {
+            return;
+        };
         while let Some(t) = self.next_tick {
             if t > now {
                 break;
@@ -281,7 +293,11 @@ impl Simulation {
         let needs_ack = self.policy.needs_acks();
         for f in 0..frags {
             let final_frag = f + 1 == frags;
-            let size = if final_frag { bytes - f * pkt_bytes } else { pkt_bytes };
+            let size = if final_frag {
+                bytes - f * pkt_bytes
+            } else {
+                pkt_bytes
+            };
             let id = self.fabric.alloc_id();
             self.fabric.inject(Packet::data(
                 id,
@@ -306,7 +322,9 @@ impl Simulation {
             PacketKind::Ack { .. } => {
                 self.policy.on_ack(&pkt, at);
             }
-            PacketKind::Data { msg_id, final_frag, .. } => {
+            PacketKind::Data {
+                msg_id, final_frag, ..
+            } => {
                 // Eq 4.1 per-destination incremental mean + the global
                 // latency curve. §4.2 measures "since a packet is
                 // created", so the source-queue time counts — that is
@@ -369,7 +387,10 @@ impl Simulation {
         let router_series: Vec<Option<TimeSeries>> = (0..self.topo.num_routers())
             .map(|r| self.fabric.router_series(RouterId(r as u32)).cloned())
             .collect();
-        let exec = self.player.as_ref().and_then(|p| p.all_done().then(|| p.finish_time()));
+        let exec = self
+            .player
+            .as_ref()
+            .and_then(|p| p.all_done().then(|| p.finish_time()));
         let stats = self.fabric.stats;
         RunReport {
             quantiles: self.quantiles.clone(),
@@ -483,7 +504,11 @@ mod tests {
 
     #[test]
     fn pop_trace_runs_under_all_policies() {
-        for policy in [PolicyKind::Deterministic, PolicyKind::Drb, PolicyKind::PrDrb] {
+        for policy in [
+            PolicyKind::Deterministic,
+            PolicyKind::Drb,
+            PolicyKind::PrDrb,
+        ] {
             let cfg = SimConfig::trace(TopologyKind::FatTree443, policy, pop(64, 3));
             let r = Simulation::new(cfg).run();
             assert!(!r.truncated, "{policy:?} truncated");
@@ -512,7 +537,10 @@ mod tests {
         cfg.max_ns = 50 * MILLISECOND;
         let r = Simulation::new(cfg).run();
         assert_eq!(r.offered, r.accepted);
-        assert!(r.latency_map.contended_routers() > 0, "hot-spot must contend");
+        assert!(
+            r.latency_map.contended_routers() > 0,
+            "hot-spot must contend"
+        );
     }
 
     #[test]

@@ -1,0 +1,248 @@
+//! Cross-replica report aggregation (§4.3 methodology).
+//!
+//! "Multiple instances of the simulation with a different set of random
+//! seeds … averaged to estimate the typical behavior": every figure
+//! harness used to re-implement that folding by hand. `ReportAggregate`
+//! is the one shared accumulator — scalar metrics get exact mean/min/max,
+//! quantile sketches merge losslessly (bucket counts add), event counters
+//! sum, and per-router surfaces average element-wise.
+//!
+//! The accumulator is deliberately order-sensitive in the same way a
+//! hand-written `sum / n` loop is (plain left-to-right f64 summation), so
+//! replacing an ad-hoc average with it is bit-for-bit neutral as long as
+//! replicas are fed in the same order — which the engine's deterministic
+//! sweep executor guarantees.
+
+use crate::quantiles::LatencyQuantiles;
+use std::collections::BTreeMap;
+
+/// Mean/min/max accumulator over f64 samples.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Accum {
+    sum: f64,
+    min: f64,
+    max: f64,
+    count: u64,
+}
+
+impl Accum {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one sample.
+    pub fn push(&mut self, sample: f64) {
+        if self.count == 0 {
+            self.min = sample;
+            self.max = sample;
+        } else {
+            self.min = self.min.min(sample);
+            self.max = self.max.max(sample);
+        }
+        self.sum += sample;
+        self.count += 1;
+    }
+
+    /// Plain left-to-right sum of the samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean (`sum / count`; zero when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest sample (zero when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample (zero when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Samples folded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+/// Accumulates the replica reports of one sweep point.
+#[derive(Debug, Clone, Default)]
+pub struct ReportAggregate {
+    /// Global average latency (µs) across replicas.
+    latency_us: Accum,
+    /// Application execution time (ns) across replicas that report one.
+    exec_ns: Accum,
+    /// Merged latency quantile sketch (exact: bucket counts add).
+    quantiles: LatencyQuantiles,
+    /// Summed event counters by name (deterministically ordered).
+    counters: BTreeMap<&'static str, u64>,
+    /// Element-wise accumulator over the per-router latency surface.
+    map: Vec<Accum>,
+    /// Replicas folded in.
+    replicas: u64,
+}
+
+impl ReportAggregate {
+    /// Empty aggregate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one replica's headline scalars. `exec_ns` is skipped when
+    /// `None` (synthetic runs have no application execution time).
+    pub fn push_scalars(&mut self, latency_us: f64, exec_ns: Option<u64>) {
+        self.latency_us.push(latency_us);
+        if let Some(t) = exec_ns {
+            self.exec_ns.push(t as f64);
+        }
+        self.replicas += 1;
+    }
+
+    /// Merge one replica's quantile sketch (lossless).
+    pub fn merge_quantiles(&mut self, q: &LatencyQuantiles) {
+        self.quantiles.merge(q);
+    }
+
+    /// Add one replica's value of the named counter.
+    pub fn add_counter(&mut self, name: &'static str, value: u64) {
+        *self.counters.entry(name).or_insert(0) += value;
+    }
+
+    /// Fold one replica's per-router latency surface (element-wise).
+    pub fn push_map(&mut self, values_us: &[f64]) {
+        if self.map.len() < values_us.len() {
+            self.map.resize(values_us.len(), Accum::new());
+        }
+        for (a, &v) in self.map.iter_mut().zip(values_us) {
+            a.push(v);
+        }
+    }
+
+    /// Replicas folded so far.
+    pub fn replicas(&self) -> u64 {
+        self.replicas
+    }
+
+    /// Latency accumulator (mean/min/max over replicas).
+    pub fn latency_us(&self) -> &Accum {
+        &self.latency_us
+    }
+
+    /// Mean execution time in ns, truncating like integer division;
+    /// `None` when no replica reported one.
+    pub fn exec_mean_ns(&self) -> Option<u64> {
+        (self.exec_ns.count() > 0).then(|| (self.exec_ns.sum() as u64) / self.exec_ns.count())
+    }
+
+    /// The merged quantile sketch.
+    pub fn quantiles(&self) -> &LatencyQuantiles {
+        &self.quantiles
+    }
+
+    /// Summed value of a counter (zero if never added).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All counters, name-ordered.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Element-wise mean of the per-router surface.
+    pub fn map_means(&self) -> Vec<f64> {
+        self.map.iter().map(|a| a.mean()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accum_tracks_mean_min_max() {
+        let mut a = Accum::new();
+        for v in [3.0, 1.0, 2.0] {
+            a.push(v);
+        }
+        assert_eq!(a.mean(), 2.0);
+        assert_eq!(a.min(), 1.0);
+        assert_eq!(a.max(), 3.0);
+        assert_eq!(a.count(), 3);
+        assert_eq!(Accum::new().mean(), 0.0);
+    }
+
+    #[test]
+    fn accum_mean_matches_handwritten_sum() {
+        // Identical FP operation order as `values.iter().sum() / n`.
+        let values = [0.1, 0.7, 13.9, 2.22, 1e-3];
+        let mut a = Accum::new();
+        for &v in &values {
+            a.push(v);
+        }
+        let hand = values.iter().sum::<f64>() / values.len() as f64;
+        assert_eq!(a.mean().to_bits(), hand.to_bits());
+    }
+
+    #[test]
+    fn scalars_and_exec() {
+        let mut agg = ReportAggregate::new();
+        agg.push_scalars(10.0, Some(1_000));
+        agg.push_scalars(20.0, None);
+        agg.push_scalars(30.0, Some(2_001));
+        assert_eq!(agg.replicas(), 3);
+        assert_eq!(agg.latency_us().mean(), 20.0);
+        // Integer-truncating mean over the two reporting replicas.
+        assert_eq!(agg.exec_mean_ns(), Some(1_500));
+        assert_eq!(ReportAggregate::new().exec_mean_ns(), None);
+    }
+
+    #[test]
+    fn quantile_merge_is_exact() {
+        let mut all = LatencyQuantiles::new();
+        let mut agg = ReportAggregate::new();
+        for chunk in [[100u64, 5_000, 90_000], [70, 800, 1_000_000]] {
+            let mut q = LatencyQuantiles::new();
+            for v in chunk {
+                q.push(v);
+                all.push(v);
+            }
+            agg.merge_quantiles(&q);
+        }
+        assert_eq!(agg.quantiles().total(), all.total());
+        for i in 0..=10 {
+            let q = i as f64 / 10.0;
+            assert_eq!(agg.quantiles().quantile_ns(q), all.quantile_ns(q));
+        }
+    }
+
+    #[test]
+    fn counters_sum_by_name() {
+        let mut agg = ReportAggregate::new();
+        agg.add_counter("messages", 10);
+        agg.add_counter("messages", 5);
+        agg.add_counter("expansions", 2);
+        assert_eq!(agg.counter("messages"), 15);
+        assert_eq!(agg.counter("expansions"), 2);
+        assert_eq!(agg.counter("unknown"), 0);
+        let names: Vec<_> = agg.counters().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["expansions", "messages"], "deterministic order");
+    }
+
+    #[test]
+    fn map_means_elementwise() {
+        let mut agg = ReportAggregate::new();
+        agg.push_map(&[1.0, 10.0]);
+        agg.push_map(&[3.0, 30.0]);
+        assert_eq!(agg.map_means(), vec![2.0, 20.0]);
+    }
+}

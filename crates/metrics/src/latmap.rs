@@ -29,10 +29,17 @@ impl LatencyMap {
             }
             AnyTopology::Tree(t) => {
                 let spl = t.num_routers() / t.depth() as usize;
-                ((spl, t.depth() as usize), (0..t.depth() as usize * spl).collect())
+                (
+                    (spl, t.depth() as usize),
+                    (0..t.depth() as usize * spl).collect(),
+                )
             }
         };
-        Self { values_us, shape, cell_of }
+        Self {
+            values_us,
+            shape,
+            cell_of,
+        }
     }
 
     /// Highest router latency (the "peak" the figures compare).
@@ -42,7 +49,12 @@ impl LatencyMap {
 
     /// Mean over routers with non-zero contention.
     pub fn mean_contended_us(&self) -> f64 {
-        let hot: Vec<f64> = self.values_us.iter().copied().filter(|&v| v > 0.0).collect();
+        let hot: Vec<f64> = self
+            .values_us
+            .iter()
+            .copied()
+            .filter(|&v| v > 0.0)
+            .collect();
         if hot.is_empty() {
             0.0
         } else {
@@ -97,6 +109,21 @@ impl LatencyMap {
             out.push('\n');
         }
         out
+    }
+
+    /// Row-major router-id → grid-cell mapping (serialization).
+    pub fn cells(&self) -> &[usize] {
+        &self.cell_of
+    }
+
+    /// Rebuild a map from its stored state (cache replay).
+    pub fn from_parts(values_us: Vec<f64>, shape: (usize, usize), cell_of: Vec<usize>) -> Self {
+        assert_eq!(values_us.len(), cell_of.len());
+        Self {
+            values_us,
+            shape,
+            cell_of,
+        }
     }
 
     /// CSV rows: `router,col,row,latency_us`.

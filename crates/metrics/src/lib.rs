@@ -6,10 +6,12 @@
 //! latency surface maps over routers (Fig 4.7), latency-vs-time curves
 //! (Figs 4.12–4.18) and tabular/CSV reports.
 
+pub mod aggregate;
 pub mod latmap;
 pub mod quantiles;
 pub mod series;
 
+pub use aggregate::{Accum, ReportAggregate};
 pub use latmap::LatencyMap;
 pub use quantiles::LatencyQuantiles;
 pub use series::{render_series, series_csv, SeriesSummary};

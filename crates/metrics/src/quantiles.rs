@@ -28,7 +28,11 @@ impl Default for LatencyQuantiles {
 impl LatencyQuantiles {
     /// Empty sketch.
     pub fn new() -> Self {
-        Self { counts: vec![0; 64 * SUB], total: 0, max: 0 }
+        Self {
+            counts: vec![0; 64 * SUB],
+            total: 0,
+            max: 0,
+        }
     }
 
     fn index(v: Time) -> usize {
@@ -91,6 +95,19 @@ impl LatencyQuantiles {
         )
     }
 
+    /// Raw bucket counts (serialization; length is fixed at 64×16).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Rebuild a sketch from its stored state (cache replay). `counts`
+    /// must have the fixed 64×16 layout of [`LatencyQuantiles::counts`].
+    pub fn from_parts(counts: Vec<u64>, total: u64, max: Time) -> Self {
+        assert_eq!(counts.len(), 64 * SUB, "sketch layout mismatch");
+        debug_assert_eq!(counts.iter().sum::<u64>(), total);
+        Self { counts, total, max }
+    }
+
     /// Merge another sketch.
     pub fn merge(&mut self, other: &LatencyQuantiles) {
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
@@ -133,7 +150,10 @@ mod tests {
         for (quant, expect) in [(0.5, 50_000.0), (0.95, 95_000.0), (0.99, 99_000.0)] {
             let got = q.quantile_ns(quant) as f64;
             let err = (got - expect).abs() / expect;
-            assert!(err < 0.08, "q{quant}: got {got}, expect {expect}, err {err:.3}");
+            assert!(
+                err < 0.08,
+                "q{quant}: got {got}, expect {expect}, err {err:.3}"
+            );
         }
     }
 

@@ -29,7 +29,12 @@ impl SeriesSummary {
             }
             final_us = v;
         }
-        Self { mean_us: series.overall_mean(), peak_us, peak_at, final_us }
+        Self {
+            mean_us: series.overall_mean(),
+            peak_us,
+            peak_at,
+            final_us,
+        }
     }
 
     /// Mean-latency reduction of `self` vs `baseline` (the headline
@@ -103,15 +108,15 @@ pub fn series_csv(series: &[(&str, &TimeSeries)]) -> String {
     }
     out.push('\n');
     let max_len = series.iter().map(|(_, s)| s.len()).max().unwrap_or(0);
-    let bucket = series.first().map(|(_, s)| s.bucket_ns()).unwrap_or(MICROSECOND);
+    let bucket = series
+        .first()
+        .map(|(_, s)| s.bucket_ns())
+        .unwrap_or(MICROSECOND);
     for i in 0..max_len {
         let t = i as Time * bucket;
         out.push_str(&format!("{:.1}", t as f64 / 1e3));
         for (_, s) in series {
-            let v = s
-                .points()
-                .find(|(pt, _, _)| *pt == t)
-                .map(|(_, v, _)| v);
+            let v = s.points().find(|(pt, _, _)| *pt == t).map(|(_, v, _)| v);
             match v {
                 Some(v) => out.push_str(&format!(",{v:.4}")),
                 None => out.push(','),

@@ -138,7 +138,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "input buffer")]
     fn rejects_packet_larger_than_buffer() {
-        let c = NetworkConfig { packet_bytes: 1 << 20, ..Default::default() };
+        let c = NetworkConfig {
+            packet_bytes: 1 << 20,
+            ..Default::default()
+        };
         c.validate();
     }
 

@@ -49,7 +49,11 @@ pub struct Delivery {
 #[derive(Debug, PartialEq, Eq)]
 enum NetEvent {
     /// Packet header reaches a router input port.
-    Arrive { router: RouterId, port: Port, packet: Box<Packet> },
+    Arrive {
+        router: RouterId,
+        port: Port,
+        packet: Box<Packet>,
+    },
     /// Run the routing + arbitration stage of a router.
     RouteTick { router: RouterId },
     /// Try to transmit from an output port.
@@ -57,7 +61,12 @@ enum NetEvent {
     /// An output link finished serializing.
     LinkFree { router: RouterId, port: Port },
     /// Credit returned to a router's output port for a downstream VC.
-    Credit { router: RouterId, port: Port, vc: u8, bytes: u32 },
+    Credit {
+        router: RouterId,
+        port: Port,
+        vc: u8,
+        bytes: u32,
+    },
     /// Credit returned to a NIC.
     NicCredit { node: NodeId, vc: u8, bytes: u32 },
     /// Try to inject from a NIC queue.
@@ -247,7 +256,9 @@ impl Fabric {
             }
         }
         if self.deliveries.is_empty() {
-            self.clock = self.clock.max(until.min(self.q.peek_time().unwrap_or(until)));
+            self.clock = self
+                .clock
+                .max(until.min(self.q.peek_time().unwrap_or(until)));
         }
         !self.deliveries.is_empty()
     }
@@ -290,7 +301,11 @@ impl Fabric {
 
     fn dispatch(&mut self, ev: NetEvent) {
         match ev {
-            NetEvent::Arrive { router, port, mut packet } => {
+            NetEvent::Arrive {
+                router,
+                port,
+                mut packet,
+            } => {
                 packet.queued_at = self.clock;
                 packet.decided_port = None;
                 let vc = (packet.route.header_id as usize).min(NUM_VCS - 1);
@@ -298,20 +313,27 @@ impl Fabric {
                 r.in_q[port.idx()][vc].push_back(packet);
                 if !r.route_pending {
                     r.route_pending = true;
-                    self.q
-                        .schedule(self.clock + self.cfg.routing_delay_ns, NetEvent::RouteTick {
-                            router,
-                        });
+                    self.q.schedule(
+                        self.clock + self.cfg.routing_delay_ns,
+                        NetEvent::RouteTick { router },
+                    );
                 }
             }
             NetEvent::RouteTick { router } => self.route_tick(router),
             NetEvent::TryTx { router, port } => self.try_tx(router, port),
             NetEvent::LinkFree { router, port } => {
-                self.q.schedule(self.clock, NetEvent::TryTx { router, port });
+                self.q
+                    .schedule(self.clock, NetEvent::TryTx { router, port });
             }
-            NetEvent::Credit { router, port, vc, bytes } => {
+            NetEvent::Credit {
+                router,
+                port,
+                vc,
+                bytes,
+            } => {
                 self.routers[router.idx()].credits[port.idx()][vc as usize] += bytes as i64;
-                self.q.schedule(self.clock, NetEvent::TryTx { router, port });
+                self.q
+                    .schedule(self.clock, NetEvent::TryTx { router, port });
             }
             NetEvent::NicCredit { node, vc, bytes } => {
                 self.nics[node.idx()].credits[vc as usize] += bytes as i64;
@@ -324,7 +346,9 @@ impl Fabric {
 
     fn nic_tx(&mut self, node: NodeId) {
         let nic = &mut self.nics[node.idx()];
-        let Some(head) = nic.queue.front() else { return };
+        let Some(head) = nic.queue.front() else {
+            return;
+        };
         if head.created > self.clock {
             // The head was queued ahead of time (injection enqueues
             // immediately); it must not leave before its creation time.
@@ -350,7 +374,11 @@ impl Fabric {
         let port = self.topo.terminal_port(node);
         self.q.schedule(
             self.clock + self.cfg.wire_delay_ns + self.cfg.header_ns,
-            NetEvent::Arrive { router, port, packet: pkt },
+            NetEvent::Arrive {
+                router,
+                port,
+                packet: pkt,
+            },
         );
         // Link free → try the next queued packet.
         self.q.schedule(self.clock + ser, NetEvent::NicTx { node });
@@ -380,13 +408,13 @@ impl Fabric {
     /// is room. Returns true when a packet moved.
     fn try_move_in_to_out(&mut self, router: RouterId, p: usize, vc: usize) -> bool {
         let rs = &mut self.routers[router.idx()];
-        let Some(head) = rs.in_q[p][vc].front_mut() else { return false };
+        let Some(head) = rs.in_q[p][vc].front_mut() else {
+            return false;
+        };
         let out = match head.decided_port {
             Some(op) => op,
             None => {
-                let op = if head.route.descriptor
-                    == prdrb_topology::PathDescriptor::AdaptiveUp
-                {
+                let op = if head.route.descriptor == prdrb_topology::PathDescriptor::AdaptiveUp {
                     // Fully adaptive ascent: among the minimal candidate
                     // ports, take the least-occupied output queue
                     // (deterministic tie-break by port index).
@@ -420,21 +448,33 @@ impl Fabric {
         match self.topo.neighbor(router, Port(p as u8)) {
             Some(Endpoint::Router(ur, up)) => self.q.schedule(
                 self.clock + self.cfg.wire_delay_ns,
-                NetEvent::Credit { router: ur, port: up, vc: vc as u8, bytes: size },
+                NetEvent::Credit {
+                    router: ur,
+                    port: up,
+                    vc: vc as u8,
+                    bytes: size,
+                },
             ),
             Some(Endpoint::Terminal(n)) => self.q.schedule(
                 self.clock + self.cfg.wire_delay_ns,
-                NetEvent::NicCredit { node: n, vc: vc as u8, bytes: size },
+                NetEvent::NicCredit {
+                    node: n,
+                    vc: vc as u8,
+                    bytes: size,
+                },
             ),
             None => {}
         }
-        self.q.schedule(self.clock, NetEvent::TryTx { router, port: out });
+        self.q
+            .schedule(self.clock, NetEvent::TryTx { router, port: out });
         true
     }
 
     fn try_tx(&mut self, router: RouterId, port: Port) {
         let rs = &mut self.routers[router.idx()];
-        let Some(head) = rs.out_q[port.idx()].front() else { return };
+        let Some(head) = rs.out_q[port.idx()].front() else {
+            return;
+        };
         if self.clock < rs.link_busy_until[port.idx()] {
             // A LinkFree event is always pending while the link is busy;
             // it re-triggers TryTx, so just back off.
@@ -457,7 +497,8 @@ impl Fabric {
         self.sample_contention(router, wait);
         let ser = self.cfg.ser_ns(pkt.size);
         self.routers[router.idx()].link_busy_until[port.idx()] = self.clock + ser;
-        self.q.schedule(self.clock + ser, NetEvent::LinkFree { router, port });
+        self.q
+            .schedule(self.clock + ser, NetEvent::LinkFree { router, port });
         // Congestion monitoring: the CFD module fires when the output
         // wait crossed the threshold (only for monitored data packets —
         // control traffic is excluded).
@@ -469,14 +510,21 @@ impl Fabric {
                 // Full packet must land before the node consumes it.
                 self.q.schedule(
                     self.clock + self.cfg.wire_delay_ns + ser,
-                    NetEvent::Deliver { node: n, packet: pkt },
+                    NetEvent::Deliver {
+                        node: n,
+                        packet: pkt,
+                    },
                 );
             }
             Some(Endpoint::Router(nr, np)) => {
                 // Cut-through: header hands off while the tail flows.
                 self.q.schedule(
                     self.clock + self.cfg.wire_delay_ns + self.cfg.header_ns,
-                    NetEvent::Arrive { router: nr, port: np, packet: pkt },
+                    NetEvent::Arrive {
+                        router: nr,
+                        port: np,
+                        packet: pkt,
+                    },
                 );
             }
             None => panic!("transmitting into the void at {router}:{port}"),
@@ -555,7 +603,8 @@ impl Fabric {
         let rs = &mut self.routers[router.idx()];
         rs.out_bytes[out.idx()] += pkt.size;
         rs.out_q[out.idx()].push_back(Box::new(pkt));
-        self.q.schedule(self.clock, NetEvent::TryTx { router, port: out });
+        self.q
+            .schedule(self.clock, NetEvent::TryTx { router, port: out });
     }
 
     fn deliver(&mut self, node: NodeId, mut packet: Box<Packet>) {
@@ -574,7 +623,10 @@ impl Fabric {
             }
         }
         debug_assert_eq!(packet.dst, node, "misdelivered packet");
-        self.deliveries.push(Delivery { at: self.clock, packet });
+        self.deliveries.push(Delivery {
+            at: self.clock,
+            packet,
+        });
     }
 
     /// Internal injection used by `inject` and ACK generation.
@@ -582,10 +634,13 @@ impl Fabric {
         let at = packet.created.max(self.clock);
         let node = packet.src;
         if packet.src == packet.dst {
-            self.q.schedule(at + self.cfg.header_ns, NetEvent::Deliver {
-                node: packet.dst,
-                packet: Box::new(packet),
-            });
+            self.q.schedule(
+                at + self.cfg.header_ns,
+                NetEvent::Deliver {
+                    node: packet.dst,
+                    packet: Box::new(packet),
+                },
+            );
             return;
         }
         self.nics[node.idx()].queue.push_back(Box::new(packet));

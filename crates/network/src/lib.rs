@@ -29,9 +29,7 @@ pub use wire::{decode, encode, WireError, WirePacket};
 mod fabric_tests {
     use super::*;
     use prdrb_simcore::time::{Time, MILLISECOND};
-    use prdrb_topology::{
-        AnyTopology, NodeId, PathDescriptor, RouteState, RouterId, Topology,
-    };
+    use prdrb_topology::{AnyTopology, NodeId, PathDescriptor, RouteState, RouterId, Topology};
 
     fn data(
         f: &mut Fabric,
@@ -60,7 +58,10 @@ mod fabric_tests {
     }
 
     fn quiet_cfg() -> NetworkConfig {
-        NetworkConfig { acks_enabled: false, ..Default::default() }
+        NetworkConfig {
+            acks_enabled: false,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -71,7 +72,10 @@ mod fabric_tests {
         let d = f.drain_deliveries();
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].packet.dst, NodeId(63));
-        assert_eq!(d[0].packet.hops, 15, "15 routers traversed corner to corner");
+        assert_eq!(
+            d[0].packet.hops, 15,
+            "15 routers traversed corner to corner"
+        );
         // Zero-load: no queuing contention anywhere.
         assert_eq!(d[0].packet.path_latency, 0);
         // Cut-through pipelines serialization: it appears once
@@ -202,7 +206,15 @@ mod fabric_tests {
         let d = f.drain_deliveries();
         let pred: Vec<_> = d
             .iter()
-            .filter(|x| matches!(x.packet.kind, PacketKind::Ack { from_router: Some(_), .. }))
+            .filter(|x| {
+                matches!(
+                    x.packet.kind,
+                    PacketKind::Ack {
+                        from_router: Some(_),
+                        ..
+                    }
+                )
+            })
             .collect();
         assert!(!pred.is_empty(), "router injected predictive ACKs");
         for p in &pred {
@@ -214,7 +226,10 @@ mod fabric_tests {
     fn msp_path_traverses_and_delivers() {
         let mut f = Fabric::new(AnyTopology::mesh8x8(), quiet_cfg());
         // MSP through the row above.
-        let desc = PathDescriptor::Msp { in1: NodeId(8), in2: NodeId(15) };
+        let desc = PathDescriptor::Msp {
+            in1: NodeId(8),
+            in2: NodeId(15),
+        };
         data(&mut f, 0, 7, 0, desc, false);
         f.run_to_quiescence(MILLISECOND);
         let d = f.drain_deliveries();
@@ -277,10 +292,50 @@ mod fabric_tests {
         let mut n = 0u64;
         for i in 0..200u64 {
             let t = i * 2000;
-            data(&mut f, 0, 63, t, PathDescriptor::Msp { in1: NodeId(8), in2: NodeId(55) }, false);
-            data(&mut f, 63, 0, t, PathDescriptor::Msp { in1: NodeId(55), in2: NodeId(8) }, false);
-            data(&mut f, 7, 56, t, PathDescriptor::Msp { in1: NodeId(6), in2: NodeId(57) }, false);
-            data(&mut f, 56, 7, t, PathDescriptor::Msp { in1: NodeId(57), in2: NodeId(6) }, false);
+            data(
+                &mut f,
+                0,
+                63,
+                t,
+                PathDescriptor::Msp {
+                    in1: NodeId(8),
+                    in2: NodeId(55),
+                },
+                false,
+            );
+            data(
+                &mut f,
+                63,
+                0,
+                t,
+                PathDescriptor::Msp {
+                    in1: NodeId(55),
+                    in2: NodeId(8),
+                },
+                false,
+            );
+            data(
+                &mut f,
+                7,
+                56,
+                t,
+                PathDescriptor::Msp {
+                    in1: NodeId(6),
+                    in2: NodeId(57),
+                },
+                false,
+            );
+            data(
+                &mut f,
+                56,
+                7,
+                t,
+                PathDescriptor::Msp {
+                    in1: NodeId(57),
+                    in2: NodeId(6),
+                },
+                false,
+            );
             n += 4;
         }
         f.run_to_quiescence(MILLISECOND * 1000);
@@ -312,8 +367,11 @@ mod fabric_tests {
         }
         f.run_to_quiescence(MILLISECOND * 100);
         let topo = AnyTopology::mesh8x8();
-        let any = (0..topo.num_routers() as u32)
-            .any(|r| f.router_series(RouterId(r)).map(|s| !s.is_empty()).unwrap_or(false));
+        let any = (0..topo.num_routers() as u32).any(|r| {
+            f.router_series(RouterId(r))
+                .map(|s| !s.is_empty())
+                .unwrap_or(false)
+        });
         assert!(any, "series should contain samples");
     }
 }

@@ -54,7 +54,10 @@ pub fn contending_flows(
     totals.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     totals
         .into_iter()
-        .map(|(flow, bytes)| Contender { flow, share: bytes as f64 / grand as f64 })
+        .map(|(flow, bytes)| Contender {
+            flow,
+            share: bytes as f64 / grand as f64,
+        })
         .filter(|c| c.share >= min_share)
         .take(max_flows)
         .collect()

@@ -114,7 +114,12 @@ impl Packet {
             msp_index,
             path_latency: 0,
             hops: 0,
-            kind: PacketKind::Data { msg_id, mpi_seq, final_frag, needs_ack },
+            kind: PacketKind::Data {
+                msg_id,
+                mpi_seq,
+                final_frag,
+                needs_ack,
+            },
             predictive: None,
             queued_at: created,
             decided_port: None,
@@ -170,8 +175,15 @@ impl Packet {
             msp_index: 0,
             path_latency: 0,
             hops: 0,
-            kind: PacketKind::Ack { data_latency: 0, data_msp: 0, from_router: Some(router) },
-            predictive: Some(Box::new(PredictiveHeader { router: Some(router), flows })),
+            kind: PacketKind::Ack {
+                data_latency: 0,
+                data_msp: 0,
+                from_router: Some(router),
+            },
+            predictive: Some(Box::new(PredictiveHeader {
+                router: Some(router),
+                flows,
+            })),
             queued_at: now,
             decided_port: None,
         }
@@ -192,7 +204,10 @@ impl Packet {
     /// info rides the data packet to the destination).
     pub fn attach_flows(&mut self, router: RouterId, flows: &[FlowPair], max_flows: usize) {
         let hdr = self.predictive.get_or_insert_with(|| {
-            Box::new(PredictiveHeader { router: Some(router), flows: Vec::new() })
+            Box::new(PredictiveHeader {
+                router: Some(router),
+                flows: Vec::new(),
+            })
         });
         hdr.router = Some(router);
         for &f in flows {
@@ -246,7 +261,11 @@ mod tests {
         assert_eq!(ack.dst, NodeId(2));
         assert_eq!(ack.size, 64);
         match ack.kind {
-            PacketKind::Ack { data_latency, data_msp, from_router } => {
+            PacketKind::Ack {
+                data_latency,
+                data_msp,
+                from_router,
+            } => {
                 assert_eq!(data_latency, 1_000);
                 assert_eq!(data_msp, 0);
                 assert_eq!(from_router, None);
@@ -261,8 +280,7 @@ mod tests {
     #[test]
     fn attach_flows_caps_and_dedups() {
         let mut p = data_packet();
-        let flows: Vec<FlowPair> =
-            (0..10).map(|i| (NodeId(i), NodeId(i + 100))).collect();
+        let flows: Vec<FlowPair> = (0..10).map(|i| (NodeId(i), NodeId(i + 100))).collect();
         p.attach_flows(RouterId(0), &flows, 4);
         assert_eq!(p.predictive.as_ref().unwrap().flows.len(), 4);
         // Re-attaching the same flows does not duplicate.

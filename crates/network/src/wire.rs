@@ -73,10 +73,16 @@ pub fn encode(p: &Packet) -> Vec<u8> {
     put_u32(&mut out, (p.path_latency & 0xFFFF_FFFF) as u32);
     put_u32(&mut out, (p.path_latency >> 32) as u32);
     let (is_ack, final_frag, mpi_type, mpi_seq, pred_bit) = match p.kind {
-        PacketKind::Data { mpi_seq, final_frag, .. } => (false, final_frag, 0u32, mpi_seq, false),
-        PacketKind::Ack { data_msp, from_router, .. } => {
-            (true, false, data_msp as u32, 0, from_router.is_some())
-        }
+        PacketKind::Data {
+            mpi_seq,
+            final_frag,
+            ..
+        } => (false, final_frag, 0u32, mpi_seq, false),
+        PacketKind::Ack {
+            data_msp,
+            from_router,
+            ..
+        } => (true, false, data_msp as u32, 0, from_router.is_some()),
     };
     let mut flags = (p.route.header_id as u32 & 0b11) << HDR_SHIFT;
     if pred_bit {
@@ -92,11 +98,11 @@ pub fn encode(p: &Packet) -> Vec<u8> {
     put_u32(&mut out, mpi_type);
     put_u32(&mut out, mpi_seq);
     put_u32(&mut out, 0); // <Reserved> MUST be sent as 0
-    // Predictive option (Fig 3.18), present iff the header exists.
+                          // Predictive option (Fig 3.18), present iff the header exists.
     match &p.predictive {
         Some(h) => {
             put_u32(&mut out, 1); // option type: full predictive search
-            // Opt Data Len = integer_size * n + 1 (per the spec text).
+                                  // Opt Data Len = integer_size * n + 1 (per the spec text).
             put_u32(&mut out, 4 * (2 * h.flows.len() as u32) + 1);
             put_u32(&mut out, h.router.map(|r| r.0 + 1).unwrap_or(0));
             for &(s, d) in &h.flows {
@@ -157,7 +163,10 @@ pub fn decode(buf: &[u8]) -> Result<WirePacket, WireError> {
         (seed, x) if x == NO_NODE - 1 => PathDescriptor::TreeSeed { seed },
         (yx, x) if x == NO_NODE - 2 => PathDescriptor::MeshOrder { yx: yx != 0 },
         (_, x) if x == NO_NODE - 3 => PathDescriptor::AdaptiveUp,
-        (a, b) => PathDescriptor::Msp { in1: NodeId(a), in2: NodeId(b) },
+        (a, b) => PathDescriptor::Msp {
+            in1: NodeId(a),
+            in2: NodeId(b),
+        },
     };
     let header_id = ((flags >> HDR_SHIFT) & 0b11) as u8;
     let mut off = 40;
@@ -190,7 +199,10 @@ pub fn decode(buf: &[u8]) -> Result<WirePacket, WireError> {
     Ok(WirePacket {
         src: NodeId(src),
         dst: NodeId(dst),
-        route: RouteState { descriptor, header_id },
+        route: RouteState {
+            descriptor,
+            header_id,
+        },
         path_latency: lat_lo | (lat_hi << 32),
         is_ack: flags & FLAG_T != 0,
         final_frag: flags & FLAG_F != 0,
@@ -213,7 +225,10 @@ mod tests {
             NodeId(60),
             1024,
             100,
-            RouteState::new(PathDescriptor::Msp { in1: NodeId(11), in2: NodeId(52) }),
+            RouteState::new(PathDescriptor::Msp {
+                in1: NodeId(11),
+                in2: NodeId(52),
+            }),
             2,
             99,
             5,
@@ -249,7 +264,10 @@ mod tests {
             PathDescriptor::MeshOrder { yx: false },
             PathDescriptor::TreeSeed { seed: 13 },
             PathDescriptor::AdaptiveUp,
-            PathDescriptor::Msp { in1: NodeId(1), in2: NodeId(2) },
+            PathDescriptor::Msp {
+                in1: NodeId(1),
+                in2: NodeId(2),
+            },
         ] {
             let mut p = sample_data();
             p.route = RouteState::new(d);
@@ -269,7 +287,10 @@ mod tests {
         let w = decode(&encode(&p)).unwrap();
         let h = w.predictive.unwrap();
         assert_eq!(h.router, Some(RouterId(9)));
-        assert_eq!(h.flows, vec![(NodeId(1), NodeId(2)), (NodeId(3), NodeId(4))]);
+        assert_eq!(
+            h.flows,
+            vec![(NodeId(1), NodeId(2)), (NodeId(3), NodeId(4))]
+        );
     }
 
     #[test]

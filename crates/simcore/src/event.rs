@@ -62,7 +62,13 @@ impl<E: Eq> Default for EventQueue<E> {
 impl<E: Eq> EventQueue<E> {
     /// An empty calendar at time zero.
     pub fn new() -> Self {
-        Self { heap: BinaryHeap::new(), next_seq: 0, now: 0, pushed: 0, popped: 0 }
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: 0,
+            pushed: 0,
+            popped: 0,
+        }
     }
 
     /// Pre-size the heap for an expected event population.
@@ -84,11 +90,20 @@ impl<E: Eq> EventQueue<E> {
 
     /// Schedule `event` at absolute time `at`.
     pub fn schedule(&mut self, at: Time, event: E) {
-        debug_assert!(at >= self.now, "event scheduled in the past: {} < {}", at, self.now);
+        debug_assert!(
+            at >= self.now,
+            "event scheduled in the past: {} < {}",
+            at,
+            self.now
+        );
         let seq = self.next_seq;
         self.next_seq += 1;
         self.pushed += 1;
-        self.heap.push(Reverse(EventEntry { time: at, seq, event }));
+        self.heap.push(Reverse(EventEntry {
+            time: at,
+            seq,
+            event,
+        }));
     }
 
     /// Schedule `event` `delay` ns after the current time.

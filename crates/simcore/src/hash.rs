@@ -1,0 +1,163 @@
+//! Stable content hashing for run identity.
+//!
+//! A run is a pure function of `(configuration, seed)`, so a stable
+//! digest of those inputs names its result forever — that is the key of
+//! the engine's on-disk run cache. `std::hash` is unsuitable (the
+//! `Hash`/`Hasher` contract is explicitly not stable across releases or
+//! platforms), so this is a fixed, self-contained FNV-1a over an
+//! explicit byte encoding:
+//!
+//! * integers are folded little-endian at fixed width;
+//! * `f64` is folded via its IEEE-754 bit pattern (`to_bits`), which is
+//!   exact — two configs hash equal iff the floats are bit-identical;
+//! * strings and byte slices are length-prefixed so concatenations
+//!   cannot collide with shifted field boundaries.
+//!
+//! Two independently-seeded 64-bit passes give a 128-bit digest, which
+//! makes accidental collisions across a cache directory implausible
+//! (~2⁻⁶⁴ for billions of entries).
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A deterministic, platform-independent 64-bit FNV-1a hasher.
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    state: u64,
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StableHasher {
+    /// A hasher starting from the standard FNV offset basis.
+    pub fn new() -> Self {
+        Self { state: FNV_OFFSET }
+    }
+
+    /// A hasher starting from a custom basis — fold a different salt to
+    /// get an independent hash function over the same input stream.
+    pub fn with_basis(basis: u64) -> Self {
+        let mut h = Self::new();
+        h.write_u64(basis);
+        h
+    }
+
+    /// Fold raw bytes (no length prefix; see [`StableHasher::write_bytes`]).
+    pub fn write_raw(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Fold a length-prefixed byte slice.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.write_u64(bytes.len() as u64);
+        self.write_raw(bytes);
+    }
+
+    /// Fold a length-prefixed UTF-8 string.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Fold a `u8`.
+    pub fn write_u8(&mut self, v: u8) {
+        self.write_raw(&[v]);
+    }
+
+    /// Fold a `u32`, little-endian.
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_raw(&v.to_le_bytes());
+    }
+
+    /// Fold a `u64`, little-endian.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_raw(&v.to_le_bytes());
+    }
+
+    /// Fold a `usize` (widened to `u64` so 32- and 64-bit hosts agree).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Fold a `bool`.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_u8(v as u8);
+    }
+
+    /// Fold an `f64` exactly, via its bit pattern.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_fnv_vectors() {
+        // Published FNV-1a 64 test vectors.
+        let mut h = StableHasher::new();
+        assert_eq!(h.finish(), FNV_OFFSET, "empty input is the offset basis");
+        h.write_raw(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut h = StableHasher::new();
+        h.write_raw(b"foobar");
+        assert_eq!(h.finish(), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn length_prefix_separates_fields() {
+        let mut ab_c = StableHasher::new();
+        ab_c.write_str("ab");
+        ab_c.write_str("c");
+        let mut a_bc = StableHasher::new();
+        a_bc.write_str("a");
+        a_bc.write_str("bc");
+        assert_ne!(ab_c.finish(), a_bc.finish());
+    }
+
+    #[test]
+    fn basis_gives_independent_functions() {
+        let mut a = StableHasher::new();
+        let mut b = StableHasher::with_basis(1);
+        a.write_u64(42);
+        b.write_u64(42);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn f64_is_exact() {
+        let mut a = StableHasher::new();
+        let mut b = StableHasher::new();
+        a.write_f64(0.1);
+        b.write_f64(0.1 + f64::EPSILON);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let run = || {
+            let mut h = StableHasher::new();
+            h.write_str("config");
+            h.write_u64(7);
+            h.write_f64(3.25);
+            h.write_bool(true);
+            h.finish()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -14,11 +14,13 @@
 //!   independent seeded replicas are fanned out with rayon.
 
 pub mod event;
+pub mod hash;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use event::{EventEntry, EventQueue};
+pub use hash::StableHasher;
 pub use rng::SimRng;
 pub use stats::{Histogram, RunningMean, TimeSeries, WelfordVariance};
 pub use time::{Time, MICROSECOND, MILLISECOND, NANOSECOND, SECOND};

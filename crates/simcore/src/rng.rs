@@ -17,7 +17,9 @@ pub struct SimRng {
 impl SimRng {
     /// A stream seeded directly from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
-        Self { inner: StdRng::seed_from_u64(seed) }
+        Self {
+            inner: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Derive an independent child stream for component `tag`.
@@ -26,7 +28,9 @@ impl SimRng {
     /// streams.
     pub fn derive(&self, tag: u64) -> Self {
         // SplitMix64 finalizer over (parent-seed-derived word, tag).
-        let mut z = self.seed_word().wrapping_add(tag.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut z = self
+            .seed_word()
+            .wrapping_add(tag.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         Self::new(z ^ (z >> 31))
@@ -101,7 +105,9 @@ mod tests {
     fn different_seeds_diverge() {
         let mut a = SimRng::new(1);
         let mut b = SimRng::new(2);
-        let same = (0..64).filter(|_| a.range(0, u64::MAX - 1) == b.range(0, u64::MAX - 1)).count();
+        let same = (0..64)
+            .filter(|_| a.range(0, u64::MAX - 1) == b.range(0, u64::MAX - 1))
+            .count();
         assert!(same < 4);
     }
 
@@ -123,7 +129,9 @@ mod tests {
         let root = SimRng::new(3);
         let mut a = root.derive(0);
         let mut b = root.derive(1);
-        let same = (0..64).filter(|_| a.range(0, 1 << 62) == b.range(0, 1 << 62)).count();
+        let same = (0..64)
+            .filter(|_| a.range(0, 1 << 62) == b.range(0, 1 << 62))
+            .count();
         assert!(same < 4);
     }
 

@@ -37,14 +37,19 @@ impl RunningMean {
         self.count
     }
 
+    /// Rebuild an accumulator from its stored state (cache replay).
+    pub fn from_parts(mean: f64, count: u64) -> Self {
+        Self { mean, count }
+    }
+
     /// Merge another accumulator (exact weighted combination).
     pub fn merge(&mut self, other: &RunningMean) {
         if other.count == 0 {
             return;
         }
         let total = self.count + other.count;
-        self.mean = (self.mean * self.count as f64 + other.mean * other.count as f64)
-            / total as f64;
+        self.mean =
+            (self.mean * self.count as f64 + other.mean * other.count as f64) / total as f64;
         self.count = total;
     }
 }
@@ -107,7 +112,10 @@ impl TimeSeries {
     /// A series with `bucket_ns`-wide buckets.
     pub fn new(bucket_ns: Time) -> Self {
         assert!(bucket_ns > 0, "bucket width must be positive");
-        Self { bucket_ns, buckets: Vec::new() }
+        Self {
+            bucket_ns,
+            buckets: Vec::new(),
+        }
     }
 
     /// Fold `value` observed at time `at`.
@@ -156,6 +164,17 @@ impl TimeSeries {
     pub fn is_empty(&self) -> bool {
         self.buckets.iter().all(|b| b.count() == 0)
     }
+
+    /// Every bucket in order, including empty ones (serialization).
+    pub fn buckets(&self) -> &[RunningMean] {
+        &self.buckets
+    }
+
+    /// Rebuild a series from its stored buckets (cache replay).
+    pub fn from_parts(bucket_ns: Time, buckets: Vec<RunningMean>) -> Self {
+        assert!(bucket_ns > 0, "bucket width must be positive");
+        Self { bucket_ns, buckets }
+    }
 }
 
 /// Power-of-two bucketed histogram (message sizes, path lengths).
@@ -173,7 +192,11 @@ impl Histogram {
 
     /// Count `value` into bucket `floor(log2(value))` (`0` → bucket 0).
     pub fn push(&mut self, value: u64) {
-        let idx = if value <= 1 { 0 } else { 63 - value.leading_zeros() as usize };
+        let idx = if value <= 1 {
+            0
+        } else {
+            63 - value.leading_zeros() as usize
+        };
         if idx >= self.counts.len() {
             self.counts.resize(idx + 1, 0);
         }

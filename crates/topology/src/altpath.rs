@@ -50,7 +50,9 @@ impl<'a> AltPathProvider<'a> {
                 let total = t.num_minimal_paths(src, dst) as u32;
                 let det = Self::tree_det_seed(t, src);
                 (0..paths.max(1))
-                    .map(|i| PathDescriptor::TreeSeed { seed: (det + i) % total.max(1) })
+                    .map(|i| PathDescriptor::TreeSeed {
+                        seed: (det + i) % total.max(1),
+                    })
                     .collect()
             }
         }
@@ -75,7 +77,9 @@ impl<'a> AltPathProvider<'a> {
     }
 
     fn mesh_alternatives(&self, src: NodeId, dst: NodeId, max: usize) -> Vec<PathDescriptor> {
-        let AnyTopology::Mesh(m) = self.topo else { unreachable!() };
+        let AnyTopology::Mesh(m) = self.topo else {
+            unreachable!()
+        };
         let mut out = vec![PathDescriptor::Minimal];
         if max <= 1 {
             return out;
@@ -171,7 +175,10 @@ mod tests {
             let dist = topo.distance(NodeId(s), NodeId(d));
             for a in p.alternatives(NodeId(s), NodeId(d), 8) {
                 let len = route_len(&topo, NodeId(s), NodeId(d), a).unwrap();
-                assert!(len <= dist + 4 * 2 * 2, "MSP too long: {len} vs dist {dist}");
+                assert!(
+                    len <= dist + 4 * 2 * 2,
+                    "MSP too long: {len} vs dist {dist}"
+                );
             }
         }
     }
@@ -181,7 +188,9 @@ mod tests {
         let topo = mesh();
         let p = AltPathProvider::new(&topo);
         // The 2nd alternative (first MSP) must use 1-hop intermediates.
-        let AnyTopology::Mesh(m) = &topo else { unreachable!() };
+        let AnyTopology::Mesh(m) = &topo else {
+            unreachable!()
+        };
         let alts = p.alternatives(NodeId(0), NodeId(7), 3);
         if let PathDescriptor::Msp { in1, in2 } = alts[1] {
             assert_eq!(m.ring(NodeId(0), 1).contains(&in1), true);

@@ -35,7 +35,12 @@ impl KAryNTree {
         let spl = k.pow(n - 1);
         let terminals = k.pow(n);
         assert!(terminals <= 1 << 20, "tree too large");
-        Self { k, n, spl, terminals }
+        Self {
+            k,
+            n,
+            spl,
+            terminals,
+        }
     }
 
     /// Arity (k).
@@ -89,7 +94,10 @@ impl KAryNTree {
     /// NCA level of two terminals: 0 when they share a leaf switch,
     /// otherwise the highest differing digit position (≥ 1).
     pub fn nca_level(&self, a: NodeId, b: NodeId) -> u32 {
-        (1..self.n).rev().find(|&j| self.digit(a.0, j) != self.digit(b.0, j)).unwrap_or(0)
+        (1..self.n)
+            .rev()
+            .find(|&j| self.digit(a.0, j) != self.digit(b.0, j))
+            .unwrap_or(0)
     }
 
     /// Number of distinct minimal paths between two terminals: `k^m`

@@ -63,7 +63,10 @@ impl RouteState {
             PathDescriptor::Msp { .. } => 0,
             _ => 2,
         };
-        Self { descriptor, header_id }
+        Self {
+            descriptor,
+            header_id,
+        }
     }
 
     /// The terminal the packet is currently being routed toward.
@@ -103,9 +106,7 @@ pub fn next_port(topo: &AnyTopology, r: RouterId, dst: NodeId, state: &mut Route
             }
             m.minimal_port(r, state.current_target(dst))
         }
-        (AnyTopology::Tree(t), PathDescriptor::TreeSeed { seed }) => {
-            t.port_with_seed(r, dst, seed)
-        }
+        (AnyTopology::Tree(t), PathDescriptor::TreeSeed { seed }) => t.port_with_seed(r, dst, seed),
         // The fabric overrides the ascending choice with queue-state
         // information; this is the fallback (deterministic minimal).
         (_, PathDescriptor::AdaptiveUp) => topo.minimal_port(r, dst),
@@ -196,8 +197,7 @@ mod tests {
     fn minimal_walk_matches_distance() {
         for topo in [mesh(), tree()] {
             for (s, d) in [(0u32, 63u32), (5, 5), (12, 40), (63, 0)] {
-                let len =
-                    route_len(&topo, NodeId(s), NodeId(d), PathDescriptor::Minimal).unwrap();
+                let len = route_len(&topo, NodeId(s), NodeId(d), PathDescriptor::Minimal).unwrap();
                 assert_eq!(len, topo.distance(NodeId(s), NodeId(d)), "{s}->{d}");
             }
         }
@@ -214,8 +214,7 @@ mod tests {
         let dst = m.node_at(7, 0);
         let in1 = m.node_at(0, 1);
         let in2 = m.node_at(7, 1);
-        let walk =
-            walk_route(&topo, src, dst, PathDescriptor::Msp { in1, in2 }, 64).unwrap();
+        let walk = walk_route(&topo, src, dst, PathDescriptor::Msp { in1, in2 }, 64).unwrap();
         assert!(walk.contains(&m.router_of(in1)));
         assert!(walk.contains(&m.router_of(in2)));
         // Length = sum of DOR segments (Eq. 3.2): 1 + 7 + 1 = 9.
@@ -228,8 +227,7 @@ mod tests {
         // IN1 = source, IN2 = destination: the MSP collapses onto the
         // original path.
         let (src, dst) = (NodeId(0), NodeId(7));
-        let len = route_len(&topo, src, dst, PathDescriptor::Msp { in1: src, in2: dst })
-            .unwrap();
+        let len = route_len(&topo, src, dst, PathDescriptor::Msp { in1: src, in2: dst }).unwrap();
         assert_eq!(len, topo.distance(src, dst));
     }
 
@@ -242,10 +240,8 @@ mod tests {
         };
         let src = m.node_at(0, 0);
         let dst = m.node_at(3, 3);
-        let xy = walk_route(&topo, src, dst, PathDescriptor::MeshOrder { yx: false }, 64)
-            .unwrap();
-        let yx =
-            walk_route(&topo, src, dst, PathDescriptor::MeshOrder { yx: true }, 64).unwrap();
+        let xy = walk_route(&topo, src, dst, PathDescriptor::MeshOrder { yx: false }, 64).unwrap();
+        let yx = walk_route(&topo, src, dst, PathDescriptor::MeshOrder { yx: true }, 64).unwrap();
         assert_eq!(xy.len(), yx.len()); // both minimal
         assert!(xy.contains(&m.at(3, 0)));
         assert!(yx.contains(&m.at(0, 3)));
@@ -257,8 +253,7 @@ mod tests {
         let (src, dst) = (NodeId(0), NodeId(63));
         let mut distinct = std::collections::HashSet::new();
         for seed in 0..16 {
-            let walk =
-                walk_route(&topo, src, dst, PathDescriptor::TreeSeed { seed }, 64).unwrap();
+            let walk = walk_route(&topo, src, dst, PathDescriptor::TreeSeed { seed }, 64).unwrap();
             assert_eq!(walk.len() - 1, topo.distance(src, dst) as usize);
             distinct.insert(walk);
         }
@@ -267,7 +262,10 @@ mod tests {
 
     #[test]
     fn route_state_targets() {
-        let d = PathDescriptor::Msp { in1: NodeId(1), in2: NodeId(2) };
+        let d = PathDescriptor::Msp {
+            in1: NodeId(1),
+            in2: NodeId(2),
+        };
         let mut s = RouteState::new(d);
         assert_eq!(s.current_target(NodeId(9)), NodeId(1));
         s.header_id = 1;

@@ -71,12 +71,20 @@ impl HotSpotScenario {
             .map(|(x, y)| mesh.node_at(x, y))
             .filter(|n| !hot.contains(n))
             .collect();
-        Self { name, flows, noise_nodes, noise_fraction: 0.1 }
+        Self {
+            name,
+            flows,
+            noise_nodes,
+            noise_fraction: 0.1,
+        }
     }
 
     /// All sources participating (hot + noise).
     pub fn all_sources(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.flows.iter().map(|f| f.0).chain(self.noise_nodes.iter().copied())
+        self.flows
+            .iter()
+            .map(|f| f.0)
+            .chain(self.noise_nodes.iter().copied())
     }
 }
 
@@ -107,7 +115,9 @@ mod tests {
                 prdrb_topology::walk_route(&topo, a, b, PathDescriptor::Minimal, 64).unwrap()
             })
             .collect();
-        let shared = walks[0].iter().any(|r| walks[1..].iter().all(|w| w.contains(r)));
+        let shared = walks[0]
+            .iter()
+            .any(|r| walks[1..].iter().all(|w| w.contains(r)));
         assert!(shared, "the corridor must be shared");
     }
 
@@ -117,11 +127,9 @@ mod tests {
         let s = HotSpotScenario::situation1(&mesh);
         let topo = AnyTopology::Mesh(mesh);
         let (bs, bd) = s.flows[3];
-        let bw = prdrb_topology::walk_route(&topo, bs, bd, PathDescriptor::Minimal, 64)
-            .unwrap();
+        let bw = prdrb_topology::walk_route(&topo, bs, bd, PathDescriptor::Minimal, 64).unwrap();
         let (hs, hd) = s.flows[0];
-        let hw = prdrb_topology::walk_route(&topo, hs, hd, PathDescriptor::Minimal, 64)
-            .unwrap();
+        let hw = prdrb_topology::walk_route(&topo, hs, hd, PathDescriptor::Minimal, 64).unwrap();
         assert!(
             !bw.iter().any(|r| hw.contains(r)),
             "the bystander's minimal route avoids the hot corridor"

@@ -100,9 +100,7 @@ impl TrafficPattern {
                 let n = bits(nodes);
                 NodeId(!src.0 & ((1u32 << n) - 1))
             }
-            TrafficPattern::Tornado => {
-                NodeId(((src.0 as usize + nodes / 2 - 1) % nodes) as u32)
-            }
+            TrafficPattern::Tornado => NodeId(((src.0 as usize + nodes / 2 - 1) % nodes) as u32),
             TrafficPattern::Butterfly => {
                 let n = bits(nodes);
                 if n < 2 {
@@ -147,7 +145,9 @@ mod tests {
 
     fn map(p: &TrafficPattern, nodes: usize) -> Vec<u32> {
         let mut rng = SimRng::new(0);
-        (0..nodes as u32).map(|s| p.dest(NodeId(s), nodes, &mut rng).0).collect()
+        (0..nodes as u32)
+            .map(|s| p.dest(NodeId(s), nodes, &mut rng).0)
+            .collect()
     }
 
     #[test]
@@ -212,7 +212,10 @@ mod tests {
     #[test]
     fn uniform_single_node_degenerates_to_self() {
         let mut rng = SimRng::new(9);
-        assert_eq!(TrafficPattern::Uniform.dest(NodeId(0), 1, &mut rng), NodeId(0));
+        assert_eq!(
+            TrafficPattern::Uniform.dest(NodeId(0), 1, &mut rng),
+            NodeId(0)
+        );
     }
 
     #[test]

@@ -26,14 +26,21 @@ fn main() {
     }
 
     let lat = |k: PolicyKind| {
-        rows.iter().find(|(p, _)| *p == k).map(|(_, r)| r.global_avg_latency_us).unwrap()
+        rows.iter()
+            .find(|(p, _)| *p == k)
+            .map(|(_, r)| r.global_avg_latency_us)
+            .unwrap()
     };
     println!(
         "\nPR-DRB vs deterministic: {:+.1} % latency \
          (paper: -38 % vs the oblivious baselines)",
         100.0 * (lat(PolicyKind::PrDrb) / lat(PolicyKind::Deterministic) - 1.0)
     );
-    let pr = &rows.iter().find(|(p, _)| *p == PolicyKind::PrDrb).unwrap().1;
+    let pr = &rows
+        .iter()
+        .find(|(p, _)| *p == PolicyKind::PrDrb)
+        .unwrap()
+        .1;
     println!(
         "PR-DRB learned {} contention patterns; {} were re-applied {} times",
         pr.policy_stats.patterns_found,

@@ -11,8 +11,7 @@ fn run_avg(rate: f64, low_us: u64, high_us: u64, policy: PolicyKind) -> f64 {
         .map(|&seed| {
             let schedule =
                 BurstSchedule::repetitive(TrafficPattern::Shuffle, rate, 1_000_000, 500_000);
-            let mut cfg =
-                SimConfig::synthetic(TopologyKind::FatTree443, policy, schedule, 32);
+            let mut cfg = SimConfig::synthetic(TopologyKind::FatTree443, policy, schedule, 32);
             cfg.duration_ns = 9 * MILLISECOND;
             cfg.max_ns = 9000 * MILLISECOND;
             cfg.net.monitor.router_threshold_ns = 4_000;

@@ -24,7 +24,11 @@ fn main() {
     run_pop(PolicyKind::Deterministic, |_| {}, "det");
     run_pop(PolicyKind::Random, |_| {}, "random");
     run_pop(PolicyKind::Drb, |_| {}, "drb default");
-    run_pop(PolicyKind::Drb, |c| c.drb.adjust_settle_ns = 10_000, "drb settle=10us");
+    run_pop(
+        PolicyKind::Drb,
+        |c| c.drb.adjust_settle_ns = 10_000,
+        "drb settle=10us",
+    );
     run_pop(PolicyKind::Drb, |c| c.drb.max_paths = 2, "drb maxpaths=2");
     run_pop(
         PolicyKind::Drb,
@@ -64,8 +68,7 @@ fn main() {
             },
             label,
         );
-        let label2: &'static str =
-            Box::leak(format!("pr {lo}/{hi}/{settle}").into_boxed_str());
+        let label2: &'static str = Box::leak(format!("pr {lo}/{hi}/{settle}").into_boxed_str());
         run_pop(
             PolicyKind::PrDrb,
             move |c| {

@@ -33,7 +33,10 @@ fn scenario_cfg(policy: PolicyKind, scenario: &HotSpotScenario) -> SimConfig {
 
 fn main() {
     let mesh = Mesh2D::new(8, 8);
-    for scenario in [HotSpotScenario::situation1(&mesh), HotSpotScenario::situation2(&mesh)] {
+    for scenario in [
+        HotSpotScenario::situation1(&mesh),
+        HotSpotScenario::situation2(&mesh),
+    ] {
         println!("=== {} ===", scenario.name);
         for (s, d) in &scenario.flows {
             println!("  hot flow {s} -> {d}");
@@ -47,9 +50,7 @@ fn main() {
         print!("{}", det.latency_map.render());
         println!(
             "drb: {:.2} us ({} paths opened, {} closed) — load spreads around it:",
-            drb.global_avg_latency_us,
-            drb.policy_stats.expansions,
-            drb.policy_stats.shrinks
+            drb.global_avg_latency_us, drb.policy_stats.expansions, drb.policy_stats.shrinks
         );
         print!("{}", drb.latency_map.render());
         println!();

@@ -9,17 +9,16 @@
 use pr_drb::prelude::*;
 
 fn run_variant(router_based: bool) -> RunReport {
-    let schedule =
-        BurstSchedule::repetitive(TrafficPattern::Shuffle, 600.0, 1_000_000, 500_000);
-    let mut cfg = SimConfig::synthetic(
-        TopologyKind::FatTree443,
-        PolicyKind::PrDrb,
-        schedule,
-        32,
-    );
+    let schedule = BurstSchedule::repetitive(TrafficPattern::Shuffle, 600.0, 1_000_000, 500_000);
+    let mut cfg = SimConfig::synthetic(TopologyKind::FatTree443, PolicyKind::PrDrb, schedule, 32);
     cfg.duration_ns = 9 * MILLISECOND;
     cfg.drb.router_based = router_based;
-    cfg.label = if router_based { "router-based" } else { "destination-based" }.into();
+    cfg.label = if router_based {
+        "router-based"
+    } else {
+        "destination-based"
+    }
+    .into();
     run(cfg)
 }
 

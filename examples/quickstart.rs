@@ -11,12 +11,15 @@ use pr_drb::prelude::*;
 fn main() {
     println!("PR-DRB quickstart — 4-ary 3-tree, shuffle, 32 nodes @ 600 Mbps/node\n");
     let mut reports = Vec::new();
-    for policy in [PolicyKind::Deterministic, PolicyKind::Drb, PolicyKind::PrDrb] {
+    for policy in [
+        PolicyKind::Deterministic,
+        PolicyKind::Drb,
+        PolicyKind::PrDrb,
+    ] {
         // Repetitive bursts (Fig 2.6a): the workload PR-DRB learns from.
         let schedule =
             BurstSchedule::repetitive(TrafficPattern::Shuffle, 600.0, 1_000_000, 500_000);
-        let mut cfg =
-            SimConfig::synthetic(TopologyKind::FatTree443, policy, schedule, 32);
+        let mut cfg = SimConfig::synthetic(TopologyKind::FatTree443, policy, schedule, 32);
         cfg.duration_ns = 9 * MILLISECOND;
         cfg.label = format!("shuffle-32n-600M/{}", policy.label());
         let report = run(cfg);
@@ -25,8 +28,10 @@ fn main() {
     }
 
     println!("\nGlobal latency curves:");
-    let series: Vec<(&str, _)> =
-        reports.iter().map(|r| (r.policy.as_str(), &r.series)).collect();
+    let series: Vec<(&str, _)> = reports
+        .iter()
+        .map(|r| (r.policy.as_str(), &r.series))
+        .collect();
     print!("{}", render_series(&series, 12));
 
     let det = SeriesSummary::of(&reports[0].series);

@@ -7,20 +7,27 @@
 use pr_drb::prelude::*;
 
 /// Congested fat-tree shuffle (one long repetitive-burst window).
-fn congested(policy: PolicyKind, seed: u64) -> RunReport {
-    let schedule =
-        BurstSchedule::repetitive(TrafficPattern::Shuffle, 700.0, 400_000, 200_000);
+fn congested_cfg(policy: PolicyKind) -> SimConfig {
+    let schedule = BurstSchedule::repetitive(TrafficPattern::Shuffle, 700.0, 400_000, 200_000);
     let mut cfg = SimConfig::synthetic(TopologyKind::FatTree443, policy, schedule, 32);
     cfg.duration_ns = 1_800_000;
     cfg.max_ns = 2000 * MILLISECOND;
-    cfg.seed = seed;
     cfg.drb.adjust_settle_ns = 120_000;
+    cfg
+}
+
+fn congested(policy: PolicyKind, seed: u64) -> RunReport {
+    let mut cfg = congested_cfg(policy);
+    cfg.seed = seed;
     run(cfg)
 }
 
+/// §4.3 methodology through the engine's parallel replica executor: the
+/// fold's latency mean is the same left-to-right `sum / n` the old
+/// hand-rolled loop computed.
 fn avg_latency(policy: PolicyKind) -> f64 {
-    let seeds = [1u64, 2, 3];
-    seeds.iter().map(|&s| congested(policy, s).global_avg_latency_us).sum::<f64>() / 3.0
+    let replicas = run_replicas(&congested_cfg(policy), &[1, 2, 3]);
+    RunReport::fold_replicas(replicas).global_avg_latency_us
 }
 
 #[test]
@@ -46,7 +53,10 @@ fn prdrb_does_not_lose_to_drb_and_learns() {
         "PR-DRB must not lose to DRB on repetitive traffic: {pr:.1} vs {drb:.1} us"
     );
     let r = congested(PolicyKind::PrDrb, 1);
-    assert!(r.policy_stats.patterns_found > 0, "no congestion patterns learned");
+    assert!(
+        r.policy_stats.patterns_found > 0,
+        "no congestion patterns learned"
+    );
     assert!(r.notifications > 0, "CFD never fired");
 }
 
@@ -55,20 +65,21 @@ fn congestion_detection_only_under_congestion() {
     // A lightly loaded network must not trigger the congestion
     // machinery (the class-S observation of §4.8.2).
     let schedule = BurstSchedule::continuous(TrafficPattern::Shuffle, 50.0);
-    let mut cfg =
-        SimConfig::synthetic(TopologyKind::FatTree443, PolicyKind::PrDrb, schedule, 32);
+    let mut cfg = SimConfig::synthetic(TopologyKind::FatTree443, PolicyKind::PrDrb, schedule, 32);
     cfg.duration_ns = 500_000;
     cfg.max_ns = 100 * MILLISECOND;
     let r = run(cfg);
-    assert_eq!(r.policy_stats.expansions, 0, "no congestion, no path opening");
+    assert_eq!(
+        r.policy_stats.expansions, 0,
+        "no congestion, no path opening"
+    );
 }
 
 #[test]
 fn fr_watchdog_fires_under_heavy_congestion() {
     // §4.8.4: FR-DRB reacts on missing ACKs instead of waiting for them.
     let schedule = BurstSchedule::continuous(TrafficPattern::HotSpot(NodeId(63)), 900.0);
-    let mut cfg =
-        SimConfig::synthetic(TopologyKind::FatTree443, PolicyKind::FrDrb, schedule, 16);
+    let mut cfg = SimConfig::synthetic(TopologyKind::FatTree443, PolicyKind::FrDrb, schedule, 16);
     cfg.duration_ns = 1_200_000;
     cfg.max_ns = 2000 * MILLISECOND;
     let r = run(cfg);
@@ -82,7 +93,8 @@ fn fr_watchdog_fires_under_heavy_congestion() {
 fn application_traces_prefer_adaptive_routing() {
     // §4.8: Det never beats the DRB family on the congested traces.
     let trace = || nas_mg(NasClass::A, 64);
-    let mut det_cfg = SimConfig::trace(TopologyKind::FatTree443, PolicyKind::Deterministic, trace());
+    let mut det_cfg =
+        SimConfig::trace(TopologyKind::FatTree443, PolicyKind::Deterministic, trace());
     let mut drb_cfg = SimConfig::trace(TopologyKind::FatTree443, PolicyKind::Drb, trace());
     for c in [&mut det_cfg, &mut drb_cfg] {
         c.drb.threshold_low_ns = 500;
@@ -107,8 +119,12 @@ fn offered_equals_accepted_even_at_saturation() {
     // §4.2: "we guarantee that the ratio between the offered load and
     // the accepted load is always maintained".
     let schedule = BurstSchedule::continuous(TrafficPattern::HotSpot(NodeId(0)), 1500.0);
-    let mut cfg =
-        SimConfig::synthetic(TopologyKind::Mesh8x8, PolicyKind::Deterministic, schedule, 12);
+    let mut cfg = SimConfig::synthetic(
+        TopologyKind::Mesh8x8,
+        PolicyKind::Deterministic,
+        schedule,
+        12,
+    );
     cfg.duration_ns = 400_000;
     cfg.max_ns = 4000 * MILLISECOND;
     let r = run(cfg);
@@ -119,8 +135,7 @@ fn offered_equals_accepted_even_at_saturation() {
 #[test]
 fn trend_prediction_reacts_before_threshold() {
     // §5.2 open line: predict congestion from the latency trajectory.
-    let schedule =
-        BurstSchedule::repetitive(TrafficPattern::Shuffle, 700.0, 400_000, 200_000);
+    let schedule = BurstSchedule::repetitive(TrafficPattern::Shuffle, 700.0, 400_000, 200_000);
     let mut cfg = SimConfig::synthetic(TopologyKind::FatTree443, PolicyKind::PrDrb, schedule, 32);
     cfg.duration_ns = 1_200_000;
     cfg.max_ns = 2000 * MILLISECOND;
@@ -146,8 +161,7 @@ fn offline_preload_warms_the_solution_database() {
             bytes: 1_000_000,
         })
         .collect();
-    let schedule =
-        BurstSchedule::repetitive(TrafficPattern::Shuffle, 700.0, 400_000, 200_000);
+    let schedule = BurstSchedule::repetitive(TrafficPattern::Shuffle, 700.0, 400_000, 200_000);
     let mut cfg = SimConfig::synthetic(TopologyKind::FatTree443, PolicyKind::PrDrb, schedule, 32);
     cfg.duration_ns = 1_200_000;
     cfg.max_ns = 2000 * MILLISECOND;
@@ -182,12 +196,14 @@ fn adaptive_per_hop_is_the_upper_reference() {
 #[test]
 fn tail_latencies_are_ordered() {
     let schedule = BurstSchedule::continuous(TrafficPattern::Shuffle, 600.0);
-    let mut cfg =
-        SimConfig::synthetic(TopologyKind::FatTree443, PolicyKind::PrDrb, schedule, 32);
+    let mut cfg = SimConfig::synthetic(TopologyKind::FatTree443, PolicyKind::PrDrb, schedule, 32);
     cfg.duration_ns = 600_000;
     cfg.max_ns = 2000 * MILLISECOND;
     let r = run(cfg);
     let (p50, p95, p99) = r.tail_latency_us();
     assert!(p50 > 0.0);
-    assert!(p50 <= p95 && p95 <= p99, "quantiles must be monotone: {p50} {p95} {p99}");
+    assert!(
+        p50 <= p95 && p95 <= p99,
+        "quantiles must be monotone: {p50} {p95} {p99}"
+    );
 }

@@ -60,6 +60,79 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The parallel replica executor returns bit-identical reports to
+    /// the serial reference, proven through the run cache's canonical
+    /// CSV encoding (f64s serialize as exact bit patterns, so equal
+    /// bytes means equal reports down to the last ULP).
+    #[test]
+    fn parallel_replicas_match_serial_bit_for_bit(
+        policy_idx in 0usize..7,
+        mbps in 200f64..900f64,
+        base_seed in 0u64..500,
+        mesh in proptest::bool::ANY,
+    ) {
+        use pr_drb::engine::cache::report_to_csv;
+        use pr_drb::engine::{run_replicas, run_replicas_serial, RunKey};
+        let policy = PolicyKind::ALL[policy_idx];
+        let topology = if mesh { TopologyKind::Mesh8x8 } else { TopologyKind::FatTree443 };
+        let schedule = BurstSchedule::continuous(TrafficPattern::Uniform, mbps);
+        let mut cfg = SimConfig::synthetic(topology, policy, schedule, 16);
+        cfg.duration_ns = 120_000;
+        cfg.max_ns = 4000 * MILLISECOND;
+        let seeds = [base_seed, base_seed.wrapping_add(1), base_seed.wrapping_add(2)];
+        let par = run_replicas(&cfg, &seeds);
+        let ser = run_replicas_serial(&cfg, &seeds);
+        prop_assert_eq!(par.len(), ser.len());
+        for ((p, s), &seed) in par.iter().zip(&ser).zip(&seeds) {
+            let mut c = cfg.clone();
+            c.seed = seed;
+            let key = RunKey::of(&c);
+            prop_assert_eq!(report_to_csv(key, p), report_to_csv(key, s));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merging per-replica quantile sketches is lossless: the merged
+    /// sketch answers every quantile exactly like one sketch fed the
+    /// concatenated samples, and its p50/p95/p99 stay monotone.
+    #[test]
+    fn quantile_merge_matches_concatenated_sketch(
+        a in proptest::collection::vec(1u64..5_000_000, 1..80),
+        b in proptest::collection::vec(1u64..5_000_000, 1..80),
+        c in proptest::collection::vec(1u64..5_000_000, 0..80),
+    ) {
+        use pr_drb::metrics::LatencyQuantiles;
+        let mut merged = LatencyQuantiles::new();
+        let mut baseline = LatencyQuantiles::new();
+        for chunk in [&a, &b, &c] {
+            let mut sketch = LatencyQuantiles::new();
+            for &v in chunk.iter() {
+                sketch.push(v);
+                baseline.push(v);
+            }
+            merged.merge(&sketch);
+        }
+        prop_assert_eq!(merged.total(), baseline.total());
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            prop_assert_eq!(merged.quantile_ns(q), baseline.quantile_ns(q));
+        }
+        let (p50, p95, p99) = merged.summary_us();
+        prop_assert!(p50 <= p95 && p95 <= p99,
+            "merged quantiles must be monotone: {} {} {}", p50, p95, p99);
+        let (b50, b95, b99) = baseline.summary_us();
+        prop_assert!((p50 - b50).abs() < 1e-9 && (p95 - b95).abs() < 1e-9
+            && (p99 - b99).abs() < 1e-9,
+            "merged summary must match the single-sketch baseline");
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
     /// The per-destination running means (Eq 4.1) aggregate to a global

@@ -1,0 +1,192 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no crates-io registry, so the workspace
+//! patches `criterion` to this crate. Benchmarks compile and run —
+//! each `bench_function` executes a warm-up pass plus `sample_size`
+//! timed samples and prints min/mean per iteration — without the
+//! statistical machinery or HTML reports of the real crate.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup; only distinguishes semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Fresh setup per measured iteration.
+    PerIteration,
+    /// Small batches (treated as per-iteration here).
+    SmallInput,
+    /// Large batches (treated as per-iteration here).
+    LargeInput,
+}
+
+/// Timer handed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    min: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Self {
+            samples,
+            total: Duration::ZERO,
+            min: Duration::MAX,
+            iters: 0,
+        }
+    }
+
+    /// Time `f` over the configured number of samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, untimed
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            let dt = start.elapsed();
+            self.total += dt;
+            self.min = self.min.min(dt);
+            self.iters += 1;
+        }
+    }
+
+    /// Time `routine` on fresh `setup` output each sample.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup())); // warm-up, untimed
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            let dt = start.elapsed();
+            self.total += dt;
+            self.min = self.min.min(dt);
+            self.iters += 1;
+        }
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    if b.iters == 0 {
+        println!("{name:<40} (no samples)");
+        return;
+    }
+    let mean = b.total / b.iters as u32;
+    println!(
+        "{name:<40} min {:>12.3?}  mean {:>12.3?}  ({} samples)",
+        b.min, mean, b.iters
+    );
+}
+
+/// Benchmark registry/driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(name.as_ref(), &b);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl AsRef<str>) -> BenchmarkGroup<'_> {
+        println!("== group {} ==", name.as_ref());
+        BenchmarkGroup {
+            parent: self,
+            sample_size: None,
+        }
+    }
+}
+
+/// A group sharing a sample-size override.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Run one named benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size.unwrap_or(self.parent.sample_size));
+        f(&mut b);
+        report(name.as_ref(), &b);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut runs = 0u32;
+        c.bench_function("t", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn groups_and_batched_run() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        let mut total = 0u64;
+        g.bench_function("b", |b| {
+            b.iter_batched(|| 2u64, |x| total += x, BatchSize::PerIteration)
+        });
+        g.finish();
+        assert_eq!(total, 8); // 1 warm-up + 3 samples
+    }
+}

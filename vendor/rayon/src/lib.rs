@@ -1,0 +1,193 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build container has no crates-io registry, so the workspace
+//! patches `rayon` to this crate. It implements the small slice of the
+//! rayon API the project uses — `par_iter()` / `into_par_iter()`
+//! followed by `map(..).collect()` — with real OS-thread parallelism:
+//! the input is split into contiguous chunks, one scoped thread per
+//! chunk (bounded by the available parallelism), and the outputs are
+//! concatenated in input order. That preserves rayon's key guarantee
+//! relied on throughout the sweep harness: `collect()` returns results
+//! in the same deterministic order as the serial iterator would.
+
+use std::num::NonZeroUsize;
+
+/// Everything the call sites import.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Number of worker threads to use for `len` items.
+fn threads_for(len: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(4);
+    hw.min(len).max(1)
+}
+
+/// A materialized "parallel iterator": the items to process, in order.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// The result of `map`: items plus the mapping function, executed by
+/// `collect` / `for_each`.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+/// Minimal parallel-iterator interface: `map` then `collect`.
+pub trait ParallelIterator: Sized {
+    /// Item type produced by the iterator.
+    type Item: Send;
+
+    /// Consume into the materialized item list (in order).
+    fn into_items(self) -> Vec<Self::Item>;
+
+    /// Lazily map each item; the work happens in `collect`.
+    fn map<R, F>(self, f: F) -> ParMap<Self::Item, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        ParMap {
+            items: self.into_items(),
+            f,
+        }
+    }
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+
+    fn into_items(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl<T: Send, F> ParMap<T, F> {
+    /// Run the map on scoped threads and collect outputs in input order.
+    pub fn collect<C, R>(self) -> C
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        run_ordered(self.items, &self.f).into_iter().collect()
+    }
+}
+
+/// Execute `f` over `items` on scoped threads, returning outputs in the
+/// original item order (chunked decomposition, then concatenation).
+fn run_ordered<T: Send, R: Send>(items: Vec<T>, f: &(impl Fn(T) -> R + Sync)) -> Vec<R> {
+    let n = items.len();
+    if n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let workers = threads_for(n);
+    if workers == 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut rest = items;
+    while rest.len() > chunk {
+        let tail = rest.split_off(chunk);
+        chunks.push(std::mem::replace(&mut rest, tail));
+    }
+    chunks.push(rest);
+    let mut out: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| scope.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("parallel worker panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+/// `into_par_iter()` — consuming conversion.
+pub trait IntoParallelIterator {
+    /// Item type of the resulting parallel iterator.
+    type Item: Send;
+
+    /// Convert into a parallel iterator over owned items.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// `par_iter()` — by-reference conversion (slices, Vecs, arrays).
+pub trait IntoParallelRefIterator {
+    /// Element type borrowed from the collection.
+    type Elem;
+
+    /// Parallel iterator over `&Elem`.
+    fn par_iter(&self) -> ParIter<&Self::Elem>;
+}
+
+impl<T: Sync> IntoParallelRefIterator for [T] {
+    type Elem = T;
+
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<T: Sync> IntoParallelRefIterator for Vec<T> {
+    type Elem = T;
+
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_consumes() {
+        let v = vec![String::from("a"), String::from("bb"), String::from("ccc")];
+        let out: Vec<usize> = v.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn arrays_and_empty_inputs_work() {
+        let out: Vec<u32> = [1u32, 2, 3].par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![2, 3, 4]);
+        let empty: Vec<u32> = Vec::<u32>::new().into_par_iter().map(|x| x).collect();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn really_runs_on_many_threads_or_at_least_terminates() {
+        // 10k items through the chunked executor.
+        let v: Vec<usize> = (0..10_000).collect();
+        let out: Vec<usize> = v.into_par_iter().map(|x| x % 7).collect();
+        assert_eq!(out.len(), 10_000);
+        assert_eq!(out[13], 6);
+    }
+}
