@@ -51,10 +51,8 @@ pub fn targets() -> Vec<Target> {
 fn table4_2() -> FigureOutput {
     let mut out = FigureOutput::new("table4_2", "simulation parameters (hot-spot)");
     let cfg = mesh_cfg(PolicyKind::PrDrb, 400.0);
-    out.push(format!("Topology            : mesh 8x8"));
-    out.push(format!(
-        "Flow control        : virtual cut-through (credits)"
-    ));
+    out.push("Topology            : mesh 8x8");
+    out.push("Flow control        : virtual cut-through (credits)");
     out.push(format!("Link bandwidth      : {} Gbps", cfg.net.link_gbps));
     out.push(format!(
         "Packet size         : {} bytes",
@@ -65,10 +63,8 @@ fn table4_2() -> FigureOutput {
         cfg.net.input_buf_bytes / 1024,
         cfg.net.output_buf_bytes / 1024
     ));
-    out.push(format!("Generation rate     : 400 / 600 Mbps per node"));
-    out.push(format!(
-        "Patterns            : perfect shuffle bursts + uniform noise"
-    ));
+    out.push("Generation rate     : 400 / 600 Mbps per node");
+    out.push("Patterns            : perfect shuffle bursts + uniform noise");
     out.check(
         "parameters match Table 4.2",
         "2 Gbps, 1024 B, VCT, mesh 8x8",

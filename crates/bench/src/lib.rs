@@ -14,6 +14,8 @@
 //! the measured one and drops CSV/text artifacts under `results/`.
 
 pub mod figures;
+pub mod perf;
+pub mod report;
 
 use prdrb_engine::RunCache;
 use std::path::PathBuf;

@@ -5,6 +5,7 @@
 //! repro fig4_13         # one target
 //! repro fig4_13 fig4_14 # several
 //! repro all             # everything (rayon-parallel)
+//! repro bench [--quick] # hot-path perf kernels -> BENCH_PRDRB.json
 //! ```
 //!
 //! Environment: `PRDRB_RESULTS` (output dir, default `results/`),
@@ -23,8 +24,12 @@ fn main() {
         for t in &targets {
             println!("  {:<22} {}", t.id, t.title);
         }
-        println!("\nusage: repro <id>... | all");
+        println!("\nusage: repro <id>... | all | bench [--quick]");
         return;
+    }
+    if args[0] == "bench" {
+        let quick = args.iter().any(|a| a == "--quick");
+        std::process::exit(prdrb_bench::perf::run_bench(quick));
     }
     let selected: Vec<&Target> = if args.iter().any(|a| a == "all") {
         targets.iter().collect()
@@ -65,23 +70,15 @@ fn main() {
             failed += 1;
         }
     }
-    println!("per-target wall-clock:");
-    for (id, _, ok, secs) in &outputs {
-        println!(
-            "  {:<22} {:>8.2} s  [{}]",
-            id,
-            secs,
-            if *ok { "ok" } else { "!!" }
-        );
-    }
-    let (hits, misses) = prdrb_engine::cache_stats();
-    let cache_line = match prdrb_bench::run_cache() {
-        Some(c) => format!(
-            "run cache: {hits} hit(s), {misses} miss(es) in {}",
-            c.dir().display()
-        ),
-        None => "run cache: disabled (PRDRB_CACHE=off)".into(),
-    };
+    let rows: Vec<(String, f64, bool)> = outputs
+        .iter()
+        .map(|(id, _, ok, secs)| (id.clone(), *secs, *ok))
+        .collect();
+    print!(
+        "{}",
+        prdrb_bench::report::timing_block("per-target wall-clock", &rows)
+    );
+    let cache_line = prdrb_bench::report::cache_line();
     println!(
         "\n{} target(s) in {:.1} s; {} with all checks holding, {} with deviations; \
          {cache_line}; artifacts in {}",

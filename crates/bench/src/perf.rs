@@ -1,0 +1,307 @@
+//! `repro bench` — the perf-trajectory harness.
+//!
+//! A fixed set of hot-path kernels timed on every invocation, so the
+//! repo carries a machine-readable record (`results/BENCH_PRDRB.json`)
+//! of how fast the simulator core is at each commit:
+//!
+//! * `event_churn_heap` / `event_churn_wheel` — raw calendar churn
+//!   through both [`EventQueue`] backends with a standing population and
+//!   the fabric's near/far delay mix. The wheel-over-heap ratio is the
+//!   headline number for the timing-wheel optimization.
+//! * `mesh_hotspot` — fabric-level hot-spot corridor on the 8×8 mesh
+//!   (route tables + packet arena under contention).
+//! * `ft_shuffle` — fabric-level shuffle permutation on the 64-node
+//!   fat-tree (tree route tables, ascending/descending phases).
+//! * `pop_trace` — a full POP application trace under PR-DRB through
+//!   the whole engine stack (policy, ACKs, player).
+//!
+//! `--quick` shrinks every kernel for CI smoke use. The exit code is
+//! nonzero when a kernel panics or the smoke thresholds regress.
+
+use crate::report;
+use prdrb_apps::pop;
+use prdrb_core::PolicyKind;
+use prdrb_engine::{SimConfig, TopologyKind};
+use prdrb_network::{Fabric, NetworkConfig, Packet};
+use prdrb_simcore::{EventQueue, QueueKind};
+use prdrb_topology::{AnyTopology, NodeId, PathDescriptor, RouteState};
+use std::time::Instant;
+
+/// One timed kernel result.
+struct Kernel {
+    name: &'static str,
+    /// What `count` counts ("events" or "messages").
+    unit: &'static str,
+    count: u64,
+    wall_s: f64,
+}
+
+impl Kernel {
+    fn per_sec(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.count as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Deterministic delay stream mimicking the fabric's mix: mostly short
+/// routing/transmission delays, a slice of far-future retries that take
+/// the wheel's overflow path.
+fn next_delay(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    let r = *state >> 33;
+    if r % 16 == 15 {
+        100_000 + r % 1_000_000
+    } else {
+        1 + r % 8_000
+    }
+}
+
+/// Calendar churn: hold ~4096 live events, pop one / push one `ops`
+/// times. Identical op sequence for both backends.
+fn event_churn(kind: QueueKind, ops: u64) -> Kernel {
+    const POPULATION: u64 = 4096;
+    let mut q: EventQueue<u64> = EventQueue::with_kind(kind, POPULATION as usize);
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    for i in 0..POPULATION {
+        q.schedule_in(next_delay(&mut state), i);
+    }
+    let t0 = Instant::now();
+    for _ in 0..ops {
+        let e = q.pop().expect("population never drains");
+        q.schedule_in(next_delay(&mut state), e.event);
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    let name = match kind {
+        QueueKind::Heap => "event_churn_heap",
+        QueueKind::Wheel => "event_churn_wheel",
+    };
+    Kernel {
+        name,
+        unit: "events",
+        count: ops,
+        wall_s,
+    }
+}
+
+/// Drive a bare fabric: inject one packet per flow per round, advance
+/// the clock by `gap_ns`, recycle deliveries — the router/NIC hot loop
+/// without policy overhead.
+fn fabric_kernel(
+    name: &'static str,
+    topo: AnyTopology,
+    flows: &[(NodeId, NodeId)],
+    rounds: u32,
+    gap_ns: u64,
+) -> Kernel {
+    let net = NetworkConfig {
+        acks_enabled: false,
+        ..NetworkConfig::default()
+    };
+    let mut fabric = Fabric::new(topo, net);
+    let mut out = Vec::new();
+    let t0 = Instant::now();
+    let mut now = 0u64;
+    for _ in 0..rounds {
+        for &(src, dst) in flows {
+            let id = fabric.alloc_id();
+            fabric.inject(Packet::data(
+                id,
+                src,
+                dst,
+                1024,
+                now,
+                RouteState::new(PathDescriptor::Minimal),
+                0,
+                id,
+                0,
+                true,
+                false,
+            ));
+        }
+        now += gap_ns;
+        fabric.run_until(now);
+        fabric.take_deliveries(&mut out);
+        for d in out.drain(..) {
+            fabric.recycle(d.packet);
+        }
+    }
+    fabric.run_to_quiescence(now + 1_000_000_000);
+    fabric.take_deliveries(&mut out);
+    for d in out.drain(..) {
+        fabric.recycle(d.packet);
+    }
+    Kernel {
+        name,
+        unit: "events",
+        count: fabric.events_processed(),
+        wall_s: t0.elapsed().as_secs_f64(),
+    }
+}
+
+/// Hot-spot corridor on the 8×8 mesh: four sources hammer one
+/// destination while every node runs a coprime-offset background flow.
+fn mesh_hotspot(quick: bool) -> Kernel {
+    let mut flows: Vec<(NodeId, NodeId)> = (0..4).map(|i| (NodeId(24 + i), NodeId(23))).collect();
+    flows.extend((0..64).map(|i| (NodeId(i), NodeId((i + 13) % 64))));
+    fabric_kernel(
+        "mesh_hotspot",
+        AnyTopology::mesh8x8(),
+        &flows,
+        if quick { 80 } else { 400 },
+        24_000,
+    )
+}
+
+/// Shuffle permutation on the 64-node fat-tree (6-bit rotate-left).
+fn ft_shuffle(quick: bool) -> Kernel {
+    let flows: Vec<(NodeId, NodeId)> = (0u32..64)
+        .map(|i| (NodeId(i), NodeId(((i << 1) | (i >> 5)) & 63)))
+        .filter(|(s, d)| s != d)
+        .collect();
+    fabric_kernel(
+        "ft_shuffle",
+        AnyTopology::fat_tree_64(),
+        &flows,
+        if quick { 120 } else { 600 },
+        6_000,
+    )
+}
+
+/// Full-stack POP trace under PR-DRB (uncached — always a real run).
+fn pop_trace(quick: bool) -> Kernel {
+    let (ranks, steps) = if quick { (16, 2) } else { (64, 3) };
+    let cfg = SimConfig::trace(
+        TopologyKind::FatTree443,
+        PolicyKind::PrDrb,
+        pop(ranks, steps),
+    );
+    let t0 = Instant::now();
+    let r = prdrb_engine::run(cfg);
+    Kernel {
+        name: "pop_trace",
+        unit: "messages",
+        count: r.messages,
+        wall_s: t0.elapsed().as_secs_f64(),
+    }
+}
+
+/// Render the kernels as `results/BENCH_PRDRB.json` (hand-rolled: the
+/// workspace deliberately carries no serialization dependency).
+fn to_json(kernels: &[Kernel], churn_speedup: f64, quick: bool) -> String {
+    let mut out = String::from("{\n  \"schema\": \"prdrb-bench-v1\",\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&format!(
+        "  \"churn_speedup_wheel_over_heap\": {churn_speedup:.3},\n"
+    ));
+    out.push_str("  \"kernels\": [\n");
+    for (i, k) in kernels.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"unit\": \"{}\", \"count\": {}, \"wall_s\": {:.4}, \"per_sec\": {:.1}}}{}\n",
+            k.name,
+            k.unit,
+            k.count,
+            k.wall_s,
+            k.per_sec(),
+            if i + 1 < kernels.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Smoke floor for wheel-backed calendar churn, events/sec. Any release
+/// build clears this by two orders of magnitude; tripping it means the
+/// wheel path broke badly.
+const CHURN_FLOOR_PER_SEC: f64 = 1_000_000.0;
+/// The wheel must actually beat the heap; slack below the recorded ~2×+
+/// absorbs CI-runner noise.
+const CHURN_SPEEDUP_FLOOR: f64 = 1.2;
+
+/// Run the bench suite; returns the process exit code.
+pub fn run_bench(quick: bool) -> i32 {
+    let churn_ops = if quick { 200_000 } else { 2_000_000 };
+    let heap = event_churn(QueueKind::Heap, churn_ops);
+    let wheel = event_churn(QueueKind::Wheel, churn_ops);
+    let kernels = vec![
+        heap,
+        wheel,
+        mesh_hotspot(quick),
+        ft_shuffle(quick),
+        pop_trace(quick),
+    ];
+    let speedup = if kernels[0].wall_s > 0.0 {
+        kernels[0].wall_s / kernels[1].wall_s.max(1e-12)
+    } else {
+        0.0
+    };
+    let rows: Vec<(String, f64, bool)> = kernels
+        .iter()
+        .map(|k| (format!("{} ({})", k.name, k.unit), k.wall_s, true))
+        .collect();
+    print!("{}", report::timing_block("per-kernel wall-clock", &rows));
+    for k in &kernels {
+        println!("  {:<28} {:>14.0} {}/s", k.name, k.per_sec(), k.unit);
+    }
+    println!(
+        "  calendar churn: wheel {:.2}x over heap ({:.2}M vs {:.2}M events/s)",
+        speedup,
+        kernels[1].per_sec() / 1e6,
+        kernels[0].per_sec() / 1e6,
+    );
+    let path = crate::write_artifact("BENCH_PRDRB.json", &to_json(&kernels, speedup, quick));
+    println!("{}", report::cache_line());
+    println!("bench artifact: {}", path.display());
+    let mut code = 0;
+    if kernels[1].per_sec() < CHURN_FLOOR_PER_SEC {
+        eprintln!(
+            "FAIL: wheel churn {:.0} events/s below the {:.0} smoke floor",
+            kernels[1].per_sec(),
+            CHURN_FLOOR_PER_SEC
+        );
+        code = 1;
+    }
+    if speedup < CHURN_SPEEDUP_FLOOR {
+        eprintln!("FAIL: wheel speedup {speedup:.2}x below the {CHURN_SPEEDUP_FLOOR}x floor");
+        code = 1;
+    }
+    code
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn churn_kernels_run_and_count() {
+        let k = event_churn(QueueKind::Wheel, 5_000);
+        assert_eq!(k.count, 5_000);
+        assert_eq!(k.unit, "events");
+    }
+
+    #[test]
+    fn fabric_kernels_process_events() {
+        let k = mesh_hotspot(true);
+        assert!(k.count > 10_000, "events {}", k.count);
+        let k = ft_shuffle(true);
+        assert!(k.count > 10_000, "events {}", k.count);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let kernels = vec![Kernel {
+            name: "event_churn_wheel",
+            unit: "events",
+            count: 10,
+            wall_s: 0.5,
+        }];
+        let j = to_json(&kernels, 2.0, true);
+        assert!(j.contains("\"schema\": \"prdrb-bench-v1\""));
+        assert!(j.contains("\"per_sec\": 20.0"));
+        assert!(!j.contains(",\n  ]"), "no trailing comma:\n{j}");
+    }
+}

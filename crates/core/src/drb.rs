@@ -20,14 +20,13 @@
 use crate::config::DrbConfig;
 use crate::metapath::Metapath;
 use crate::policy::{base_path, PolicyStats, RoutingPolicy};
-use crate::solutions::{normalize, SolutionDb};
+use crate::solutions::SolutionDb;
 use crate::trend::TrendDetector;
 use crate::zones::{Transition, Zone, ZoneTracker};
 use prdrb_network::{FlowPair, NotifyMode, Packet, PacketKind};
 use prdrb_simcore::time::Time;
 use prdrb_simcore::SimRng;
-use prdrb_topology::{route_len, AltPathProvider, AnyTopology, NodeId, PathDescriptor};
-use std::collections::HashMap;
+use prdrb_topology::{route_len, AltPathProvider, AnyTopology, NodeId, PathDescriptor, Topology};
 
 /// Cap on the accumulated contending-flow pattern per congestion episode.
 const MAX_PATTERN: usize = 32;
@@ -38,7 +37,9 @@ struct FlowState {
     zone: ZoneTracker,
     /// Candidate alternative paths in opening order (lazy).
     alts: Option<Vec<(PathDescriptor, u32)>>,
-    /// Contending flows observed during the current episode.
+    /// Contending flows observed during the current episode, kept sorted
+    /// and deduplicated so the database lookup borrows it directly (no
+    /// clone + normalize per notification).
     pattern: Vec<FlowPair>,
     /// A saved solution was already installed this episode.
     solution_applied: bool,
@@ -56,10 +57,17 @@ struct FlowState {
 pub struct DrbPolicy {
     topo: AnyTopology,
     cfg: DrbConfig,
-    flows: HashMap<(NodeId, NodeId), FlowState>,
+    /// Number of terminals — the stride of the dense per-flow table.
+    nodes: usize,
+    /// Per-flow state, indexed `src.idx() * nodes + dst.idx()`. Dense
+    /// so the ACK hot path is one multiply + load instead of a hash.
+    flows: Vec<Option<FlowState>>,
+    /// Flows in creation order — the watchdog scans this instead of a
+    /// hash map, so its reaction order is reproducible by construction.
+    active: Vec<(NodeId, NodeId)>,
     /// Per-source solution databases — each source only knows what its
     /// own ACKs taught it (Fig 3.14 "Node S1 — Saved Solution").
-    dbs: HashMap<NodeId, SolutionDb>,
+    dbs: Vec<SolutionDb>,
     expansions: u64,
     shrinks: u64,
     watchdog_fires: u64,
@@ -70,11 +78,18 @@ impl DrbPolicy {
     /// A DRB-family policy over `topo`.
     pub fn new(topo: AnyTopology, cfg: DrbConfig) -> Self {
         cfg.validate();
+        let nodes = topo.num_terminals();
         Self {
             topo,
             cfg,
-            flows: HashMap::new(),
-            dbs: HashMap::new(),
+            nodes,
+            flows: std::iter::repeat_with(|| None)
+                .take(nodes * nodes)
+                .collect(),
+            active: Vec::new(),
+            dbs: std::iter::repeat_with(SolutionDb::default)
+                .take(nodes)
+                .collect(),
             expansions: 0,
             shrinks: 0,
             watchdog_fires: 0,
@@ -87,17 +102,28 @@ impl DrbPolicy {
         &self.cfg
     }
 
+    /// The topology this policy routes over.
+    pub fn topology(&self) -> &AnyTopology {
+        &self.topo
+    }
+
+    /// Dense-table index of flow `src → dst`.
+    #[inline]
+    fn fidx(&self, src: NodeId, dst: NodeId) -> usize {
+        src.idx() * self.nodes + dst.idx()
+    }
+
     /// Number of open paths for a flow (1 when never seen).
     pub fn open_paths(&self, src: NodeId, dst: NodeId) -> usize {
-        self.flows
-            .get(&(src, dst))
+        self.flows[self.fidx(src, dst)]
+            .as_ref()
             .map(|f| f.metapath.len())
             .unwrap_or(1)
     }
 
     /// The solution database of one source, if it saved anything.
     pub fn solution_db(&self, src: NodeId) -> Option<&SolutionDb> {
-        self.dbs.get(&src)
+        self.dbs.get(src.idx()).filter(|db| !db.is_empty())
     }
 
     /// Install an offline-computed solution (§5.2 static variant): save
@@ -112,7 +138,7 @@ impl DrbPolicy {
     ) {
         let _ = dst;
         let cfg = self.cfg;
-        self.dbs.entry(src).or_default().save(
+        self.dbs[src.idx()].save(
             pattern,
             paths,
             // Nominal latency: offline solutions are refined by the
@@ -124,23 +150,40 @@ impl DrbPolicy {
     }
 
     fn flow_state(&mut self, src: NodeId, dst: NodeId) -> &mut FlowState {
-        let topo = &self.topo;
-        let cfg_trend = self.cfg.trend_window;
-        self.flows.entry((src, dst)).or_insert_with(|| {
-            let (desc, len, base) = base_path(topo, src, dst);
-            FlowState {
+        let i = self.fidx(src, dst);
+        if self.flows[i].is_none() {
+            let (desc, len, base) = base_path(&self.topo, src, dst);
+            self.flows[i] = Some(FlowState {
                 metapath: Metapath::new(desc, len, base),
                 zone: ZoneTracker::new(),
                 alts: None,
                 pattern: Vec::new(),
                 solution_applied: false,
-                trend: (cfg_trend > 0).then(|| TrendDetector::new(cfg_trend)),
+                trend: (self.cfg.trend_window > 0)
+                    .then(|| TrendDetector::new(self.cfg.trend_window)),
                 last_send: 0,
                 last_ack: 0,
                 last_adjust: 0,
                 outstanding: 0,
+            });
+            self.active.push((src, dst));
+        }
+        self.flows[i].as_mut().expect("just inserted")
+    }
+
+    /// Record contending flows into the episode pattern, keeping it
+    /// sorted + deduplicated (the database keys are normalized sets, so
+    /// insertion order never mattered — only the cap does, and that
+    /// still admits the first [`MAX_PATTERN`] distinct flows observed).
+    fn note_contenders(pattern: &mut Vec<FlowPair>, flows: &[FlowPair]) {
+        for &f in flows {
+            if pattern.len() >= MAX_PATTERN {
+                break;
             }
-        })
+            if let Err(pos) = pattern.binary_search(&f) {
+                pattern.insert(pos, f);
+            }
+        }
     }
 
     /// Lazily compute the ordered alternative list for a flow.
@@ -171,46 +214,54 @@ impl DrbPolicy {
     fn react(&mut self, src: NodeId, dst: NodeId, entering: bool, now: Time) {
         let cfg = self.cfg;
         let _ = entering;
+        let i = self.fidx(src, dst);
+        // Disjoint field borrows: the flow table, the databases and the
+        // topology are used side by side — no per-call `topo.clone()`.
+        let Self {
+            topo,
+            flows,
+            dbs,
+            expansions,
+            ..
+        } = self;
         // Predictive lookup first (Fig 3.8 / Fig 3.15: every congestion
         // notification checks the database until a solution has been
         // installed for the current episode).
         let try_lookup = cfg.predictive
-            && self
-                .flows
-                .get(&(src, dst))
+            && flows[i]
+                .as_ref()
                 .map(|f| !f.solution_applied)
                 .unwrap_or(true);
         if try_lookup {
-            let (pattern, open_now) = self
-                .flows
-                .get(&(src, dst))
-                .map(|f| (normalize(f.pattern.clone()), f.metapath.len()))
-                .unwrap_or_default();
-            if !pattern.is_empty() {
-                let db = self.dbs.entry(src).or_default();
-                if let Some(i) = db.find(&pattern, cfg.min_similarity, cfg.similarity) {
-                    // Applying a saved solution is an *expansion*
-                    // shortcut (Fig 3.15): never let a stale match
-                    // shrink (or sideways-swap) a metapath congestion
-                    // already grew past it — fall through to the normal
-                    // one-path-at-a-time opening instead.
-                    if db.get(i).paths.len() > open_now {
-                        let paths = db.apply(i).paths.clone();
-                        if let Some(fs) = self.flows.get_mut(&(src, dst)) {
-                            // "Maximum path expansion is directly done"
-                            // (§4.6.3): install the full saved set at once.
-                            fs.metapath.install(&paths);
-                            fs.last_adjust = now;
-                            fs.solution_applied = true;
-                        }
-                        return;
-                    }
+            // `fs.pattern` is maintained sorted + deduplicated, so it is
+            // already in the normalized form `find` expects.
+            let hit = match flows[i].as_ref() {
+                Some(fs) if !fs.pattern.is_empty() => {
+                    let db = &dbs[src.idx()];
+                    db.find(&fs.pattern, cfg.min_similarity, cfg.similarity)
+                        // Applying a saved solution is an *expansion*
+                        // shortcut (Fig 3.15): never let a stale match
+                        // shrink (or sideways-swap) a metapath congestion
+                        // already grew past it — fall through to the
+                        // normal one-path-at-a-time opening instead.
+                        .filter(|&j| db.get(j).paths.len() > fs.metapath.len())
                 }
+                _ => None,
+            };
+            if let Some(j) = hit {
+                let paths = dbs[src.idx()].apply(j).paths.clone();
+                if let Some(fs) = flows[i].as_mut() {
+                    // "Maximum path expansion is directly done"
+                    // (§4.6.3): install the full saved set at once.
+                    fs.metapath.install(&paths);
+                    fs.last_adjust = now;
+                    fs.solution_applied = true;
+                }
+                return;
             }
         }
         // Standard opening procedure: next unopened candidate.
-        let topo = self.topo.clone();
-        let Some(fs) = self.flows.get_mut(&(src, dst)) else {
+        let Some(fs) = flows[i].as_mut() else {
             return;
         };
         if fs.metapath.len() >= cfg.max_paths {
@@ -221,14 +272,16 @@ impl DrbPolicy {
         if fs.last_adjust != 0 && now.saturating_sub(fs.last_adjust) < cfg.adjust_settle_ns {
             return;
         }
-        Self::ensure_alts(&topo, &cfg, fs, src, dst);
+        Self::ensure_alts(topo, &cfg, fs, src, dst);
         let alts = fs.alts.as_ref().expect("just ensured");
-        let open: Vec<PathDescriptor> =
-            fs.metapath.entries().iter().map(|e| e.descriptor).collect();
-        if let Some(&(desc, len)) = alts.iter().find(|(d, _)| !open.contains(d)) {
+        let open = fs.metapath.entries();
+        if let Some(&(desc, len)) = alts
+            .iter()
+            .find(|(d, _)| !open.iter().any(|e| e.descriptor == *d))
+        {
             if fs.metapath.open(desc, len) {
                 fs.last_adjust = now;
-                self.expansions += 1;
+                *expansions += 1;
             }
         }
     }
@@ -248,14 +301,7 @@ impl DrbPolicy {
         fs.last_ack = now;
         fs.outstanding = fs.outstanding.saturating_sub(1);
         fs.metapath.update(msp as usize, latency, cfg.ewma_alpha);
-        for &f in flows {
-            if fs.pattern.len() >= MAX_PATTERN {
-                break;
-            }
-            if !fs.pattern.contains(&f) {
-                fs.pattern.push(f);
-            }
-        }
+        Self::note_contenders(&mut fs.pattern, flows);
         let mp_latency = fs.metapath.latency_ns();
         let tr = fs
             .zone
@@ -283,13 +329,14 @@ impl DrbPolicy {
                 // (H→M of Fig 3.12).
                 if cfg.predictive {
                     let (pattern, snapshot) = {
-                        let fs = self.flows.get_mut(&(src, dst)).expect("exists");
+                        let i = self.fidx(src, dst);
+                        let fs = self.flows[i].as_mut().expect("exists");
                         fs.solution_applied = false;
                         let p = std::mem::take(&mut fs.pattern);
                         (p, fs.metapath.snapshot())
                     };
                     if !pattern.is_empty() && snapshot.len() > 1 {
-                        self.dbs.entry(src).or_default().save(
+                        self.dbs[src.idx()].save(
                             pattern,
                             snapshot,
                             mp_latency,
@@ -300,7 +347,8 @@ impl DrbPolicy {
                 }
             }
             Transition::EnterLow => {
-                let fs = self.flows.get_mut(&(src, dst)).expect("exists");
+                let i = self.fidx(src, dst);
+                let fs = self.flows[i].as_mut().expect("exists");
                 if now.saturating_sub(fs.last_adjust) >= cfg.adjust_settle_ns
                     && fs.metapath.close_worst().is_some()
                 {
@@ -319,7 +367,8 @@ impl DrbPolicy {
                 if zone == Zone::High {
                     self.react(src, dst, false, now);
                 } else if zone == Zone::Low {
-                    let fs = self.flows.get_mut(&(src, dst)).expect("exists");
+                    let i = self.fidx(src, dst);
+                    let fs = self.flows[i].as_mut().expect("exists");
                     if now.saturating_sub(fs.last_adjust) >= cfg.adjust_settle_ns
                         && !fs.metapath.is_single()
                         && fs.metapath.close_worst().is_some()
@@ -382,28 +431,26 @@ impl RoutingPolicy for DrbPolicy {
             return;
         };
         let me = ack.dst; // ACKs are addressed to the original source
-        let flows: Vec<FlowPair> = ack
+                          // Borrowed straight from the ACK: `self` and `ack` are disjoint,
+                          // so the header's flow list never needs cloning.
+        let flows: &[FlowPair] = ack
             .predictive
             .as_ref()
-            .map(|h| h.flows.clone())
-            .unwrap_or_default();
+            .map(|h| h.flows.as_slice())
+            .unwrap_or(&[]);
         if from_router.is_some() {
             // Predictive (router-injected) early notification: act on
             // every listed flow we originate — congestion is live now.
             for &(s, d) in flows.iter().filter(|(s, _)| *s == me) {
                 let fs = self.flow_state(s, d);
-                for &f in &flows {
-                    if fs.pattern.len() < MAX_PATTERN && !fs.pattern.contains(&f) {
-                        fs.pattern.push(f);
-                    }
-                }
+                Self::note_contenders(&mut fs.pattern, flows);
                 let already_high = fs.zone.zone() == Zone::High;
                 self.react(s, d, !already_high, now);
             }
         } else {
             // Destination ACK: latency sample for the flow it acknowledges.
             let flow_dst = ack.src;
-            self.on_flow_ack(me, flow_dst, data_msp, data_latency, &flows, now);
+            self.on_flow_ack(me, flow_dst, data_msp, data_latency, flows, now);
         }
     }
 
@@ -412,20 +459,21 @@ impl RoutingPolicy for DrbPolicy {
             return;
         };
         // FR-DRB: an ACK overdue on an active flow is a congestion sign
-        // (§4.8.4) — react without waiting for the notification.
-        let overdue: Vec<(NodeId, NodeId)> = self
-            .flows
-            .iter()
-            .filter(|(_, fs)| {
+        // (§4.8.4) — react without waiting for the notification. The scan
+        // walks flows in creation order (`react` never creates flows, so
+        // `active` is stable across the loop).
+        for k in 0..self.active.len() {
+            let (src, dst) = self.active[k];
+            let i = self.fidx(src, dst);
+            let overdue = self.flows[i].as_ref().is_some_and(|fs| {
                 fs.outstanding > 0 && now.saturating_sub(fs.last_send.max(fs.last_ack)) > watchdog
-            })
-            .map(|(&k, _)| k)
-            .collect();
-        for (src, dst) in overdue {
-            self.watchdog_fires += 1;
-            self.react(src, dst, true, now);
-            if let Some(fs) = self.flows.get_mut(&(src, dst)) {
-                fs.last_ack = now; // re-arm instead of firing every tick
+            });
+            if overdue {
+                self.watchdog_fires += 1;
+                self.react(src, dst, true, now);
+                if let Some(fs) = self.flows[i].as_mut() {
+                    fs.last_ack = now; // re-arm instead of firing every tick
+                }
             }
         }
     }
@@ -441,8 +489,7 @@ impl RoutingPolicy for DrbPolicy {
     ) {
         let _ = topo;
         if self.cfg.predictive {
-            let t = self.topo.clone();
-            crate::offline::preload(self, &t, profile);
+            crate::offline::preload(self, profile);
         }
     }
 
@@ -454,7 +501,7 @@ impl RoutingPolicy for DrbPolicy {
             trend_predictions: self.trend_predictions,
             ..Default::default()
         };
-        for db in self.dbs.values() {
+        for db in &self.dbs {
             s.patterns_found += db.patterns_found;
             s.patterns_reused += db.patterns_reused;
             s.reuse_applications += db.reuse_applications;

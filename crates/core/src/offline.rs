@@ -73,35 +73,45 @@ pub fn predicted_contenders(
         .collect()
 }
 
-/// Pre-populate `policy`'s solution databases from an offline profile.
-/// Returns the number of solutions installed.
-pub fn preload(policy: &mut DrbPolicy, topo: &AnyTopology, profile: &[ProfiledFlow]) -> usize {
+/// Pre-populate `policy`'s solution databases from an offline profile
+/// (over the policy's own topology). Returns the number of solutions
+/// installed.
+pub fn preload(policy: &mut DrbPolicy, profile: &[ProfiledFlow]) -> usize {
     let cfg: DrbConfig = *policy.config();
     assert!(
         cfg.predictive,
         "preloading is only meaningful for the predictive variants"
     );
-    let heavy = heavy_flows(profile, 0.5);
-    let provider = AltPathProvider::new(topo);
-    let mut installed = 0;
-    for flow in &heavy {
-        let contenders = predicted_contenders(topo, flow, &heavy);
-        if contenders.len() < 2 {
-            continue; // nothing to contend with — no congestion expected
-        }
-        let paths: Vec<(PathDescriptor, u32)> = provider
-            .alternatives(flow.src, flow.dst, cfg.max_paths)
-            .into_iter()
-            .map(|d| {
-                let len = route_len(topo, flow.src, flow.dst, d).unwrap_or(u32::MAX / 2);
-                (d, len)
+    // Two phases: plan every solution while borrowing the policy's
+    // topology immutably, then install them all mutably — no topology
+    // clone in between.
+    type Plan = (NodeId, NodeId, Vec<FlowPair>, Vec<(PathDescriptor, u32)>);
+    let plans: Vec<Plan> = {
+        let topo = policy.topology();
+        let heavy = heavy_flows(profile, 0.5);
+        let provider = AltPathProvider::new(topo);
+        heavy
+            .iter()
+            .filter_map(|flow| {
+                let contenders = predicted_contenders(topo, flow, &heavy);
+                if contenders.len() < 2 {
+                    return None; // nothing to contend with — no congestion expected
+                }
+                let paths: Vec<(PathDescriptor, u32)> = provider
+                    .alternatives(flow.src, flow.dst, cfg.max_paths)
+                    .into_iter()
+                    .map(|d| {
+                        let len = route_len(topo, flow.src, flow.dst, d).unwrap_or(u32::MAX / 2);
+                        (d, len)
+                    })
+                    .collect();
+                (paths.len() >= 2).then_some((flow.src, flow.dst, contenders, paths))
             })
-            .collect();
-        if paths.len() < 2 {
-            continue;
-        }
-        policy.preload_solution(flow.src, flow.dst, contenders, paths);
-        installed += 1;
+            .collect()
+    };
+    let installed = plans.len();
+    for (src, dst, contenders, paths) in plans {
+        policy.preload_solution(src, dst, contenders, paths);
     }
     installed
 }
@@ -175,7 +185,7 @@ mod tests {
                 ..DrbConfig::pr_drb()
             },
         );
-        let n = preload(&mut p, &topo, &profile_mesh_corridor());
+        let n = preload(&mut p, &profile_mesh_corridor());
         assert_eq!(n, 3, "three heavy flows preloaded");
         assert!(p.solution_db(NodeId(24)).is_some());
         // First congestion episode: a single high-latency ACK carrying
@@ -225,7 +235,7 @@ mod tests {
     fn preload_rejects_plain_drb() {
         let topo = AnyTopology::mesh8x8();
         let mut p = DrbPolicy::new(topo.clone(), DrbConfig::drb());
-        let _ = preload(&mut p, &topo, &profile_mesh_corridor());
+        let _ = preload(&mut p, &profile_mesh_corridor());
     }
 
     #[test]
@@ -241,7 +251,7 @@ mod tests {
                 bytes: 1_000_000,
             })
             .collect();
-        let n = preload(&mut p, &topo, &profile);
+        let n = preload(&mut p, &profile);
         assert_eq!(n, 4);
     }
 }

@@ -166,6 +166,10 @@ fn fold_config(cfg: &SimConfig, h: &mut StableHasher) {
         acks_enabled,
         monitor,
         contention_series_bucket_ns,
+        // The calendar backend is deliberately NOT hashed: it cannot
+        // change results (golden-digest test), so heap- and wheel-backed
+        // runs share cache entries.
+        queue: _,
     } = *net;
     h.write_f64(link_gbps);
     h.write_u32(input_buf_bytes);

@@ -67,6 +67,10 @@ pub struct Simulation {
     series: TimeSeries,
     quantiles: LatencyQuantiles,
     next_tick: Option<Time>,
+    /// Reusable buffers: deliveries swapped out of the fabric per tick
+    /// and the send list filled by the trace player per wakeup.
+    delivery_buf: Vec<Delivery>,
+    send_buf: Vec<SendOp>,
 }
 
 impl Simulation {
@@ -93,6 +97,8 @@ impl Simulation {
             series: TimeSeries::new(cfg.series_bucket_ns),
             quantiles: LatencyQuantiles::new(),
             next_tick: policy.tick_interval(),
+            delivery_buf: Vec::new(),
+            send_buf: Vec::new(),
             topo,
             fabric,
             policy,
@@ -191,9 +197,7 @@ impl Simulation {
             if self.fabric.run_until_delivery(target) {
                 let now = self.fabric.now();
                 self.tick_policy(now);
-                for d in self.fabric.drain_deliveries() {
-                    self.handle_delivery(d);
-                }
+                self.pump_deliveries();
                 continue;
             }
             // No deliveries before `target`: fire the host events there.
@@ -263,15 +267,31 @@ impl Simulation {
         }
     }
 
+    /// Drain every pending delivery into the policy / player, then hand
+    /// the packet boxes back to the fabric's pool.
+    fn pump_deliveries(&mut self) {
+        let mut deliveries = std::mem::take(&mut self.delivery_buf);
+        self.fabric.take_deliveries(&mut deliveries);
+        for d in deliveries.drain(..) {
+            self.handle_delivery(d);
+        }
+        self.delivery_buf = deliveries;
+    }
+
     fn advance_rank(&mut self, rank: u32, now: Time) {
-        let mut sends: Vec<SendOp> = Vec::new();
+        let mut sends = std::mem::take(&mut self.send_buf);
+        sends.clear();
         let wake = match self.player.as_mut() {
             Some(p) => p.advance(rank, now, &mut sends),
-            None => return,
+            None => {
+                self.send_buf = sends;
+                return;
+            }
         };
-        for s in sends {
+        for s in sends.drain(..) {
             self.inject_message(NodeId(s.src), NodeId(s.dst), s.bytes.max(1), s.tag, now);
         }
+        self.send_buf = sends;
         if let Some(t) = wake {
             self.ext.push(Reverse((t, Ext::Wake(rank))));
         }
@@ -334,7 +354,9 @@ impl Simulation {
                 self.dest_means[pkt.dst.idx()].push(lat_us);
                 self.series.push(at, lat_us);
                 self.quantiles.push(lat_ns);
-                if final_frag {
+                // `msg_tags` is only populated for trace runs; skip the
+                // hash probe on the synthetic fast path.
+                if final_frag && self.player.is_some() {
                     if let Some(tag) = self.msg_tags.remove(&msg_id) {
                         let rank = pkt.dst.0;
                         let ready = self
@@ -349,14 +371,14 @@ impl Simulation {
                 }
             }
         }
+        // Hand the box (and any predictive header) back for reuse.
+        self.fabric.recycle(pkt);
     }
 
     fn finish(mut self, truncated: bool) -> RunReport {
         // Drain leftover control traffic for final accounting.
         self.fabric.run_to_quiescence(self.cfg.max_ns);
-        for d in self.fabric.drain_deliveries() {
-            self.handle_delivery(d);
-        }
+        self.pump_deliveries();
         if let Some(p) = &self.player {
             if !p.all_done() && !truncated {
                 let stuck: Vec<String> = (0..p.num_ranks() as u32)

@@ -4,6 +4,7 @@
 //! flow control, 2 Gbps links, 2 MB router buffers, 1024-byte packets.
 
 use prdrb_simcore::time::Time;
+use prdrb_simcore::QueueKind;
 
 /// How congestion notifications reach sources (§3.2.2 vs §3.4.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,6 +78,10 @@ pub struct NetworkConfig {
     /// Track per-router contention time series (costs memory; used by
     /// the latency-map and contention figures).
     pub contention_series_bucket_ns: Option<Time>,
+    /// Event-calendar backend. Cannot change simulation results, only
+    /// wall-clock speed (the golden-digest test enforces this), so it is
+    /// deliberately excluded from the run-cache key.
+    pub queue: QueueKind,
 }
 
 impl Default for NetworkConfig {
@@ -95,6 +100,7 @@ impl Default for NetworkConfig {
             acks_enabled: true,
             monitor: MonitorConfig::default(),
             contention_series_bucket_ns: None,
+            queue: QueueKind::Wheel,
         }
     }
 }

@@ -27,10 +27,11 @@
 use crate::config::{NetworkConfig, NotifyMode};
 use crate::monitor::contending_flows;
 use crate::packet::{Packet, PacketKind};
+use crate::pool::PacketPool;
 use prdrb_simcore::stats::{RunningMean, TimeSeries};
 use prdrb_simcore::time::{ns_to_us, Time};
 use prdrb_simcore::EventQueue;
-use prdrb_topology::{next_port, AnyTopology, Endpoint, NodeId, Port, RouterId, Topology};
+use prdrb_topology::{AnyTopology, Endpoint, NodeId, Port, RouteTable, RouterId, Topology};
 use std::collections::VecDeque;
 
 /// Virtual channels: one escape layer per multi-step-path segment.
@@ -79,6 +80,9 @@ enum NetEvent {
 struct RouterState {
     /// `in_q[port][vc]`.
     in_q: Vec<[VecDeque<Box<Packet>>; NUM_VCS]>,
+    /// One bit per input lane (`port * NUM_VCS + vc`): set while the
+    /// lane holds packets, so the routing scan skips empty lanes.
+    in_occ: u64,
     out_q: Vec<VecDeque<Box<Packet>>>,
     out_bytes: Vec<u32>,
     /// Credits toward the downstream input queue per (out port, vc);
@@ -126,6 +130,14 @@ pub struct Fabric {
     deliveries: Vec<Delivery>,
     next_id: u64,
     clock: Time,
+    /// Per-run memo of every static routing decision.
+    table: RouteTable,
+    /// Recycles packet boxes and predictive headers.
+    pool: PacketPool,
+    /// Scratch for adaptive candidate ports (avoids a per-hop Vec).
+    cand_scratch: Vec<Port>,
+    /// Scratch for notified sources (router-based scheme).
+    src_scratch: Vec<NodeId>,
     /// Cumulative counters.
     pub stats: FabricStats,
 }
@@ -150,8 +162,13 @@ impl Fabric {
                     _ => credits.push([i64::MAX / 2; NUM_VCS]),
                 }
             }
+            debug_assert!(
+                ports * NUM_VCS <= 64,
+                "input-lane occupancy mask needs ports * NUM_VCS <= 64"
+            );
             routers.push(RouterState {
                 in_q: (0..ports).map(|_| Default::default()).collect(),
+                in_occ: 0,
                 out_q: (0..ports).map(|_| VecDeque::new()).collect(),
                 out_bytes: vec![0; ports],
                 credits,
@@ -170,15 +187,20 @@ impl Fabric {
                 link_busy_until: 0,
             })
             .collect();
+        let table = RouteTable::build(&topo);
         Self {
             topo,
             cfg,
             routers,
             nics,
-            q: EventQueue::with_capacity(1 << 12),
+            q: EventQueue::with_kind(cfg.queue, 1 << 12),
             deliveries: Vec::new(),
             next_id: 1,
             clock: 0,
+            table,
+            pool: PacketPool::new(),
+            cand_scratch: Vec::with_capacity(8),
+            src_scratch: Vec::with_capacity(8),
             stats: FabricStats::default(),
         }
     }
@@ -216,8 +238,10 @@ impl Fabric {
         self.inject2(packet);
     }
 
-    /// Time of the next pending event, if any.
-    pub fn next_event_time(&self) -> Option<Time> {
+    /// Time of the next pending event, if any. Takes `&mut self`
+    /// because the timing-wheel calendar advances its cursor lazily on
+    /// peeks; observable state is unaffected.
+    pub fn next_event_time(&mut self) -> Option<Time> {
         self.q.peek_time()
     }
 
@@ -225,11 +249,7 @@ impl Fabric {
     /// events processed.
     pub fn run_until(&mut self, until: Time) -> u64 {
         let mut n = 0;
-        while let Some(t) = self.q.peek_time() {
-            if t > until {
-                break;
-            }
-            let entry = self.q.pop().expect("peeked");
+        while let Some(entry) = self.q.pop_before(until) {
             self.clock = entry.time;
             self.dispatch(entry.event);
             n += 1;
@@ -246,13 +266,12 @@ impl Fabric {
     /// promptly).
     pub fn run_until_delivery(&mut self, until: Time) -> bool {
         while self.deliveries.is_empty() {
-            match self.q.peek_time() {
-                Some(t) if t <= until => {
-                    let entry = self.q.pop().expect("peeked");
+            match self.q.pop_before(until) {
+                Some(entry) => {
                     self.clock = entry.time;
                     self.dispatch(entry.event);
                 }
-                _ => break,
+                None => break,
             }
         }
         if self.deliveries.is_empty() {
@@ -266,11 +285,7 @@ impl Fabric {
     /// Drain the network completely (or until `max_t`). Returns the time
     /// of the last event.
     pub fn run_to_quiescence(&mut self, max_t: Time) -> Time {
-        while let Some(t) = self.q.peek_time() {
-            if t > max_t {
-                break;
-            }
-            let entry = self.q.pop().expect("peeked");
+        while let Some(entry) = self.q.pop_before(max_t) {
             self.clock = entry.time;
             self.dispatch(entry.event);
         }
@@ -281,6 +296,32 @@ impl Fabric {
     /// sources).
     pub fn drain_deliveries(&mut self) -> Vec<Delivery> {
         std::mem::take(&mut self.deliveries)
+    }
+
+    /// Swap the accumulated deliveries into `out` (cleared first). The
+    /// host loop reuses one buffer across ticks instead of allocating a
+    /// fresh `Vec` per drain; pair with [`Self::recycle`] to return the
+    /// packet boxes once processed.
+    pub fn take_deliveries(&mut self, out: &mut Vec<Delivery>) {
+        out.clear();
+        std::mem::swap(out, &mut self.deliveries);
+    }
+
+    /// Return a delivered packet's allocations to the fabric's pool.
+    pub fn recycle(&mut self, packet: Box<Packet>) {
+        self.pool.free(packet);
+    }
+
+    /// (boxes handed out, boxes served from the free list) — perf
+    /// diagnostics for the bench harness.
+    pub fn pool_stats(&self) -> (u64, u64) {
+        (self.pool.allocs, self.pool.reuses)
+    }
+
+    /// Calendar events processed so far — the bench harness's events/sec
+    /// numerator.
+    pub fn events_processed(&self) -> u64 {
+        self.q.total_processed()
     }
 
     /// Average contention latency observed at router `r`, in µs.
@@ -311,6 +352,7 @@ impl Fabric {
                 let vc = (packet.route.header_id as usize).min(NUM_VCS - 1);
                 let r = &mut self.routers[router.idx()];
                 r.in_q[port.idx()][vc].push_back(packet);
+                r.in_occ |= 1 << (port.idx() * NUM_VCS + vc);
                 if !r.route_pending {
                     r.route_pending = true;
                     self.q.schedule(
@@ -370,8 +412,7 @@ impl Fabric {
         pkt.nic_depart = self.clock;
         let ser = self.cfg.ser_ns(pkt.size);
         nic.link_busy_until = self.clock + ser;
-        let router = self.topo.router_of(node);
-        let port = self.topo.terminal_port(node);
+        let (router, port) = self.table.nic_attach(node);
         self.q.schedule(
             self.clock + self.cfg.wire_delay_ns + self.cfg.header_ns,
             NetEvent::Arrive {
@@ -388,15 +429,45 @@ impl Fabric {
         self.routers[router.idx()].route_pending = false;
         let ports = self.routers[router.idx()].in_q.len();
         let lanes = ports * NUM_VCS;
+        // Round-robin arbitration: each pass walks `lanes` steps from the
+        // (live) cursor, and a move re-bases the cursor just past the
+        // winning lane. The occupancy mask lets the walk jump straight to
+        // the next non-empty lane — empty lanes never move a packet, so
+        // only the step budget must account for them.
         loop {
             let mut moved = false;
-            for step in 0..lanes {
-                let lane = (self.routers[router.idx()].rr_cursor + step) % lanes;
+            let mut step = 0;
+            while step < lanes {
+                let occ = self.routers[router.idx()].in_occ;
+                if occ == 0 {
+                    break;
+                }
+                // cursor < lanes and step < lanes, so one conditional
+                // subtract replaces the (hardware-div) modulo.
+                let mut l = self.routers[router.idx()].rr_cursor + step;
+                if l >= lanes {
+                    l -= lanes;
+                }
+                let ahead = occ & (!0u64 << l);
+                let lane = if ahead != 0 {
+                    let lane = ahead.trailing_zeros() as usize;
+                    step += lane - l;
+                    lane
+                } else {
+                    let lane = occ.trailing_zeros() as usize;
+                    step += lanes - l + lane;
+                    lane
+                };
+                if step >= lanes {
+                    break;
+                }
                 let (p, vc) = (lane / NUM_VCS, lane % NUM_VCS);
                 if self.try_move_in_to_out(router, p, vc) {
-                    self.routers[router.idx()].rr_cursor = (lane + 1) % lanes;
+                    self.routers[router.idx()].rr_cursor =
+                        if lane + 1 == lanes { 0 } else { lane + 1 };
                     moved = true;
                 }
+                step += 1;
             }
             if !moved {
                 break;
@@ -418,14 +489,20 @@ impl Fabric {
                     // Fully adaptive ascent: among the minimal candidate
                     // ports, take the least-occupied output queue
                     // (deterministic tie-break by port index).
-                    let mut cands = Vec::with_capacity(4);
-                    self.topo.minimal_candidates(router, head.dst, &mut cands);
+                    let cands = &mut self.cand_scratch;
+                    self.table
+                        .minimal_candidates(&self.topo, router, head.dst, cands);
                     cands
-                        .into_iter()
+                        .iter()
+                        .copied()
                         .min_by_key(|p| (rs.out_bytes[p.idx()], p.idx()))
-                        .unwrap_or_else(|| next_port(&self.topo, router, head.dst, &mut head.route))
+                        .unwrap_or_else(|| {
+                            self.table
+                                .next_port(&self.topo, router, head.dst, &mut head.route)
+                        })
                 } else {
-                    next_port(&self.topo, router, head.dst, &mut head.route)
+                    self.table
+                        .next_port(&self.topo, router, head.dst, &mut head.route)
                 };
                 head.decided_port = Some(op);
                 op
@@ -436,6 +513,9 @@ impl Fabric {
             return false;
         }
         let mut pkt = rs.in_q[p][vc].pop_front().expect("head");
+        if rs.in_q[p][vc].is_empty() {
+            rs.in_occ &= !(1 << (p * NUM_VCS + vc));
+        }
         // Contention in the input queue beyond the fixed routing delay.
         let wait = (self.clock - pkt.queued_at).saturating_sub(self.cfg.routing_delay_ns);
         pkt.path_latency += wait;
@@ -445,7 +525,7 @@ impl Fabric {
         rs.out_q[out.idx()].push_back(pkt);
         self.sample_contention(router, wait);
         // Return the credit upstream now that the input slot is free.
-        match self.topo.neighbor(router, Port(p as u8)) {
+        match self.table.neighbor(router, Port(p as u8)) {
             Some(Endpoint::Router(ur, up)) => self.q.schedule(
                 self.clock + self.cfg.wire_delay_ns,
                 NetEvent::Credit {
@@ -480,7 +560,7 @@ impl Fabric {
             // it re-triggers TryTx, so just back off.
             return;
         }
-        let neighbor = self.topo.neighbor(router, port);
+        let neighbor = self.table.neighbor(router, port);
         let vc = (head.route.header_id as usize).min(NUM_VCS - 1);
         if let Some(Endpoint::Router(..)) = neighbor {
             if rs.credits[port.idx()][vc] < head.size as i64 {
@@ -560,27 +640,33 @@ impl Fabric {
         }
         rs.last_notify[port.idx()] = self.clock;
         self.stats.notifications += 1;
-        let pairs: Vec<_> = flows.iter().map(|c| c.flow).collect();
+        let mut pairs = self.pool.flow_vec();
+        pairs.extend(flows.iter().map(|c| c.flow));
         match mon.mode {
             NotifyMode::Destination => {
                 // Ride the leaving packet to its destination; the ACK
-                // will carry it back (§3.2.2).
+                // will carry it back (§3.2.2). Pre-install a pooled
+                // header so `attach_flows` never allocates.
+                if pkt.predictive.is_none() {
+                    pkt.predictive = Some(self.pool.header());
+                }
                 pkt.attach_flows(router, &pairs, mon.max_flows);
             }
             NotifyMode::Router => {
                 // GPA: notify each contending source directly (§3.4.1).
-                let sources: Vec<NodeId> = {
-                    let mut s: Vec<NodeId> = pairs.iter().map(|f| f.0).collect();
-                    s.dedup();
-                    s
-                };
-                for src in sources {
+                let mut sources = std::mem::take(&mut self.src_scratch);
+                sources.clear();
+                sources.extend(pairs.iter().map(|f| f.0));
+                sources.dedup();
+                for &src in &sources {
                     let id = self.alloc_id();
-                    let ack = Packet::predictive_ack(
+                    let mut header = self.pool.header();
+                    header.flows.extend_from_slice(&pairs);
+                    let ack = Packet::predictive_ack_with(
                         id,
                         router,
                         src,
-                        pairs.clone(),
+                        header,
                         self.clock,
                         self.cfg.ack_bytes,
                         pkt.dst,
@@ -588,21 +674,26 @@ impl Fabric {
                     self.stats.acks_sent += 1;
                     self.router_inject(router, ack);
                 }
+                self.src_scratch = sources;
             }
             NotifyMode::Off => unreachable!(),
         }
+        self.pool.free_flow_vec(pairs);
     }
 
     /// Inject a control packet directly from a router (predictive ACK).
     /// Control packets use a dedicated channel: they bypass output-queue
     /// capacity but share link bandwidth.
     fn router_inject(&mut self, router: RouterId, mut pkt: Packet) {
-        let out = next_port(&self.topo, router, pkt.dst, &mut pkt.route);
+        let out = self
+            .table
+            .next_port(&self.topo, router, pkt.dst, &mut pkt.route);
         pkt.queued_at = self.clock;
         pkt.decided_port = Some(out);
+        let boxed = self.pool.boxed(pkt);
         let rs = &mut self.routers[router.idx()];
-        rs.out_bytes[out.idx()] += pkt.size;
-        rs.out_q[out.idx()].push_back(Box::new(pkt));
+        rs.out_bytes[out.idx()] += boxed.size;
+        rs.out_q[out.idx()].push_back(boxed);
         self.q
             .schedule(self.clock, NetEvent::TryTx { router, port: out });
     }
@@ -633,17 +724,18 @@ impl Fabric {
     fn inject2(&mut self, packet: Packet) {
         let at = packet.created.max(self.clock);
         let node = packet.src;
+        let packet = self.pool.boxed(packet);
         if packet.src == packet.dst {
             self.q.schedule(
                 at + self.cfg.header_ns,
                 NetEvent::Deliver {
                     node: packet.dst,
-                    packet: Box::new(packet),
+                    packet,
                 },
             );
             return;
         }
-        self.nics[node.idx()].queue.push_back(Box::new(packet));
+        self.nics[node.idx()].queue.push_back(packet);
         self.q.schedule(at, NetEvent::NicTx { node });
     }
 

@@ -164,6 +164,33 @@ impl Packet {
         ack_bytes: u32,
         nominal_src: NodeId,
     ) -> Self {
+        Self::predictive_ack_with(
+            id,
+            router,
+            to_source,
+            Box::new(PredictiveHeader {
+                router: Some(router),
+                flows,
+            }),
+            now,
+            ack_bytes,
+            nominal_src,
+        )
+    }
+
+    /// [`Self::predictive_ack`] with a caller-provided (typically pooled)
+    /// header box; `header.router` is overwritten with the notifying
+    /// router.
+    pub fn predictive_ack_with(
+        id: u64,
+        router: RouterId,
+        to_source: NodeId,
+        mut header: Box<PredictiveHeader>,
+        now: Time,
+        ack_bytes: u32,
+        nominal_src: NodeId,
+    ) -> Self {
+        header.router = Some(router);
         Self {
             id,
             src: nominal_src,
@@ -180,10 +207,7 @@ impl Packet {
                 data_msp: 0,
                 from_router: Some(router),
             },
-            predictive: Some(Box::new(PredictiveHeader {
-                router: Some(router),
-                flows,
-            })),
+            predictive: Some(header),
             queued_at: now,
             decided_port: None,
         }

@@ -19,7 +19,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use event::{EventEntry, EventQueue};
+pub use event::{EventEntry, EventQueue, QueueKind};
 pub use hash::StableHasher;
 pub use rng::SimRng;
 pub use stats::{Histogram, RunningMean, TimeSeries, WelfordVariance};

@@ -20,12 +20,14 @@ pub mod fattree;
 pub mod ids;
 pub mod mesh;
 pub mod route;
+pub mod table;
 
 pub use altpath::AltPathProvider;
 pub use fattree::KAryNTree;
 pub use ids::{Endpoint, NodeId, Port, RouterId};
 pub use mesh::Mesh2D;
 pub use route::{next_port, route_len, walk_route, PathDescriptor, RouteState};
+pub use table::RouteTable;
 
 /// A network topology: routers, terminals, links and minimal routing.
 ///

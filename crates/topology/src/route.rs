@@ -120,7 +120,7 @@ pub fn next_port(topo: &AnyTopology, r: RouterId, dst: NodeId, state: &mut Route
 }
 
 /// Y-first dimension-order routing on the mesh.
-fn yx_port(m: &Mesh2D, r: RouterId, dst: NodeId) -> Port {
+pub(crate) fn yx_port(m: &Mesh2D, r: RouterId, dst: NodeId) -> Port {
     let (x, y) = m.coords(r);
     let (dx, dy) = m.coords(m.router_of(dst));
     if dy > y {

@@ -1,0 +1,94 @@
+//! Golden-digest determinism tests for the hot-path optimizations.
+//!
+//! The timing-wheel calendar, the packet arena and the memoized route
+//! tables are pure wall-clock optimizations: they must not change a
+//! single output bit. Each test runs a shortened stand-in for one of the
+//! headline repro targets (`fig4_8`, `fig4_13`, `load_sweep`) under both
+//! calendar backends and asserts the run-cache CSV encodings — which
+//! serialize every f64 as its exact bit pattern — are byte-identical.
+//! The heap backend exercises none of the wheel/cascade machinery, so
+//! agreement here pins the optimized paths to the reference semantics.
+//!
+//! Digests are compared between backends inside one process rather than
+//! against hardcoded constants: latency math goes through `ln()`, whose
+//! last-ULP behaviour is platform-dependent, so a stored digest would
+//! couple the test to one libm build.
+
+use pr_drb::engine::cache::report_to_csv;
+use pr_drb::engine::RunKey;
+use pr_drb::prelude::*;
+use pr_drb::simcore::QueueKind;
+
+/// Run `cfg` under both calendar backends; assert the cache keys and the
+/// canonical CSV reports agree byte for byte.
+fn assert_backend_invariant(label: &str, cfg: SimConfig) {
+    let mut heap_cfg = cfg.clone();
+    heap_cfg.net.queue = QueueKind::Heap;
+    let mut wheel_cfg = cfg;
+    wheel_cfg.net.queue = QueueKind::Wheel;
+    let (kh, kw) = (RunKey::of(&heap_cfg), RunKey::of(&wheel_cfg));
+    assert_eq!(
+        kh, kw,
+        "{label}: the calendar backend must not enter the run-cache key"
+    );
+    let heap = run(heap_cfg);
+    let wheel = run(wheel_cfg);
+    assert_eq!(
+        report_to_csv(kh, &heap),
+        report_to_csv(kw, &wheel),
+        "{label}: wheel-backed run diverged from the heap reference"
+    );
+}
+
+/// Shortened `fig4_8`: mesh hot-spot situation 1 under DRB — exercises
+/// the mesh route tables, MSP headers and the destination-based monitor.
+#[test]
+fn mesh_hotspot_digest_is_backend_invariant() {
+    let mesh = pr_drb::topology::Mesh2D::new(8, 8);
+    let scenario = HotSpotScenario::situation1(&mesh);
+    let mut cfg = SimConfig::synthetic(
+        TopologyKind::Mesh8x8,
+        PolicyKind::Drb,
+        BurstSchedule::continuous(TrafficPattern::Uniform, 100.0),
+        0,
+    );
+    cfg.workload = Workload::Flows {
+        flows: scenario.flows.clone(),
+        mbps: 600.0,
+        noise_nodes: scenario.noise_nodes.clone(),
+        noise_mbps: 40.0,
+        msg_bytes: 1024,
+    };
+    cfg.duration_ns = MILLISECOND / 2;
+    cfg.max_ns = 50 * MILLISECOND;
+    assert_backend_invariant("fig4_8 stand-in", cfg);
+}
+
+/// Shortened `fig4_13`: fat-tree shuffle bursts under PR-DRB — exercises
+/// the tree tables (seed routes), the solution database and ACK traffic.
+#[test]
+fn fat_tree_permutation_digest_is_backend_invariant() {
+    let schedule = BurstSchedule::repetitive(TrafficPattern::Shuffle, 600.0, 200_000, 100_000);
+    let mut cfg = SimConfig::synthetic(TopologyKind::FatTree443, PolicyKind::PrDrb, schedule, 32);
+    cfg.duration_ns = MILLISECOND;
+    cfg.max_ns = 200 * MILLISECOND;
+    assert_backend_invariant("fig4_13 stand-in", cfg);
+}
+
+/// Shortened `load_sweep` point: continuous shuffle near saturation for
+/// every policy family member — the deterministic route floods the
+/// calendar with far-apart retries, stressing the wheel's overflow path.
+#[test]
+fn load_sweep_digest_is_backend_invariant() {
+    for policy in [
+        PolicyKind::Deterministic,
+        PolicyKind::Drb,
+        PolicyKind::PrDrb,
+    ] {
+        let schedule = BurstSchedule::continuous(TrafficPattern::Shuffle, 800.0);
+        let mut cfg = SimConfig::synthetic(TopologyKind::FatTree443, policy, schedule, 32);
+        cfg.duration_ns = MILLISECOND / 2;
+        cfg.max_ns = 4000 * MILLISECOND;
+        assert_backend_invariant("load_sweep stand-in", cfg);
+    }
+}
