@@ -56,6 +56,19 @@ pub fn run_cache() -> Option<&'static RunCache> {
         .as_ref()
 }
 
+/// Fabric shard count applied to every figure simulation: set by the
+/// `--shards N` CLI flag (through `PRDRB_SHARDS`), default 1 (serial).
+/// Purely an execution knob — the run-cache key excludes it, so cached
+/// results stay valid and sharded runs must reproduce them byte for
+/// byte.
+pub fn shards() -> u32 {
+    std::env::var("PRDRB_SHARDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
 /// Duration scale factor: `PRDRB_SCALE` (default 1.0) multiplies the
 /// simulated durations so CI / quick runs can shrink every experiment
 /// uniformly.

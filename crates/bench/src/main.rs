@@ -5,26 +5,44 @@
 //! repro fig4_13         # one target
 //! repro fig4_13 fig4_14 # several
 //! repro all             # everything (rayon-parallel)
+//! repro all --shards 4  # same outputs, sharded fabric execution
 //! repro bench [--quick] # hot-path perf kernels -> BENCH_PRDRB.json
 //! ```
+//!
+//! `--shards N` runs every figure simulation through the conservative-
+//! parallel fabric at N shards; the outputs are bit-identical to serial
+//! by construction, so it is purely a wall-clock knob.
 //!
 //! Environment: `PRDRB_RESULTS` (output dir, default `results/`),
 //! `PRDRB_SCALE` (duration multiplier for quick runs, default 1.0),
 //! `PRDRB_SEEDS` (replicas per config, default 5), `PRDRB_CACHE`
-//! (run-cache dir; `off`/`0` disables, default `results/.cache`).
+//! (run-cache dir; `off`/`0` disables, default `results/.cache`),
+//! `PRDRB_SHARDS` (what `--shards` sets, default 1).
 
 use prdrb_bench::figures::{registry, Target};
 use rayon::prelude::*;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--shards") {
+        match args.get(i + 1).and_then(|s| s.parse::<u32>().ok()) {
+            Some(n) if n >= 1 => {
+                std::env::set_var("PRDRB_SHARDS", n.to_string());
+                args.drain(i..=i + 1);
+            }
+            _ => {
+                eprintln!("--shards needs a positive integer");
+                std::process::exit(2);
+            }
+        }
+    }
     let targets = registry();
     if args.is_empty() || args[0] == "list" {
         println!("repro targets ({}):", targets.len());
         for t in &targets {
             println!("  {:<22} {}", t.id, t.title);
         }
-        println!("\nusage: repro <id>... | all | bench [--quick]");
+        println!("\nusage: repro [--shards N] <id>... | all | bench [--quick]");
         return;
     }
     if args[0] == "bench" {

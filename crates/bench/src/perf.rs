@@ -14,15 +14,28 @@
 //!   fat-tree (tree route tables, ascending/descending phases).
 //! * `pop_trace` — a full POP application trace under PR-DRB through
 //!   the whole engine stack (policy, ACKs, player).
+//! * `fabric_parallel_k{1,2,4}` — the same fat-tree hot-spot workload
+//!   driven through the conservative-parallel [`ShardedFabric`] at 1, 2
+//!   and 4 shards. Event and delivery counts are cross-checked across
+//!   shard counts (the windowed schedule must be identical), and the
+//!   headline is the K=4 self-relative speedup over K=1. On a
+//!   single-core host the auto backend degenerates to sequential
+//!   windowing, so the honest number there is the windowing overhead
+//!   (≈1×), not a speedup.
 //!
 //! `--quick` shrinks every kernel for CI smoke use. The exit code is
 //! nonzero when a kernel panics or the smoke thresholds regress.
+//!
+//! `results/BENCH_PRDRB.json` is an append-only trajectory: each
+//! invocation appends one run record to the `runs` array instead of
+//! overwriting the file, so the artifact carries the perf history of
+//! the machine it was grown on.
 
 use crate::report;
 use prdrb_apps::pop;
 use prdrb_core::PolicyKind;
 use prdrb_engine::{SimConfig, TopologyKind};
-use prdrb_network::{Fabric, NetworkConfig, Packet};
+use prdrb_network::{Fabric, NetworkConfig, Packet, ShardedFabric};
 use prdrb_simcore::{EventQueue, QueueKind};
 use prdrb_topology::{AnyTopology, NodeId, PathDescriptor, RouteState};
 use std::time::Instant;
@@ -190,18 +203,116 @@ fn pop_trace(quick: bool) -> Kernel {
     }
 }
 
-/// Render the kernels as `results/BENCH_PRDRB.json` (hand-rolled: the
-/// workspace deliberately carries no serialization dependency).
-fn to_json(kernels: &[Kernel], churn_speedup: f64, quick: bool) -> String {
-    let mut out = String::from("{\n  \"schema\": \"prdrb-bench-v1\",\n");
-    out.push_str(&format!("  \"quick\": {quick},\n"));
+/// Drive the conservative-parallel fabric through the same hot loop as
+/// [`fabric_kernel`], returning the kernel plus the delivery count for
+/// the cross-shard identity check.
+fn sharded_kernel(
+    name: &'static str,
+    shards: u32,
+    flows: &[(NodeId, NodeId)],
+    rounds: u32,
+    gap_ns: u64,
+) -> (Kernel, u64) {
+    let net = NetworkConfig {
+        acks_enabled: false,
+        ..NetworkConfig::default()
+    };
+    let mut fabric = ShardedFabric::new(AnyTopology::fat_tree_64(), net, shards);
+    let mut out = Vec::new();
+    let mut delivered = 0u64;
+    let t0 = Instant::now();
+    let mut now = 0u64;
+    for _ in 0..rounds {
+        for &(src, dst) in flows {
+            let id = fabric.alloc_id();
+            fabric.inject(Packet::data(
+                id,
+                src,
+                dst,
+                1024,
+                now,
+                RouteState::new(PathDescriptor::Minimal),
+                0,
+                id,
+                0,
+                true,
+                false,
+            ));
+        }
+        now += gap_ns;
+        fabric.run_until(now);
+        fabric.take_deliveries(&mut out);
+        delivered += out.len() as u64;
+        for d in out.drain(..) {
+            fabric.recycle(d.packet);
+        }
+    }
+    fabric.run_to_quiescence(now + 1_000_000_000);
+    fabric.take_deliveries(&mut out);
+    delivered += out.len() as u64;
+    for d in out.drain(..) {
+        fabric.recycle(d.packet);
+    }
+    let k = Kernel {
+        name,
+        unit: "events",
+        count: fabric.events_processed(),
+        wall_s: t0.elapsed().as_secs_f64(),
+    };
+    (k, delivered)
+}
+
+/// Fat-tree hot-spot corridor at 1, 2 and 4 shards: four sources hammer
+/// one destination under a full shuffle background. Panics if any shard
+/// count processes a different event/delivery schedule — the bench
+/// doubles as a determinism smoke test.
+fn fabric_parallel(quick: bool) -> Vec<Kernel> {
+    let mut flows: Vec<(NodeId, NodeId)> = (0..4).map(|i| (NodeId(8 + i), NodeId(7))).collect();
+    flows.extend(
+        (0u32..64)
+            .map(|i| (NodeId(i), NodeId(((i << 1) | (i >> 5)) & 63)))
+            .filter(|(s, d)| s != d),
+    );
+    let rounds = if quick { 60 } else { 300 };
+    let mut kernels = Vec::new();
+    let mut reference: Option<(u64, u64)> = None;
+    for (name, shards) in [
+        ("fabric_parallel_k1", 1u32),
+        ("fabric_parallel_k2", 2),
+        ("fabric_parallel_k4", 4),
+    ] {
+        let (k, delivered) = sharded_kernel(name, shards, &flows, rounds, 8_000);
+        match reference {
+            None => reference = Some((k.count, delivered)),
+            Some((ev, del)) => {
+                assert_eq!(
+                    (k.count, delivered),
+                    (ev, del),
+                    "{name}: sharded schedule diverged from K=1"
+                );
+            }
+        }
+        kernels.push(k);
+    }
+    kernels
+}
+
+/// Render one run record for the `runs` trajectory in
+/// `results/BENCH_PRDRB.json` (hand-rolled: the workspace deliberately
+/// carries no serialization dependency).
+fn to_json(kernels: &[Kernel], churn_speedup: f64, shard_speedup: f64, quick: bool) -> String {
+    let mut out = String::from("    {\n");
+    out.push_str(&format!("      \"quick\": {quick},\n"));
     out.push_str(&format!(
-        "  \"churn_speedup_wheel_over_heap\": {churn_speedup:.3},\n"
+        "      \"churn_speedup_wheel_over_heap\": {churn_speedup:.3},\n"
     ));
-    out.push_str("  \"kernels\": [\n");
+    out.push_str(&format!(
+        "      \"shard_speedup_k4_over_k1\": {shard_speedup:.3},\n"
+    ));
+    out.push_str("      \"kernels\": [\n");
     for (i, k) in kernels.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"kernel\": \"{}\", \"unit\": \"{}\", \"count\": {}, \"wall_s\": {:.4}, \"per_sec\": {:.1}}}{}\n",
+            "        {{\"kernel\": \"{}\", \"unit\": \"{}\", \"count\": {}, \"wall_s\": {:.4}, \"per_sec\": {:.1}}}{}\n",
             k.name,
             k.unit,
             k.count,
@@ -210,7 +321,64 @@ fn to_json(kernels: &[Kernel], churn_speedup: f64, quick: bool) -> String {
             if i + 1 < kernels.len() { "," } else { "" }
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("      ]\n    }");
+    out
+}
+
+/// Pull the run records out of an existing `BENCH_PRDRB.json` so a new
+/// record can be appended. Understands both the v2 trajectory layout
+/// (objects inside `"runs": [...]`, extracted by brace depth — safe
+/// because no string field ever contains a brace) and the legacy v1
+/// layout (one bare object per file), which is carried over verbatim as
+/// the trajectory's first entry.
+fn prior_runs(text: &str) -> Vec<String> {
+    if let Some(key) = text.find("\"runs\"") {
+        let Some(open) = text[key..].find('[') else {
+            return Vec::new();
+        };
+        let body = &text[key + open..];
+        let mut runs = Vec::new();
+        let mut depth = 0i32;
+        let mut start = None;
+        for (i, c) in body.char_indices() {
+            match c {
+                '{' => {
+                    if depth == 0 {
+                        start = Some(i);
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        if let Some(s) = start.take() {
+                            runs.push(body[s..=i].to_string());
+                        }
+                    }
+                }
+                ']' if depth == 0 => break,
+                _ => {}
+            }
+        }
+        runs
+    } else if text.trim_start().starts_with('{') {
+        vec![text.trim().to_string()]
+    } else {
+        Vec::new()
+    }
+}
+
+/// Compose the full trajectory document from prior run records plus the
+/// newly rendered one.
+fn trajectory_json(prior: &[String], new_run: &str) -> String {
+    let mut out = String::from("{\n  \"schema\": \"prdrb-bench-v2\",\n  \"runs\": [\n");
+    for r in prior {
+        out.push_str("    ");
+        out.push_str(r.trim());
+        out.push_str(",\n");
+    }
+    out.push_str(new_run);
+    out.push_str("\n  ]\n}\n");
     out
 }
 
@@ -227,18 +395,21 @@ pub fn run_bench(quick: bool) -> i32 {
     let churn_ops = if quick { 200_000 } else { 2_000_000 };
     let heap = event_churn(QueueKind::Heap, churn_ops);
     let wheel = event_churn(QueueKind::Wheel, churn_ops);
-    let kernels = vec![
+    let mut kernels = vec![
         heap,
         wheel,
         mesh_hotspot(quick),
         ft_shuffle(quick),
         pop_trace(quick),
     ];
+    kernels.extend(fabric_parallel(quick));
     let speedup = if kernels[0].wall_s > 0.0 {
         kernels[0].wall_s / kernels[1].wall_s.max(1e-12)
     } else {
         0.0
     };
+    let n = kernels.len();
+    let shard_speedup = kernels[n - 3].wall_s / kernels[n - 1].wall_s.max(1e-12);
     let rows: Vec<(String, f64, bool)> = kernels
         .iter()
         .map(|k| (format!("{} ({})", k.name, k.unit), k.wall_s, true))
@@ -253,7 +424,17 @@ pub fn run_bench(quick: bool) -> i32 {
         kernels[1].per_sec() / 1e6,
         kernels[0].per_sec() / 1e6,
     );
-    let path = crate::write_artifact("BENCH_PRDRB.json", &to_json(&kernels, speedup, quick));
+    println!(
+        "  sharded fabric: K=4 {:.2}x over K=1 ({} worker thread(s) available)",
+        shard_speedup,
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+    );
+    let bench_path = crate::results_dir().join("BENCH_PRDRB.json");
+    let prior = std::fs::read_to_string(&bench_path)
+        .map(|t| prior_runs(&t))
+        .unwrap_or_default();
+    let run = to_json(&kernels, speedup, shard_speedup, quick);
+    let path = crate::write_artifact("BENCH_PRDRB.json", &trajectory_json(&prior, &run));
     println!("{}", report::cache_line());
     println!("bench artifact: {}", path.display());
     let mut code = 0;
@@ -299,9 +480,49 @@ mod tests {
             count: 10,
             wall_s: 0.5,
         }];
-        let j = to_json(&kernels, 2.0, true);
-        assert!(j.contains("\"schema\": \"prdrb-bench-v1\""));
-        assert!(j.contains("\"per_sec\": 20.0"));
-        assert!(!j.contains(",\n  ]"), "no trailing comma:\n{j}");
+        let run = to_json(&kernels, 2.0, 0.98, true);
+        let doc = trajectory_json(&[], &run);
+        assert!(doc.contains("\"schema\": \"prdrb-bench-v2\""));
+        assert!(doc.contains("\"per_sec\": 20.0"));
+        assert!(doc.contains("\"shard_speedup_k4_over_k1\": 0.980"));
+        assert!(!doc.contains(",\n  ]"), "no trailing comma:\n{doc}");
+    }
+
+    #[test]
+    fn trajectory_appends_across_invocations() {
+        let kernels = vec![Kernel {
+            name: "event_churn_wheel",
+            unit: "events",
+            count: 10,
+            wall_s: 0.5,
+        }];
+        let first = trajectory_json(&[], &to_json(&kernels, 2.0, 1.0, true));
+        let second = trajectory_json(&prior_runs(&first), &to_json(&kernels, 2.1, 1.1, true));
+        let runs = prior_runs(&second);
+        assert_eq!(runs.len(), 2, "both invocations survive:\n{second}");
+        assert!(runs[0].contains("\"churn_speedup_wheel_over_heap\": 2.000"));
+        assert!(runs[1].contains("\"churn_speedup_wheel_over_heap\": 2.100"));
+    }
+
+    #[test]
+    fn legacy_v1_artifact_becomes_first_trajectory_entry() {
+        let v1 = "{\n  \"schema\": \"prdrb-bench-v1\",\n  \"quick\": true,\n  \
+                  \"kernels\": [\n    {\"kernel\": \"x\"}\n  ]\n}\n";
+        let prior = prior_runs(v1);
+        assert_eq!(prior.len(), 1);
+        let doc = trajectory_json(&prior, &to_json(&[], 2.0, 1.0, true));
+        assert!(doc.contains("prdrb-bench-v1"), "legacy record kept:\n{doc}");
+        assert_eq!(prior_runs(&doc).len(), 2);
+    }
+
+    #[test]
+    fn sharded_kernels_agree_on_the_schedule() {
+        // `fabric_parallel` asserts event/delivery identity across
+        // shard counts internally; a tiny run exercises that check.
+        let flows = [(NodeId(0), NodeId(9)), (NodeId(3), NodeId(40))];
+        let (k1, d1) = sharded_kernel("k1", 1, &flows, 5, 8_000);
+        let (k4, d4) = sharded_kernel("k4", 4, &flows, 5, 8_000);
+        assert_eq!((k1.count, d1), (k4.count, d4));
+        assert!(d1 >= 10, "every injected packet delivers, got {d1}");
     }
 }

@@ -32,7 +32,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Bump to invalidate every existing cache entry when the simulator's
 /// behaviour (not just the config layout) changes.
-const CACHE_FORMAT: u32 = 1;
+///
+/// v2: the fabric calendar became content-keyed (`(time, key, seq)`
+/// ordering) and control-packet ids content-derived, which perturbs
+/// same-instant tie-breaks relative to v1 runs.
+const CACHE_FORMAT: u32 = 2;
 
 /// First line of every cache file.
 const MAGIC: &str = "prdrb-run-cache,v1";
@@ -98,6 +102,11 @@ fn fold_config(cfg: &SimConfig, h: &mut StableHasher) {
         max_ns,
         series_bucket_ns,
         preload_profile,
+        // Like the calendar backend below, the shard count is an
+        // execution knob with bit-identical results (golden-digest and
+        // shard-equivalence tests), so serial and sharded runs share
+        // cache entries.
+        shards: _,
     } = cfg;
     h.write_str(label);
     match *topology {
@@ -716,6 +725,20 @@ mod tests {
             let mut c = cfg();
             m(&mut c);
             assert_ne!(RunKey::of(&c), base, "mutation {i} must change the key");
+        }
+    }
+
+    #[test]
+    fn shard_count_is_not_part_of_the_key() {
+        let base = RunKey::of(&cfg());
+        for k in [2u32, 4, 8] {
+            let mut c = cfg();
+            c.shards = k;
+            assert_eq!(
+                RunKey::of(&c),
+                base,
+                "shards={k} must replay serial cache entries"
+            );
         }
     }
 

@@ -101,6 +101,12 @@ pub struct SimConfig {
     /// Offline communication profile to preload into predictive
     /// policies (§5.2 static variant); empty = fully dynamic.
     pub preload_profile: Vec<prdrb_core::ProfiledFlow>,
+    /// Fabric execution shards (conservative-parallel windows). `1`
+    /// runs the serial fabric; `K > 1` partitions the topology into K
+    /// shards with bit-identical results, so this is an execution knob,
+    /// not part of the run's identity (excluded from the cache key).
+    /// Trace workloads and zero-latency links always run serial.
+    pub shards: u32,
 }
 
 impl SimConfig {
@@ -127,6 +133,7 @@ impl SimConfig {
             max_ns: 400 * MILLISECOND,
             series_bucket_ns: 50_000,
             preload_profile: Vec::new(),
+            shards: 1,
         }
     }
 
@@ -144,6 +151,7 @@ impl SimConfig {
             max_ns: 30_000 * MILLISECOND,
             series_bucket_ns: 100_000,
             preload_profile: Vec::new(),
+            shards: 1,
         }
     }
 }

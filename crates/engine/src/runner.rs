@@ -13,23 +13,96 @@ use crate::report::RunReport;
 use prdrb_apps::lower_collectives;
 use prdrb_core::{make_policy, RoutingPolicy};
 use prdrb_metrics::{LatencyMap, LatencyQuantiles};
-use prdrb_network::{Delivery, Fabric, Packet, PacketKind};
+use prdrb_network::{
+    Delivery, Fabric, FabricStats, NetworkConfig, Packet, PacketKind, ShardedFabric,
+};
 use prdrb_simcore::stats::{RunningMean, TimeSeries};
 use prdrb_simcore::time::{interarrival_ns, ns_to_us, Time};
-use prdrb_simcore::SimRng;
+use prdrb_simcore::{EventQueue, SimRng};
 use prdrb_topology::{AnyTopology, NodeId, RouteState, RouterId, Topology};
 use prdrb_traffic::TrafficPattern;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Host-side event kinds, ordered (time, kind, id) for determinism.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Ext {
     /// Synthetic stream `id` injects.
     Stream(u32),
     /// Player rank `id` wakes from computation.
     Wake(u32),
+}
+
+/// Calendar key reproducing the old `(Time, Ext)` binary-heap order:
+/// streams before wakes at the same instant, each by ascending id.
+fn ext_key(e: Ext) -> u64 {
+    match e {
+        Ext::Stream(id) => id as u64,
+        Ext::Wake(id) => 1 << 32 | id as u64,
+    }
+}
+
+/// The fabric execution backends behind one dispatch surface: the
+/// serial calendar and the K-shard conservative-window driver
+/// (bit-identical by construction — see `prdrb_network::shard`).
+// The serial `Fabric` stays inline rather than boxed: it is the
+// dominant configuration and sits on the simulation's hottest
+// dispatch path, so the variant-size skew is a deliberate trade.
+#[allow(clippy::large_enum_variant)]
+enum NetFabric {
+    Serial(Fabric),
+    Sharded(ShardedFabric),
+}
+
+macro_rules! fab {
+    ($self:ident, $f:ident => $body:expr) => {
+        match $self {
+            NetFabric::Serial($f) => $body,
+            NetFabric::Sharded($f) => $body,
+        }
+    };
+}
+
+impl NetFabric {
+    fn config(&self) -> &NetworkConfig {
+        fab!(self, f => f.config())
+    }
+    fn now(&self) -> Time {
+        fab!(self, f => f.now())
+    }
+    fn alloc_id(&mut self) -> u64 {
+        fab!(self, f => f.alloc_id())
+    }
+    fn inject(&mut self, p: Packet) {
+        fab!(self, f => f.inject(p))
+    }
+    fn next_event_time(&mut self) -> Option<Time> {
+        fab!(self, f => f.next_event_time())
+    }
+    fn run_until_delivery(&mut self, until: Time) -> bool {
+        fab!(self, f => f.run_until_delivery(until))
+    }
+    fn run_to_quiescence(&mut self, max_t: Time) -> Time {
+        fab!(self, f => f.run_to_quiescence(max_t))
+    }
+    fn take_deliveries(&mut self, out: &mut Vec<Delivery>) {
+        fab!(self, f => f.take_deliveries(out))
+    }
+    fn recycle(&mut self, p: Box<Packet>) {
+        fab!(self, f => f.recycle(p))
+    }
+    fn stats(&self) -> FabricStats {
+        match self {
+            NetFabric::Serial(f) => f.stats,
+            NetFabric::Sharded(f) => f.stats(),
+        }
+    }
+    fn router_contention_us(&self, r: RouterId) -> f64 {
+        fab!(self, f => f.router_contention_us(r))
+    }
+    fn router_series(&self, r: RouterId) -> Option<&TimeSeries> {
+        fab!(self, f => f.router_series(r))
+    }
 }
 
 #[derive(Debug)]
@@ -53,11 +126,11 @@ struct Stream {
 pub struct Simulation {
     cfg: SimConfig,
     topo: AnyTopology,
-    fabric: Fabric,
+    fabric: NetFabric,
     policy: Box<dyn RoutingPolicy>,
     rng: SimRng,
     streams: Vec<Stream>,
-    ext: BinaryHeap<Reverse<(Time, Ext)>>,
+    ext: EventQueue<Ext>,
     player: Option<Player>,
     /// Outstanding message metadata: id → (tag).
     msg_tags: HashMap<u64, u32>,
@@ -84,11 +157,20 @@ impl Simulation {
         }
         net.acks_enabled = policy.needs_acks();
         net.monitor.mode = policy.notify_mode();
-        let fabric = Fabric::new(topo.clone(), net);
+        // Trace replay feeds deliveries straight back into sends (zero
+        // host lookahead), and zero-latency links leave no conservative
+        // window — both run serial regardless of the shard knob.
+        let sharded =
+            cfg.shards > 1 && !matches!(cfg.workload, Workload::Trace(_)) && net.wire_delay_ns > 0;
+        let fabric = if sharded {
+            NetFabric::Sharded(ShardedFabric::new(topo.clone(), net, cfg.shards))
+        } else {
+            NetFabric::Serial(Fabric::new(topo.clone(), net))
+        };
         let rng = SimRng::new(cfg.seed);
         let mut sim = Self {
             streams: Vec::new(),
-            ext: BinaryHeap::new(),
+            ext: EventQueue::new(),
             player: None,
             msg_tags: HashMap::new(),
             next_msg: 1,
@@ -166,11 +248,13 @@ impl Simulation {
         // stagger; all player ranks start at t = 0.
         for (i, _) in self.streams.iter().enumerate() {
             let jitter = (i as Time * 131) % 997;
-            self.ext.push(Reverse((jitter, Ext::Stream(i as u32))));
+            let e = Ext::Stream(i as u32);
+            self.ext.schedule_keyed(jitter, ext_key(e), e);
         }
         if let Some(p) = &self.player {
             for r in 0..p.num_ranks() as u32 {
-                self.ext.push(Reverse((0, Ext::Wake(r))));
+                let e = Ext::Wake(r);
+                self.ext.schedule_keyed(0, ext_key(e), e);
             }
         }
     }
@@ -180,7 +264,7 @@ impl Simulation {
         let max = self.cfg.max_ns;
         let mut truncated = false;
         loop {
-            let t_ext = self.ext.peek().map(|Reverse((t, _))| *t);
+            let t_ext = self.ext.peek_time();
             let t_fabric = self.fabric.next_event_time();
             let target = match (t_ext, t_fabric) {
                 (None, None) => break,
@@ -193,23 +277,21 @@ impl Simulation {
                 break;
             }
             // Let the fabric catch up to the target, stopping at any
-            // delivery so the host reacts at the true timestamp.
+            // delivery so the host reacts at the true timestamp. The
+            // serial fabric surfaces one delivery at a time; the
+            // sharded fabric a whole window's batch in serial pop
+            // order — processing each at its own timestamp keeps the
+            // policy-call sequence identical either way.
             if self.fabric.run_until_delivery(target) {
-                let now = self.fabric.now();
-                self.tick_policy(now);
-                self.pump_deliveries();
+                self.pump_deliveries_at_time();
                 continue;
             }
             // No deliveries before `target`: fire the host events there.
             self.tick_policy(target);
-            while let Some(&Reverse((t, e))) = self.ext.peek() {
-                if t > target {
-                    break;
-                }
-                self.ext.pop();
-                match e {
-                    Ext::Stream(i) => self.fire_stream(i as usize, t),
-                    Ext::Wake(r) => self.advance_rank(r, t),
+            while let Some(entry) = self.ext.pop_before(target) {
+                match entry.event {
+                    Ext::Stream(i) => self.fire_stream(i as usize, entry.time),
+                    Ext::Wake(r) => self.advance_rank(r, entry.time),
                 }
             }
         }
@@ -263,7 +345,8 @@ impl Simulation {
             // would make a D/D/1 queue that never builds up).
             let mean = interarrival_ns(bytes as u64, mbps) as f64;
             let gap = (-self.rng.unit().max(1e-12).ln() * mean).max(1.0) as Time;
-            self.ext.push(Reverse((now + gap, Ext::Stream(i as u32))));
+            let e = Ext::Stream(i as u32);
+            self.ext.schedule_keyed(now + gap, ext_key(e), e);
         }
     }
 
@@ -273,6 +356,20 @@ impl Simulation {
         let mut deliveries = std::mem::take(&mut self.delivery_buf);
         self.fabric.take_deliveries(&mut deliveries);
         for d in deliveries.drain(..) {
+            self.handle_delivery(d);
+        }
+        self.delivery_buf = deliveries;
+    }
+
+    /// Like [`Self::pump_deliveries`], but advances the policy watchdog
+    /// to each delivery's timestamp first, so a batched (sharded)
+    /// delivery stream produces the exact tick/on_ack interleaving the
+    /// serial one does.
+    fn pump_deliveries_at_time(&mut self) {
+        let mut deliveries = std::mem::take(&mut self.delivery_buf);
+        self.fabric.take_deliveries(&mut deliveries);
+        for d in deliveries.drain(..) {
+            self.tick_policy(d.at);
             self.handle_delivery(d);
         }
         self.delivery_buf = deliveries;
@@ -293,7 +390,8 @@ impl Simulation {
         }
         self.send_buf = sends;
         if let Some(t) = wake {
-            self.ext.push(Reverse((t, Ext::Wake(rank))));
+            let e = Ext::Wake(rank);
+            self.ext.schedule_keyed(t, ext_key(e), e);
         }
     }
 
@@ -413,7 +511,7 @@ impl Simulation {
             .player
             .as_ref()
             .and_then(|p| p.all_done().then(|| p.finish_time()));
-        let stats = self.fabric.stats;
+        let stats = self.fabric.stats();
         RunReport {
             quantiles: self.quantiles.clone(),
             label: if self.cfg.label.is_empty() {
@@ -469,6 +567,22 @@ mod tests {
         cfg.duration_ns = MILLISECOND / 2;
         cfg.max_ns = 50 * MILLISECOND;
         cfg
+    }
+
+    #[test]
+    fn sharded_runs_are_byte_identical_to_serial() {
+        use crate::cache::{report_to_csv, RunKey};
+        for policy in [PolicyKind::Deterministic, PolicyKind::PrDrb] {
+            let base = quick_synth(policy);
+            let key = RunKey::of(&base);
+            let serial = report_to_csv(key, &Simulation::new(base.clone()).run());
+            for k in [2u32, 4] {
+                let mut cfg = base.clone();
+                cfg.shards = k;
+                let sharded = report_to_csv(key, &Simulation::new(cfg).run());
+                assert_eq!(serial, sharded, "{policy:?} shards={k}");
+            }
+        }
     }
 
     #[test]

@@ -31,11 +31,32 @@ use crate::pool::PacketPool;
 use prdrb_simcore::stats::{RunningMean, TimeSeries};
 use prdrb_simcore::time::{ns_to_us, Time};
 use prdrb_simcore::EventQueue;
-use prdrb_topology::{AnyTopology, Endpoint, NodeId, Port, RouteTable, RouterId, Topology};
+use prdrb_topology::{
+    AnyTopology, Endpoint, NodeId, Port, RouteTable, RouterId, ShardPlan, Topology,
+};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Virtual channels: one escape layer per multi-step-path segment.
 pub const NUM_VCS: usize = 3;
+
+/// Packet-id class flag: destination-generated ACK for data packet `x`
+/// carries id `x | ACK_ID_FLAG`. Deriving control-packet ids from
+/// content (instead of a shared counter) keeps ids identical between
+/// serial and sharded execution, where a counter would be bumped in a
+/// different order.
+pub const ACK_ID_FLAG: u64 = 1 << 63;
+
+/// Packet-id class flag for router-generated predictive ACKs (GPA,
+/// §3.4.1): id = `GPA_ID_FLAG | (router << 8) | port`. At most one GPA
+/// volley fires per (router, port, instant) — the link must have just
+/// transmitted, and a busy link blocks a second same-instant TryTx — so
+/// the id uniquely identifies concurrent control packets.
+pub const GPA_ID_FLAG: u64 = 1 << 62;
+
+/// Host-allocated ids must stay below every derived-id class and inside
+/// the 29-bit event-key signature window.
+const MAX_HOST_ID: u64 = 1 << 27;
 
 /// A packet handed to the host (data at its destination, ACK at the
 /// original source).
@@ -74,6 +95,86 @@ enum NetEvent {
     NicTx { node: NodeId },
     /// Full packet received by a terminal.
     Deliver { node: NodeId, packet: Box<Packet> },
+}
+
+/// 29-bit packet-id signature for event keys: the two id-class bits
+/// (plain / ACK / GPA) followed by the low 27 id bits. Distinct packets
+/// that could meet at one (entity, instant) always differ in it — host
+/// ids are unique below [`MAX_HOST_ID`], derived ids are unique per
+/// class (see [`ACK_ID_FLAG`] / [`GPA_ID_FLAG`]).
+#[inline]
+pub(crate) fn id_sig(id: u64) -> u64 {
+    ((id >> 62) << 27) | (id & (MAX_HOST_ID - 1))
+}
+
+/// The calendar key a delivery's `Deliver` event carried, minus the
+/// kind tag (all deliveries share it). Sorting a window's deliveries by
+/// `(at, this)` reproduces the serial fabric's pop order, because
+/// within one instant the keyed calendar orders `Deliver` events by
+/// exactly `node << 37 | id_sig(id)`.
+#[inline]
+pub(crate) fn delivery_order_key(d: &Delivery) -> (Time, u64) {
+    (d.at, (d.packet.dst.0 as u64) << 37 | id_sig(d.packet.id))
+}
+
+/// Content-derived calendar key: a total priority over same-instant
+/// events that both serial and sharded execution apply, making the pop
+/// order independent of insertion order. Any two same-time events with
+/// equal keys are interchangeable (identical kind + coordinates + — for
+/// packet-carrying events — packet identity), so the residual
+/// insertion-order tie-break can never change simulation results.
+///
+/// Layout: kind (3 bits) | router-or-node (24) | port (8) | vc/id (29).
+fn event_key(ev: &NetEvent) -> u64 {
+    const KIND: u32 = 61;
+    const ENTITY: u32 = 37;
+    const PORT: u32 = 29;
+    const VC: u32 = 27;
+    match *ev {
+        NetEvent::Arrive {
+            router,
+            port,
+            ref packet,
+        } => (router.0 as u64) << ENTITY | (port.0 as u64) << PORT | id_sig(packet.id),
+        NetEvent::RouteTick { router } => 1 << KIND | (router.0 as u64) << ENTITY,
+        NetEvent::TryTx { router, port } => {
+            2 << KIND | (router.0 as u64) << ENTITY | (port.0 as u64) << PORT
+        }
+        NetEvent::LinkFree { router, port } => {
+            3 << KIND | (router.0 as u64) << ENTITY | (port.0 as u64) << PORT
+        }
+        NetEvent::Credit {
+            router, port, vc, ..
+        } => 4 << KIND | (router.0 as u64) << ENTITY | (port.0 as u64) << PORT | (vc as u64) << VC,
+        NetEvent::NicCredit { node, vc, .. } => {
+            5 << KIND | (node.0 as u64) << ENTITY | (vc as u64) << VC
+        }
+        NetEvent::NicTx { node } => 6 << KIND | (node.0 as u64) << ENTITY,
+        NetEvent::Deliver { node, ref packet } => {
+            7 << KIND | (node.0 as u64) << ENTITY | id_sig(packet.id)
+        }
+    }
+}
+
+/// A boundary event bound for another shard, parked in the source
+/// shard's outbox until the next window barrier.
+#[derive(Debug)]
+pub(crate) struct StagedEvent {
+    /// Fire time (≥ window start + lookahead by construction).
+    pub(crate) at: Time,
+    /// Pre-computed [`event_key`].
+    pub(crate) key: u64,
+    /// Destination shard.
+    pub(crate) dst: u32,
+    ev: NetEvent,
+}
+
+/// Shard identity of a fabric instance running under a [`ShardPlan`].
+#[derive(Debug)]
+struct ShardCtx {
+    id: u32,
+    plan: Arc<ShardPlan>,
+    outbox: Vec<StagedEvent>,
 }
 
 #[derive(Debug)]
@@ -138,6 +239,10 @@ pub struct Fabric {
     cand_scratch: Vec<Port>,
     /// Scratch for notified sources (router-based scheme).
     src_scratch: Vec<NodeId>,
+    /// Present when this fabric is one shard of a partitioned run:
+    /// events bound for routers/NICs of other shards are staged in the
+    /// outbox instead of entering the local calendar.
+    shard: Option<ShardCtx>,
     /// Cumulative counters.
     pub stats: FabricStats,
 }
@@ -145,8 +250,35 @@ pub struct Fabric {
 impl Fabric {
     /// Build a fabric over `topo` with configuration `cfg`.
     pub fn new(topo: AnyTopology, cfg: NetworkConfig) -> Self {
+        Self::build(topo, cfg, None)
+    }
+
+    /// Build shard `id` of a partitioned fabric: a full-size instance
+    /// whose event loop only ever touches the routers and NICs the plan
+    /// assigns to `id`, and whose cross-shard schedules divert to an
+    /// outbox drained by the window driver.
+    pub(crate) fn new_sharded(
+        topo: AnyTopology,
+        cfg: NetworkConfig,
+        plan: Arc<ShardPlan>,
+        id: u32,
+    ) -> Self {
+        debug_assert!(id < plan.shards());
+        Self::build(
+            topo,
+            cfg,
+            Some(ShardCtx {
+                id,
+                plan,
+                outbox: Vec::new(),
+            }),
+        )
+    }
+
+    fn build(topo: AnyTopology, cfg: NetworkConfig, shard: Option<ShardCtx>) -> Self {
         cfg.validate();
         let nr = topo.num_routers();
+        assert!(nr < 1 << 24, "event keys hold 24-bit router ids");
         let mut routers = Vec::with_capacity(nr);
         for r in 0..nr {
             let rid = RouterId(r as u32);
@@ -201,6 +333,7 @@ impl Fabric {
             pool: PacketPool::new(),
             cand_scratch: Vec::with_capacity(8),
             src_scratch: Vec::with_capacity(8),
+            shard,
             stats: FabricStats::default(),
         }
     }
@@ -224,7 +357,80 @@ impl Fabric {
     pub fn alloc_id(&mut self) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
+        debug_assert!(id < MAX_HOST_ID, "host packet ids exhausted the key window");
         id
+    }
+
+    /// Schedule a fabric event at its content-derived calendar key,
+    /// diverting it to the shard outbox when its target router/NIC
+    /// belongs to another shard.
+    #[inline]
+    fn sched(&mut self, at: Time, ev: NetEvent) {
+        if let Some(ctx) = self.shard.as_mut() {
+            let dst = match &ev {
+                NetEvent::Arrive { router, .. }
+                | NetEvent::RouteTick { router }
+                | NetEvent::TryTx { router, .. }
+                | NetEvent::LinkFree { router, .. }
+                | NetEvent::Credit { router, .. } => ctx.plan.shard_of_router(*router),
+                NetEvent::NicCredit { node, .. }
+                | NetEvent::NicTx { node }
+                | NetEvent::Deliver { node, .. } => ctx.plan.shard_of_node(*node),
+            };
+            if dst != ctx.id {
+                // Only link-crossing traffic may leave a shard; every
+                // other event kind is local by NIC/router co-location.
+                debug_assert!(
+                    matches!(ev, NetEvent::Arrive { .. } | NetEvent::Credit { .. }),
+                    "non-boundary event crossed a shard"
+                );
+                ctx.outbox.push(StagedEvent {
+                    at,
+                    key: event_key(&ev),
+                    dst,
+                    ev,
+                });
+                return;
+            }
+        }
+        let key = event_key(&ev);
+        self.q.schedule_keyed(at, key, ev);
+    }
+
+    /// Process every local event with time ≤ `wend` (one conservative
+    /// window), then seal the calendar at `wend` so a late cross-shard
+    /// insertion into the executed range trips the causality assert.
+    /// Unlike [`Self::run_until`], the visible clock is *not* advanced
+    /// past the last processed event — the window driver owns the
+    /// run-level clock semantics. Returns events processed.
+    pub(crate) fn run_window(&mut self, wend: Time) -> u64 {
+        let mut n = 0;
+        while let Some(entry) = self.q.pop_before(wend) {
+            self.clock = entry.time;
+            self.dispatch(entry.event);
+            n += 1;
+        }
+        self.q.advance_to(wend);
+        n
+    }
+
+    /// Move the boundary events staged by the last window into `out`.
+    pub(crate) fn take_outbox(&mut self, out: &mut Vec<StagedEvent>) {
+        if let Some(ctx) = self.shard.as_mut() {
+            out.append(&mut ctx.outbox);
+        }
+    }
+
+    /// Accept a boundary event staged by another shard. Its key was
+    /// computed at staging time, so the calendar ordering is exactly
+    /// what a local schedule would have produced.
+    pub(crate) fn accept_staged(&mut self, s: StagedEvent) {
+        self.q.schedule_keyed(s.at, s.key, s.ev);
+    }
+
+    /// Timestamp of the shard's last processed event (window clock).
+    pub(crate) fn event_clock(&self) -> Time {
+        self.clock
     }
 
     /// Inject a packet at its source NIC. `packet.created` must not be in
@@ -292,12 +498,6 @@ impl Fabric {
         self.clock
     }
 
-    /// Take the accumulated deliveries (data at destinations, ACKs at
-    /// sources).
-    pub fn drain_deliveries(&mut self) -> Vec<Delivery> {
-        std::mem::take(&mut self.deliveries)
-    }
-
     /// Swap the accumulated deliveries into `out` (cleared first). The
     /// host loop reuses one buffer across ticks instead of allocating a
     /// fresh `Vec` per drain; pair with [`Self::recycle`] to return the
@@ -355,7 +555,7 @@ impl Fabric {
                 r.in_occ |= 1 << (port.idx() * NUM_VCS + vc);
                 if !r.route_pending {
                     r.route_pending = true;
-                    self.q.schedule(
+                    self.sched(
                         self.clock + self.cfg.routing_delay_ns,
                         NetEvent::RouteTick { router },
                     );
@@ -364,8 +564,7 @@ impl Fabric {
             NetEvent::RouteTick { router } => self.route_tick(router),
             NetEvent::TryTx { router, port } => self.try_tx(router, port),
             NetEvent::LinkFree { router, port } => {
-                self.q
-                    .schedule(self.clock, NetEvent::TryTx { router, port });
+                self.sched(self.clock, NetEvent::TryTx { router, port });
             }
             NetEvent::Credit {
                 router,
@@ -374,12 +573,11 @@ impl Fabric {
                 bytes,
             } => {
                 self.routers[router.idx()].credits[port.idx()][vc as usize] += bytes as i64;
-                self.q
-                    .schedule(self.clock, NetEvent::TryTx { router, port });
+                self.sched(self.clock, NetEvent::TryTx { router, port });
             }
             NetEvent::NicCredit { node, vc, bytes } => {
                 self.nics[node.idx()].credits[vc as usize] += bytes as i64;
-                self.q.schedule(self.clock, NetEvent::NicTx { node });
+                self.sched(self.clock, NetEvent::NicTx { node });
             }
             NetEvent::NicTx { node } => self.nic_tx(node),
             NetEvent::Deliver { node, packet } => self.deliver(node, packet),
@@ -395,7 +593,7 @@ impl Fabric {
             // The head was queued ahead of time (injection enqueues
             // immediately); it must not leave before its creation time.
             let at = head.created;
-            self.q.schedule(at, NetEvent::NicTx { node });
+            self.sched(at, NetEvent::NicTx { node });
             return;
         }
         if self.clock < nic.link_busy_until {
@@ -413,7 +611,7 @@ impl Fabric {
         let ser = self.cfg.ser_ns(pkt.size);
         nic.link_busy_until = self.clock + ser;
         let (router, port) = self.table.nic_attach(node);
-        self.q.schedule(
+        self.sched(
             self.clock + self.cfg.wire_delay_ns + self.cfg.header_ns,
             NetEvent::Arrive {
                 router,
@@ -422,7 +620,7 @@ impl Fabric {
             },
         );
         // Link free → try the next queued packet.
-        self.q.schedule(self.clock + ser, NetEvent::NicTx { node });
+        self.sched(self.clock + ser, NetEvent::NicTx { node });
     }
 
     fn route_tick(&mut self, router: RouterId) {
@@ -526,7 +724,7 @@ impl Fabric {
         self.sample_contention(router, wait);
         // Return the credit upstream now that the input slot is free.
         match self.table.neighbor(router, Port(p as u8)) {
-            Some(Endpoint::Router(ur, up)) => self.q.schedule(
+            Some(Endpoint::Router(ur, up)) => self.sched(
                 self.clock + self.cfg.wire_delay_ns,
                 NetEvent::Credit {
                     router: ur,
@@ -535,7 +733,7 @@ impl Fabric {
                     bytes: size,
                 },
             ),
-            Some(Endpoint::Terminal(n)) => self.q.schedule(
+            Some(Endpoint::Terminal(n)) => self.sched(
                 self.clock + self.cfg.wire_delay_ns,
                 NetEvent::NicCredit {
                     node: n,
@@ -545,8 +743,7 @@ impl Fabric {
             ),
             None => {}
         }
-        self.q
-            .schedule(self.clock, NetEvent::TryTx { router, port: out });
+        self.sched(self.clock, NetEvent::TryTx { router, port: out });
         true
     }
 
@@ -577,8 +774,7 @@ impl Fabric {
         self.sample_contention(router, wait);
         let ser = self.cfg.ser_ns(pkt.size);
         self.routers[router.idx()].link_busy_until[port.idx()] = self.clock + ser;
-        self.q
-            .schedule(self.clock + ser, NetEvent::LinkFree { router, port });
+        self.sched(self.clock + ser, NetEvent::LinkFree { router, port });
         // Congestion monitoring: the CFD module fires when the output
         // wait crossed the threshold (only for monitored data packets —
         // control traffic is excluded).
@@ -588,7 +784,7 @@ impl Fabric {
         match neighbor {
             Some(Endpoint::Terminal(n)) => {
                 // Full packet must land before the node consumes it.
-                self.q.schedule(
+                self.sched(
                     self.clock + self.cfg.wire_delay_ns + ser,
                     NetEvent::Deliver {
                         node: n,
@@ -598,7 +794,7 @@ impl Fabric {
             }
             Some(Endpoint::Router(nr, np)) => {
                 // Cut-through: header hands off while the tail flows.
-                self.q.schedule(
+                self.sched(
                     self.clock + self.cfg.wire_delay_ns + self.cfg.header_ns,
                     NetEvent::Arrive {
                         router: nr,
@@ -613,7 +809,7 @@ impl Fabric {
         let rs = &mut self.routers[router.idx()];
         if !rs.route_pending {
             rs.route_pending = true;
-            self.q.schedule(self.clock, NetEvent::RouteTick { router });
+            self.sched(self.clock, NetEvent::RouteTick { router });
         }
     }
 
@@ -659,7 +855,10 @@ impl Fabric {
                 sources.extend(pairs.iter().map(|f| f.0));
                 sources.dedup();
                 for &src in &sources {
-                    let id = self.alloc_id();
+                    // One GPA volley per (router, port, instant); see
+                    // [`GPA_ID_FLAG`]. (The per-src Deliver events are
+                    // disambiguated by their destination NIC.)
+                    let id = GPA_ID_FLAG | (router.0 as u64) << 8 | port.0 as u64;
                     let mut header = self.pool.header();
                     header.flows.extend_from_slice(&pairs);
                     let ack = Packet::predictive_ack_with(
@@ -694,8 +893,7 @@ impl Fabric {
         let rs = &mut self.routers[router.idx()];
         rs.out_bytes[out.idx()] += boxed.size;
         rs.out_q[out.idx()].push_back(boxed);
-        self.q
-            .schedule(self.clock, NetEvent::TryTx { router, port: out });
+        self.sched(self.clock, NetEvent::TryTx { router, port: out });
     }
 
     fn deliver(&mut self, node: NodeId, mut packet: Box<Packet>) {
@@ -703,7 +901,9 @@ impl Fabric {
             PacketKind::Data { needs_ack, .. } => {
                 self.stats.accepted_data += 1;
                 if needs_ack && self.cfg.acks_enabled {
-                    let id = self.alloc_id();
+                    // Content-derived id: identical no matter which
+                    // execution mode (or shard) creates the ACK.
+                    let id = packet.id | ACK_ID_FLAG;
                     let ack = Packet::ack_for(&mut packet, id, self.clock, self.cfg.ack_bytes);
                     self.stats.acks_sent += 1;
                     self.inject2(ack);
@@ -726,7 +926,7 @@ impl Fabric {
         let node = packet.src;
         let packet = self.pool.boxed(packet);
         if packet.src == packet.dst {
-            self.q.schedule(
+            self.sched(
                 at + self.cfg.header_ns,
                 NetEvent::Deliver {
                     node: packet.dst,
@@ -736,7 +936,7 @@ impl Fabric {
             return;
         }
         self.nics[node.idx()].queue.push_back(packet);
-        self.q.schedule(at, NetEvent::NicTx { node });
+        self.sched(at, NetEvent::NicTx { node });
     }
 
     fn sample_contention(&mut self, router: RouterId, wait: Time) {

@@ -1,0 +1,790 @@
+//! Conservative-parallel fabric execution over a [`ShardPlan`].
+//!
+//! [`ShardedFabric`] splits one logical fabric into `K` per-shard
+//! [`Fabric`] instances (each with its own event calendar and packet
+//! pool) and advances them in bulk-synchronous *safe windows*:
+//!
+//! 1. pick the global next event time `t₀` (earliest pending event,
+//!    staged boundary event or host injection across all shards),
+//! 2. run every shard independently through `[t₀, t₀ + L - 1]`, where
+//!    `L` is the **lookahead** — the minimum latency any event needs to
+//!    cross a shard boundary (≥ one wire delay, because NICs are
+//!    co-located with their routers and only router→router links are
+//!    cut),
+//! 3. barrier: collect each shard's outbox of boundary events and
+//!    deliveries, route the former to their destination shards'
+//!    staging queues, and merge the latter into the serial pop order.
+//!
+//! Within a window, no event on one shard can causally affect another
+//! shard (any influence needs ≥ `L` ns of link latency, which lands
+//! strictly after the window ends), so shards may run in any order —
+//! or in parallel. Determinism relative to the serial fabric follows
+//! from the content-keyed calendar (`(time, key, seq)` ordering in
+//! *both* modes, see `fabric::event_key`), content-derived control
+//! packet ids, and the deterministic barrier: staged events are
+//! accepted in source-shard order (their keys make calendar order
+//! insertion-order independent anyway) and deliveries are sorted by the
+//! serial calendar key. The golden-digest and property tests assert
+//! byte-identical results for K ∈ {1, 2, 4}.
+//!
+//! Two execution backends share the same window protocol:
+//!
+//! * **sequential** — shards advanced one after another on the calling
+//!   thread (zero synchronization overhead; the determinism reference),
+//! * **threaded** — one persistent worker thread per shard, driven by
+//!   per-window commands over channels. Selected automatically when the
+//!   machine has more than one hardware thread; force with the
+//!   `PRDRB_SHARD_THREADS` env var (`1` = threads, `0` = sequential).
+
+use crate::config::NetworkConfig;
+use crate::fabric::{delivery_order_key, Delivery, Fabric, FabricStats, StagedEvent};
+use crate::packet::Packet;
+use prdrb_simcore::stats::TimeSeries;
+use prdrb_simcore::time::Time;
+use prdrb_topology::{AnyTopology, RouterId, ShardPlan};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Lookahead of a plan: the minimum simulated latency any event needs
+/// to cross a shard boundary. Only `Arrive` (wire + header serialization
+/// tail) and `Credit` (wire) events traverse router→router links, so
+/// the bound is `min` over the cut links of the wire delay — uniform
+/// today, but computed per link so a future heterogeneous-latency
+/// config stays correct. A plan with no cut (K = 1, or every shard but
+/// one empty) has unbounded lookahead.
+pub fn shard_lookahead(plan: &ShardPlan, topo: &AnyTopology, cfg: &NetworkConfig) -> Time {
+    plan.cross_links(topo)
+        .iter()
+        .map(|_link| {
+            cfg.wire_delay_ns
+                .min(cfg.wire_delay_ns.saturating_add(cfg.header_ns))
+        })
+        .min()
+        .unwrap_or(Time::MAX / 2)
+}
+
+/// Execution backend selection for [`ShardedFabric`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Threads when the machine has >1 hardware thread (overridable via
+    /// `PRDRB_SHARD_THREADS=0|1`), sequential otherwise.
+    Auto,
+    /// All shards on the calling thread.
+    Sequential,
+    /// One persistent worker thread per shard.
+    Threaded,
+}
+
+/// Per-window command to a shard worker.
+enum Cmd {
+    /// Accept staged boundary events + host injections, run the window
+    /// `…≤ wend`, report back.
+    Window {
+        wend: Time,
+        staged: Vec<StagedEvent>,
+        inject: Vec<Packet>,
+    },
+    /// Hand the fabric back and exit.
+    Finish,
+}
+
+/// A shard worker's report at a window barrier.
+struct Done {
+    shard: u32,
+    events: u64,
+    last_event: Time,
+    next_time: Option<Time>,
+    outbox: Vec<StagedEvent>,
+    deliveries: Vec<Delivery>,
+}
+
+struct Threaded {
+    cmds: Vec<Sender<Cmd>>,
+    done_rx: Receiver<Done>,
+    handles: Vec<JoinHandle<Fabric>>,
+}
+
+enum Exec {
+    Sequential(Vec<Fabric>),
+    Threaded(Threaded),
+    /// Workers joined; fabrics pulled back for post-run inspection.
+    Finalized(Vec<Fabric>),
+}
+
+/// A `K`-shard fabric with the same host-facing surface as [`Fabric`]
+/// (inject / run / deliveries / stats), bit-identical results, and
+/// per-shard calendars that can advance concurrently.
+pub struct ShardedFabric {
+    topo: AnyTopology,
+    cfg: NetworkConfig,
+    plan: Arc<ShardPlan>,
+    lookahead: Time,
+    exec: Exec,
+    /// Host-visible clock, mirroring the serial fabric's clamp rules.
+    clock: Time,
+    /// Host packet-id counter (control-packet ids are content-derived
+    /// inside the shards, so this is the only id source).
+    next_id: u64,
+    events: u64,
+    /// Deliveries merged into serial pop order, awaiting the host.
+    deliveries: Vec<Delivery>,
+    /// Boundary events awaiting acceptance, per destination shard.
+    staged: Vec<Vec<StagedEvent>>,
+    /// Host injections awaiting the next window start, per shard.
+    inject_q: Vec<Vec<Packet>>,
+    /// Per-shard next-event time reported at the last barrier.
+    next_times: Vec<Option<Time>>,
+    /// Scratch for outbox routing at barriers.
+    outbox_buf: Vec<StagedEvent>,
+    /// Scratch for per-shard delivery pickup (sequential mode).
+    delivery_buf: Vec<Delivery>,
+}
+
+impl ShardedFabric {
+    /// Build a `shards`-way partitioned fabric ([`ExecMode::Auto`]).
+    pub fn new(topo: AnyTopology, cfg: NetworkConfig, shards: u32) -> Self {
+        Self::with_mode(topo, cfg, shards, ExecMode::Auto)
+    }
+
+    /// Build with an explicit execution backend.
+    pub fn with_mode(topo: AnyTopology, cfg: NetworkConfig, shards: u32, mode: ExecMode) -> Self {
+        assert!(shards >= 1, "shard count must be at least 1");
+        let plan = Arc::new(ShardPlan::new(&topo, shards));
+        let lookahead = shard_lookahead(&plan, &topo, &cfg);
+        assert!(
+            lookahead >= 1,
+            "zero-latency cross-shard links leave no conservative window; \
+             run serial instead"
+        );
+        let fabrics: Vec<Fabric> = (0..shards)
+            .map(|s| Fabric::new_sharded(topo.clone(), cfg, Arc::clone(&plan), s))
+            .collect();
+        let threaded = shards > 1 && Self::want_threads(mode);
+        let exec = if threaded {
+            let (done_tx, done_rx) = channel();
+            let mut cmds = Vec::with_capacity(shards as usize);
+            let mut handles = Vec::with_capacity(shards as usize);
+            for (s, fab) in fabrics.into_iter().enumerate() {
+                let (cmd_tx, cmd_rx) = channel();
+                let tx = done_tx.clone();
+                handles.push(
+                    std::thread::Builder::new()
+                        .name(format!("prdrb-shard-{s}"))
+                        .spawn(move || worker(fab, s as u32, cmd_rx, tx))
+                        .expect("spawn shard worker"),
+                );
+                cmds.push(cmd_tx);
+            }
+            Exec::Threaded(Threaded {
+                cmds,
+                done_rx,
+                handles,
+            })
+        } else {
+            Exec::Sequential(fabrics)
+        };
+        Self {
+            topo,
+            cfg,
+            plan,
+            lookahead,
+            exec,
+            clock: 0,
+            next_id: 1,
+            events: 0,
+            deliveries: Vec::new(),
+            staged: (0..shards).map(|_| Vec::new()).collect(),
+            inject_q: (0..shards).map(|_| Vec::new()).collect(),
+            next_times: vec![None; shards as usize],
+            outbox_buf: Vec::new(),
+            delivery_buf: Vec::new(),
+        }
+    }
+
+    fn want_threads(mode: ExecMode) -> bool {
+        match mode {
+            ExecMode::Sequential => false,
+            ExecMode::Threaded => true,
+            ExecMode::Auto => match std::env::var("PRDRB_SHARD_THREADS").as_deref() {
+                Ok("0") => false,
+                Ok("1") => true,
+                _ => std::thread::available_parallelism()
+                    .map(|p| p.get() > 1)
+                    .unwrap_or(false),
+            },
+        }
+    }
+
+    /// The partition in force.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// The conservative window width (min cross-shard link latency).
+    pub fn lookahead(&self) -> Time {
+        self.lookahead
+    }
+
+    /// The topology the fabric runs over.
+    pub fn topology(&self) -> &AnyTopology {
+        &self.topo
+    }
+
+    /// The network configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.cfg
+    }
+
+    /// Current simulated time (same clamp rules as [`Fabric::now`]).
+    pub fn now(&self) -> Time {
+        self.clock
+    }
+
+    /// Allocate a unique host packet id (mirrors [`Fabric::alloc_id`];
+    /// control packets derive their ids in-shard, so host injections
+    /// are the only consumers and the sequence matches serial runs).
+    pub fn alloc_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Queue a packet for injection at its source NIC. Applied at the
+    /// next window start; `packet.created` must not be in the past,
+    /// which holds for host-driven injection because windows never run
+    /// beyond the host's current event horizon.
+    pub fn inject(&mut self, packet: Packet) {
+        let s = self.plan.shard_of_node(packet.src);
+        self.inject_q[s as usize].push(packet);
+    }
+
+    /// Earliest pending work across all shards: local calendar events,
+    /// staged boundary events, and buffered injections.
+    pub fn next_event_time(&self) -> Option<Time> {
+        let mut next: Option<Time> = None;
+        let mut fold = |t: Time| match next {
+            Some(n) if n <= t => {}
+            _ => next = Some(t),
+        };
+        for nt in &self.next_times {
+            if let Some(t) = *nt {
+                fold(t);
+            }
+        }
+        for lane in &self.staged {
+            for st in lane {
+                fold(st.at);
+            }
+        }
+        for lane in &self.inject_q {
+            for p in lane {
+                // An injection becomes a calendar event no earlier than
+                // its creation time (Fabric clamps to its clock, which
+                // can only be smaller here: windows end at host time).
+                fold(p.created.max(self.clock));
+            }
+        }
+        next
+    }
+
+    /// Process all events with time ≤ `until`. Returns the number of
+    /// events processed.
+    pub fn run_until(&mut self, until: Time) -> u64 {
+        let before = self.events;
+        while let Some(start) = self.next_event_time() {
+            if start > until {
+                break;
+            }
+            self.window(start, until);
+        }
+        self.clock = self.clock.max(until);
+        self.events - before
+    }
+
+    /// Process events until either a delivery occurs or `until` is
+    /// reached. Returns true when at least one delivery is pending.
+    ///
+    /// Unlike the serial fabric, which surfaces one delivery at a time,
+    /// a window barrier can surface a *batch*; the batch is merged into
+    /// the serial pop order, so a host that processes deliveries in
+    /// order at their own timestamps observes the identical sequence.
+    pub fn run_until_delivery(&mut self, until: Time) -> bool {
+        while self.deliveries.is_empty() {
+            let Some(start) = self.next_event_time() else {
+                break;
+            };
+            if start > until {
+                break;
+            }
+            self.window(start, until);
+        }
+        if self.deliveries.is_empty() {
+            // No event ≤ `until` remains, so the serial clamp
+            // `min(until, peek)` is exactly `until`.
+            self.clock = self.clock.max(until);
+        }
+        !self.deliveries.is_empty()
+    }
+
+    /// Drain the network completely (or until `max_t`), then join any
+    /// worker threads so per-router state can be inspected. Returns the
+    /// time of the last event (serial semantics: no clamp to `max_t`).
+    pub fn run_to_quiescence(&mut self, max_t: Time) -> Time {
+        while let Some(start) = self.next_event_time() {
+            if start > max_t {
+                break;
+            }
+            self.window(start, max_t);
+        }
+        self.finalize();
+        self.clock
+    }
+
+    /// Swap the accumulated deliveries into `out` (cleared first), in
+    /// serial pop order.
+    pub fn take_deliveries(&mut self, out: &mut Vec<Delivery>) {
+        out.clear();
+        std::mem::swap(out, &mut self.deliveries);
+    }
+
+    /// Return a delivered packet's box to the pool of the shard that
+    /// delivered it. While workers own the fabrics the box is simply
+    /// dropped — pool reuse is a throughput optimization, never
+    /// observable in results.
+    pub fn recycle(&mut self, packet: Box<Packet>) {
+        if let Exec::Sequential(fabs) | Exec::Finalized(fabs) = &mut self.exec {
+            let s = self.plan.shard_of_node(packet.dst);
+            fabs[s as usize].recycle(packet);
+        }
+    }
+
+    /// Calendar events processed across all shards.
+    pub fn events_processed(&self) -> u64 {
+        self.events
+    }
+
+    /// Cumulative counters, summed over shards (every [`FabricStats`]
+    /// field is a plain event count, so the sum is exact).
+    pub fn stats(&self) -> FabricStats {
+        let mut total = FabricStats::default();
+        for f in self.fabrics("stats") {
+            let s = f.stats;
+            total.offered_data += s.offered_data;
+            total.accepted_data += s.accepted_data;
+            total.acks_sent += s.acks_sent;
+            total.acks_received += s.acks_received;
+            total.notifications += s.notifications;
+        }
+        total
+    }
+
+    /// Average contention latency observed at router `r`, in µs.
+    pub fn router_contention_us(&self, r: RouterId) -> f64 {
+        self.owner(r, "router_contention_us")
+            .router_contention_us(r)
+    }
+
+    /// Samples folded into router `r`'s contention average.
+    pub fn router_contention_count(&self, r: RouterId) -> u64 {
+        self.owner(r, "router_contention_count")
+            .router_contention_count(r)
+    }
+
+    /// The contention time series of router `r`, if configured.
+    pub fn router_series(&self, r: RouterId) -> Option<&TimeSeries> {
+        self.owner(r, "router_series").router_series(r)
+    }
+
+    /// (boxes handed out, boxes served from free lists), summed.
+    pub fn pool_stats(&self) -> (u64, u64) {
+        let mut a = 0;
+        let mut r = 0;
+        for f in self.fabrics("pool_stats") {
+            let (fa, fr) = f.pool_stats();
+            a += fa;
+            r += fr;
+        }
+        (a, r)
+    }
+
+    /// Join worker threads (threaded mode) and reclaim the per-shard
+    /// fabrics for inspection. Idempotent; called automatically by
+    /// [`Self::run_to_quiescence`].
+    pub fn finalize(&mut self) {
+        if matches!(self.exec, Exec::Threaded(_)) {
+            let Exec::Threaded(t) = std::mem::replace(&mut self.exec, Exec::Finalized(Vec::new()))
+            else {
+                unreachable!()
+            };
+            // Dropping the senders also stops workers, but an explicit
+            // Finish keeps shutdown prompt if a sender leaks.
+            for c in &t.cmds {
+                let _ = c.send(Cmd::Finish);
+            }
+            drop(t.cmds);
+            let fabs = t
+                .handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect();
+            self.exec = Exec::Finalized(fabs);
+        }
+    }
+
+    fn fabrics(&self, what: &str) -> &[Fabric] {
+        match &self.exec {
+            Exec::Sequential(f) | Exec::Finalized(f) => f,
+            Exec::Threaded(_) => {
+                panic!("{what}: finalize the sharded fabric before inspecting shard state")
+            }
+        }
+    }
+
+    fn owner(&self, r: RouterId, what: &str) -> &Fabric {
+        &self.fabrics(what)[self.plan.shard_of_router(r) as usize]
+    }
+
+    /// One bulk-synchronous window starting at `start`, clipped to the
+    /// host horizon `until`.
+    fn window(&mut self, start: Time, until: Time) {
+        let wend = start.saturating_add(self.lookahead - 1).min(until);
+        let merge_from = self.deliveries.len();
+        match &mut self.exec {
+            Exec::Sequential(fabs) => {
+                for (s, fab) in fabs.iter_mut().enumerate() {
+                    for st in self.staged[s].drain(..) {
+                        fab.accept_staged(st);
+                    }
+                    for p in self.inject_q[s].drain(..) {
+                        fab.inject(p);
+                    }
+                    self.events += fab.run_window(wend);
+                    fab.take_outbox(&mut self.outbox_buf);
+                    fab.take_deliveries(&mut self.delivery_buf);
+                    self.deliveries.append(&mut self.delivery_buf);
+                    self.clock = self.clock.max(fab.event_clock());
+                    self.next_times[s] = fab.next_event_time();
+                }
+            }
+            Exec::Threaded(t) => {
+                for (s, cmd_tx) in t.cmds.iter().enumerate() {
+                    cmd_tx
+                        .send(Cmd::Window {
+                            wend,
+                            staged: std::mem::take(&mut self.staged[s]),
+                            inject: std::mem::take(&mut self.inject_q[s]),
+                        })
+                        .expect("shard worker alive");
+                }
+                // Reports arrive in completion order; re-rank by shard
+                // so the merge below is schedule-independent.
+                let k = t.cmds.len();
+                let mut slots: Vec<Option<Done>> = (0..k).map(|_| None).collect();
+                for _ in 0..k {
+                    let d = t.done_rx.recv().expect("shard worker alive");
+                    let s = d.shard as usize;
+                    slots[s] = Some(d);
+                }
+                for slot in &mut slots {
+                    let d = slot.as_mut().expect("every shard reports once");
+                    self.events += d.events;
+                    self.clock = self.clock.max(d.last_event);
+                    self.next_times[d.shard as usize] = d.next_time;
+                    self.outbox_buf.append(&mut d.outbox);
+                    self.deliveries.append(&mut d.deliveries);
+                }
+            }
+            Exec::Finalized(_) => unreachable!("window after finalization"),
+        }
+        // Route boundary events to their destination shards' staging
+        // queues. Their content keys make the eventual calendar order
+        // insertion-order independent, but keep the source-shard-major
+        // order anyway so even debug traces are deterministic.
+        for st in self.outbox_buf.drain(..) {
+            self.staged[st.dst as usize].push(st);
+        }
+        // Merge this window's deliveries into the serial pop order.
+        self.deliveries[merge_from..].sort_by_key(delivery_order_key);
+    }
+}
+
+impl Drop for ShardedFabric {
+    fn drop(&mut self) {
+        if let Exec::Threaded(t) = &mut self.exec {
+            for c in &t.cmds {
+                let _ = c.send(Cmd::Finish);
+            }
+            t.cmds.clear();
+            for h in t.handles.drain(..) {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// Worker loop: one shard fabric, driven window-by-window, handed back
+/// on `Finish` (or when the command channel closes).
+fn worker(mut fab: Fabric, shard: u32, rx: Receiver<Cmd>, tx: Sender<Done>) -> Fabric {
+    let mut outbox = Vec::new();
+    let mut deliveries = Vec::new();
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            Cmd::Window {
+                wend,
+                staged,
+                inject,
+            } => {
+                for st in staged {
+                    fab.accept_staged(st);
+                }
+                for p in inject {
+                    fab.inject(p);
+                }
+                let events = fab.run_window(wend);
+                fab.take_outbox(&mut outbox);
+                fab.take_deliveries(&mut deliveries);
+                let report = Done {
+                    shard,
+                    events,
+                    last_event: fab.event_clock(),
+                    next_time: fab.next_event_time(),
+                    outbox: std::mem::take(&mut outbox),
+                    deliveries: std::mem::take(&mut deliveries),
+                };
+                if tx.send(report).is_err() {
+                    break;
+                }
+            }
+            Cmd::Finish => break,
+        }
+    }
+    fab
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NotifyMode;
+    use crate::packet::Packet;
+    use prdrb_topology::{Endpoint, NodeId, PathDescriptor, Port, RouteState, Topology};
+
+    fn cfg() -> NetworkConfig {
+        let mut cfg = NetworkConfig {
+            acks_enabled: true,
+            ..NetworkConfig::default()
+        };
+        cfg.monitor.mode = NotifyMode::Destination;
+        cfg
+    }
+
+    /// Brute-force the min cross-shard latency by walking every port of
+    /// every router, independently of `ShardPlan::cross_links`.
+    fn brute_lookahead(plan: &ShardPlan, topo: &AnyTopology, cfg: &NetworkConfig) -> Time {
+        let mut min = Time::MAX / 2;
+        for r in 0..topo.num_routers() as u32 {
+            let rid = RouterId(r);
+            for p in 0..topo.num_ports(rid) as u8 {
+                if let Some(Endpoint::Router(nr, _)) = topo.neighbor(rid, Port(p)) {
+                    if plan.shard_of_router(rid) != plan.shard_of_router(nr) {
+                        // Credit crosses at +wire, Arrive at +wire+ser.
+                        min = min.min(cfg.wire_delay_ns);
+                    }
+                }
+            }
+        }
+        min
+    }
+
+    #[test]
+    fn lookahead_matches_true_min_cut_latency() {
+        let cfg = NetworkConfig::default();
+        for topo in [AnyTopology::mesh8x8(), AnyTopology::fat_tree_64()] {
+            for k in [1u32, 2, 3, 4] {
+                let plan = ShardPlan::new(&topo, k);
+                assert_eq!(
+                    shard_lookahead(&plan, &topo, &cfg),
+                    brute_lookahead(&plan, &topo, &cfg),
+                    "{} k={k}",
+                    topo.label()
+                );
+            }
+        }
+        // Sanity: with a cut present the lookahead is the wire delay.
+        let plan = ShardPlan::new(&AnyTopology::mesh8x8(), 2);
+        assert_eq!(
+            shard_lookahead(&plan, &AnyTopology::mesh8x8(), &cfg),
+            cfg.wire_delay_ns
+        );
+    }
+
+    /// Deterministic little traffic pattern: every node sends a few
+    /// packets to a rotating set of destinations at staggered times.
+    fn traffic(topo: &AnyTopology, next_id: &mut u64) -> Vec<Packet> {
+        let n = topo.num_terminals() as u32;
+        let mut out = Vec::new();
+        for src in 0..n {
+            for j in 0..3u32 {
+                let dst = (src + 7 * j + 1) % n;
+                if dst == src {
+                    continue;
+                }
+                let id = *next_id;
+                *next_id += 1;
+                let created = 100 * (src as u64) + 1_000 * (j as u64);
+                out.push(Packet::data(
+                    id,
+                    NodeId(src),
+                    NodeId(dst),
+                    256,
+                    created,
+                    RouteState::new(PathDescriptor::Minimal),
+                    0,
+                    id,
+                    0,
+                    true,
+                    true,
+                ));
+            }
+        }
+        out
+    }
+
+    fn run_serial(topo: &AnyTopology) -> (Vec<(Time, u64, NodeId)>, FabricStats, Time, u64) {
+        let mut fab = Fabric::new(topo.clone(), cfg());
+        let mut next_id = 1;
+        for p in traffic(topo, &mut next_id) {
+            fab.inject(p);
+        }
+        let end = fab.run_to_quiescence(10_000_000);
+        let mut buf = Vec::new();
+        fab.take_deliveries(&mut buf);
+        let got = buf
+            .iter()
+            .map(|d| (d.at, d.packet.id, d.packet.dst))
+            .collect();
+        (got, fab.stats, end, fab.events_processed())
+    }
+
+    fn run_sharded(
+        topo: &AnyTopology,
+        k: u32,
+        mode: ExecMode,
+    ) -> (Vec<(Time, u64, NodeId)>, FabricStats, Time, u64) {
+        let mut fab = ShardedFabric::with_mode(topo.clone(), cfg(), k, mode);
+        let mut next_id = 1;
+        for p in traffic(topo, &mut next_id) {
+            fab.inject(p);
+        }
+        let end = fab.run_to_quiescence(10_000_000);
+        let mut buf = Vec::new();
+        fab.take_deliveries(&mut buf);
+        let got = buf
+            .iter()
+            .map(|d| (d.at, d.packet.id, d.packet.dst))
+            .collect();
+        (got, fab.stats(), end, fab.events_processed())
+    }
+
+    fn assert_same(
+        (sd, ss, se, sn): (Vec<(Time, u64, NodeId)>, FabricStats, Time, u64),
+        (pd, ps, pe, pn): (Vec<(Time, u64, NodeId)>, FabricStats, Time, u64),
+        tag: &str,
+    ) {
+        assert_eq!(sd, pd, "{tag}: delivery sequences differ");
+        assert_eq!(se, pe, "{tag}: end times differ");
+        assert_eq!(sn, pn, "{tag}: event counts differ");
+        assert_eq!(ss.offered_data, ps.offered_data, "{tag}");
+        assert_eq!(ss.accepted_data, ps.accepted_data, "{tag}");
+        assert_eq!(ss.acks_sent, ps.acks_sent, "{tag}");
+        assert_eq!(ss.acks_received, ps.acks_received, "{tag}");
+        assert_eq!(ss.notifications, ps.notifications, "{tag}");
+    }
+
+    #[test]
+    fn sharded_sequential_matches_serial() {
+        for topo in [AnyTopology::mesh8x8(), AnyTopology::fat_tree_64()] {
+            let serial = run_serial(&topo);
+            for k in [1u32, 2, 4] {
+                let par = run_sharded(&topo, k, ExecMode::Sequential);
+                assert_same(
+                    (serial.0.clone(), serial.1, serial.2, serial.3),
+                    par,
+                    &format!("{} k={k}", topo.label()),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_threaded_matches_serial() {
+        let topo = AnyTopology::mesh8x8();
+        let serial = run_serial(&topo);
+        let par = run_sharded(&topo, 4, ExecMode::Threaded);
+        assert_same(serial, par, "mesh8x8 threaded k=4");
+    }
+
+    #[test]
+    fn contention_queries_match_after_finalize() {
+        let topo = AnyTopology::fat_tree_64();
+        let mut serial = Fabric::new(topo.clone(), cfg());
+        let mut sharded = ShardedFabric::with_mode(topo.clone(), cfg(), 4, ExecMode::Threaded);
+        let mut next_id = 1;
+        for p in traffic(&topo, &mut next_id) {
+            serial.inject(p);
+        }
+        let mut next_id = 1;
+        for p in traffic(&topo, &mut next_id) {
+            sharded.inject(p);
+        }
+        serial.run_to_quiescence(10_000_000);
+        sharded.run_to_quiescence(10_000_000);
+        for r in 0..topo.num_routers() as u32 {
+            let rid = RouterId(r);
+            assert_eq!(
+                serial.router_contention_us(rid).to_bits(),
+                sharded.router_contention_us(rid).to_bits(),
+                "router {r} contention mean"
+            );
+            assert_eq!(
+                serial.router_contention_count(rid),
+                sharded.router_contention_count(rid),
+                "router {r} contention count"
+            );
+        }
+    }
+
+    #[test]
+    fn run_until_delivery_batches_in_serial_order() {
+        let topo = AnyTopology::mesh8x8();
+        let mut serial = Fabric::new(topo.clone(), cfg());
+        let mut sharded = ShardedFabric::with_mode(topo.clone(), cfg(), 2, ExecMode::Sequential);
+        let mut next_id = 1;
+        for p in traffic(&topo, &mut next_id) {
+            serial.inject(p);
+        }
+        let mut next_id = 1;
+        for p in traffic(&topo, &mut next_id) {
+            sharded.inject(p);
+        }
+        // Pull deliveries incrementally from both and compare streams.
+        let horizon = 10_000_000;
+        let mut serial_seq = Vec::new();
+        let mut buf = Vec::new();
+        while serial.run_until_delivery(horizon) {
+            serial.take_deliveries(&mut buf);
+            for d in &buf {
+                serial_seq.push((d.at, d.packet.id));
+            }
+        }
+        let mut shard_seq = Vec::new();
+        while sharded.run_until_delivery(horizon) {
+            sharded.take_deliveries(&mut buf);
+            for d in &buf {
+                shard_seq.push((d.at, d.packet.id));
+            }
+        }
+        assert_eq!(serial_seq, shard_seq);
+        assert_eq!(serial.now(), sharded.now());
+    }
+}

@@ -49,7 +49,8 @@ proptest! {
         f.run_to_quiescence(4000 * MILLISECOND);
         prop_assert_eq!(f.stats.offered_data, n);
         prop_assert_eq!(f.stats.accepted_data, n);
-        let d = f.drain_deliveries();
+        let mut d = Vec::new();
+        f.take_deliveries(&mut d);
         prop_assert_eq!(d.len() as u64, n);
         // Every delivery lands at its own destination.
         for x in &d {
@@ -67,8 +68,9 @@ proptest! {
             let mut f = Fabric::new(AnyTopology::fat_tree_64(), NetworkConfig::default());
             inject_batch(&mut f, pkts);
             f.run_to_quiescence(4000 * MILLISECOND);
-            let mut d: Vec<(u64, u64)> =
-                f.drain_deliveries().iter().map(|x| (x.at, x.packet.id)).collect();
+            let mut buf = Vec::new();
+            f.take_deliveries(&mut buf);
+            let mut d: Vec<(u64, u64)> = buf.iter().map(|x| (x.at, x.packet.id)).collect();
             d.sort_unstable();
             d
         };
@@ -85,7 +87,9 @@ proptest! {
         let mut f = Fabric::new(AnyTopology::mesh8x8(), NetworkConfig { acks_enabled: false, ..Default::default() });
         inject_batch(&mut f, &pkts);
         f.run_to_quiescence(4000 * MILLISECOND);
-        for d in f.drain_deliveries() {
+        let mut deliveries = Vec::new();
+        f.take_deliveries(&mut deliveries);
+        for d in deliveries {
             let total = d.at - d.packet.created;
             prop_assert!(d.packet.path_latency <= total, "queuing exceeds total time");
             if d.packet.src != d.packet.dst {

@@ -1,10 +1,19 @@
 //! Deterministic event calendar.
 //!
 //! Two interchangeable backends provide the same total order, keyed on
-//! `(time, sequence)`. The sequence number makes event ordering total:
-//! two events scheduled for the same instant pop in the order they were
-//! pushed, so simulations replay identically for a given seed — the
+//! `(time, key, sequence)`. The `key` is an optional caller-supplied
+//! priority derived from event *content* (see [`EventQueue::schedule_keyed`]);
+//! events at one instant pop in ascending key order, and the sequence
+//! number breaks the remaining ties by insertion order, so the order is
+//! total and simulations replay identically for a given seed — the
 //! property §4.3 of the thesis relies on when averaging seeded replicas.
+//!
+//! Content-derived keys are what make space-parallel execution exact: a
+//! sharded run inserts the same events in a different order than the
+//! serial run, but as long as same-time events carry distinct keys (or
+//! identical payloads), both runs pop them identically. Callers that
+//! never need that property can ignore keys entirely (`schedule` uses
+//! key 0 and degenerates to pure insertion order).
 //!
 //! * [`QueueKind::Heap`] — a binary min-heap; the reference backend.
 //! * [`QueueKind::Wheel`] — a hierarchical timing wheel (the classic DES
@@ -24,7 +33,10 @@ use std::collections::BinaryHeap;
 pub struct EventEntry<E> {
     /// Absolute simulated time at which the event fires.
     pub time: Time,
-    /// Monotonic insertion index; breaks ties at equal `time`.
+    /// Content-derived priority; orders events at equal `time` before
+    /// the insertion sequence does. Zero for unkeyed scheduling.
+    pub key: u64,
+    /// Monotonic insertion index; breaks ties at equal `(time, key)`.
     pub seq: u64,
     /// The payload.
     pub event: E,
@@ -44,7 +56,7 @@ where
     E: Eq,
 {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
+        (self.time, self.key, self.seq).cmp(&(other.time, other.key, other.seq))
     }
 }
 
@@ -122,8 +134,10 @@ impl<E: Eq> Wheel<E> {
         let tick = entry.time >> GRANULARITY_BITS;
         if tick <= self.cur_tick {
             // At or behind the cursor: merge into the sorted active run.
-            let key = (entry.time, entry.seq);
-            let pos = self.active.partition_point(|e| (e.time, e.seq) > key);
+            let key = (entry.time, entry.key, entry.seq);
+            let pos = self
+                .active
+                .partition_point(|e| (e.time, e.key, e.seq) > key);
             self.active.insert(pos, entry);
             return;
         }
@@ -224,8 +238,10 @@ impl<E: Eq> Wheel<E> {
             let mut pending = std::mem::take(&mut self.scratch);
             for e in pending.drain(..) {
                 debug_assert_eq!(e.time >> GRANULARITY_BITS, self.cur_tick);
-                let key = (e.time, e.seq);
-                let pos = self.active.partition_point(|x| (x.time, x.seq) > key);
+                let key = (e.time, e.key, e.seq);
+                let pos = self
+                    .active
+                    .partition_point(|x| (x.time, x.key, x.seq) > key);
                 self.active.insert(pos, e);
             }
             self.scratch = pending;
@@ -241,7 +257,7 @@ impl<E: Eq> Wheel<E> {
         self.in_slots -= self.active.len();
         // Events in one slot share a 128 ns tick but not a timestamp.
         self.active
-            .sort_unstable_by_key(|e| Reverse((e.time, e.seq)));
+            .sort_unstable_by_key(|e| Reverse((e.time, e.key, e.seq)));
         self.cur_tick = (self.cur_tick & !SLOT_MASK) + s as u64;
     }
 
@@ -354,8 +370,20 @@ impl<E: Eq> EventQueue<E> {
         self.now
     }
 
-    /// Schedule `event` at absolute time `at`.
+    /// Schedule `event` at absolute time `at` with key 0 (pure
+    /// insertion-order tie-breaking at equal times).
     pub fn schedule(&mut self, at: Time, event: E) {
+        self.schedule_keyed(at, 0, event);
+    }
+
+    /// Schedule `event` at absolute time `at` with a content-derived
+    /// priority `key`. Same-time events pop in ascending key order; the
+    /// insertion sequence only breaks `(time, key)` ties. When `key` is
+    /// a pure function of the event's content, the pop order becomes
+    /// independent of insertion order (up to interchangeable events with
+    /// identical content) — the property the sharded fabric driver needs
+    /// to replay the serial schedule exactly.
+    pub fn schedule_keyed(&mut self, at: Time, key: u64, event: E) {
         debug_assert!(
             at >= self.now,
             "event scheduled in the past: {} < {}",
@@ -367,6 +395,7 @@ impl<E: Eq> EventQueue<E> {
         self.pushed += 1;
         let entry = EventEntry {
             time: at,
+            key,
             seq,
             event,
         };
@@ -374,6 +403,16 @@ impl<E: Eq> EventQueue<E> {
             Backend::Heap(h) => h.push(Reverse(entry)),
             Backend::Wheel(w) => w.insert(entry),
         }
+    }
+
+    /// Seal an execution window: advance `now` to `at` without popping.
+    /// Subsequent schedules before `at` are causality bugs and panic in
+    /// debug builds, exactly as if an event at `at` had been popped. The
+    /// windowed (sharded) driver calls this at every barrier so a
+    /// boundary event staged into an already-executed window is caught
+    /// instead of silently reordered. `at` earlier than `now` is a no-op.
+    pub fn advance_to(&mut self, at: Time) {
+        self.now = self.now.max(at);
     }
 
     /// Schedule `event` `delay` ns after the current time. A delay that
@@ -489,6 +528,76 @@ mod tests {
             let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.event).collect();
             assert_eq!(order, (0..100).collect::<Vec<_>>(), "{kind:?}");
         }
+    }
+
+    #[test]
+    fn keys_order_same_time_events() {
+        for kind in KINDS {
+            let mut q = EventQueue::with_kind(kind, 0);
+            // Scrambled insertion; keys must dominate the tie-break.
+            q.schedule_keyed(42, 3, "d");
+            q.schedule_keyed(42, 1, "b");
+            q.schedule_keyed(42, 9, "e");
+            q.schedule_keyed(42, 0, "a");
+            q.schedule_keyed(42, 1, "c"); // equal key: insertion order
+            q.schedule_keyed(50, 0, "f"); // later time beats smaller key
+            let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.event).collect();
+            assert_eq!(order, vec!["a", "b", "c", "d", "e", "f"], "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn keyed_pop_order_is_insertion_order_independent() {
+        // The sharded-execution property: distinct keys at one instant
+        // pop identically no matter which order they were scheduled in.
+        let mut items: Vec<(Time, u64, u32)> = (0..64u64)
+            .map(|i| ((i % 4) * 10, i.wrapping_mul(0x9e37) % 97, i as u32))
+            .collect();
+        let forward = {
+            let mut q = EventQueue::with_kind(QueueKind::Wheel, 0);
+            for &(t, k, v) in &items {
+                q.schedule_keyed(t, k, v);
+            }
+            std::iter::from_fn(|| q.pop())
+                .map(|e| (e.time, e.key, e.event))
+                .collect::<Vec<_>>()
+        };
+        items.reverse();
+        let backward = {
+            let mut q = EventQueue::with_kind(QueueKind::Heap, 0);
+            for &(t, k, v) in &items {
+                q.schedule_keyed(t, k, v);
+            }
+            std::iter::from_fn(|| q.pop())
+                .map(|e| (e.time, e.key, e.event))
+                .collect::<Vec<_>>()
+        };
+        // Keys here are unique per (time, key) pair, so the payloads
+        // must line up exactly despite reversed insertion.
+        assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn advance_to_seals_the_window() {
+        for kind in KINDS {
+            let mut q = EventQueue::with_kind(kind, 0);
+            q.schedule(500, ());
+            q.advance_to(100);
+            assert_eq!(q.now(), 100);
+            q.advance_to(50); // never moves backward
+            assert_eq!(q.now(), 100);
+            q.schedule(100, ()); // at the seal is fine
+            assert_eq!(q.pop().map(|e| e.time), Some(100));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    #[cfg(debug_assertions)]
+    fn scheduling_into_a_sealed_window_panics_in_debug() {
+        let mut q = EventQueue::<()>::new();
+        q.advance_to(1_000);
+        q.schedule(999, ());
     }
 
     #[test]
@@ -646,13 +755,22 @@ mod tests {
                     let b = wheel.pop_before(limit).map(|e| (e.time, e.seq, e.event));
                     assert_eq!(a, b);
                 }
-                _ => {
+                4 => {
                     assert_eq!(heap.peek_time(), wheel.peek_time());
                     // Scheduling right after a peek exercises the wheel's
                     // behind-the-cursor insertion path.
                     let d = v % 1_000;
                     heap.schedule_in(d, tag);
                     wheel.schedule_in(d, tag);
+                    tag += 1;
+                }
+                _ => {
+                    // Keyed schedule: clustered times force same-instant
+                    // key-order resolution in both backends.
+                    let at = heap.now() + v % 500;
+                    let key = (v / 500) % 8;
+                    heap.schedule_keyed(at, key, tag);
+                    wheel.schedule_keyed(at, key, tag);
                     tag += 1;
                 }
             }
@@ -672,7 +790,7 @@ mod tests {
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
         #[test]
-        fn wheel_matches_heap(ops in proptest::collection::vec((0u8..5, 0u64..u64::MAX), 1..300)) {
+        fn wheel_matches_heap(ops in proptest::collection::vec((0u8..6, 0u64..u64::MAX), 1..300)) {
             run_equivalence(&ops);
         }
     }

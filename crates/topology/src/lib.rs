@@ -19,6 +19,7 @@ pub mod altpath;
 pub mod fattree;
 pub mod ids;
 pub mod mesh;
+pub mod partition;
 pub mod route;
 pub mod table;
 
@@ -26,6 +27,7 @@ pub use altpath::AltPathProvider;
 pub use fattree::KAryNTree;
 pub use ids::{Endpoint, NodeId, Port, RouterId};
 pub use mesh::Mesh2D;
+pub use partition::ShardPlan;
 pub use route::{next_port, route_len, walk_route, PathDescriptor, RouteState};
 pub use table::RouteTable;
 

@@ -1,0 +1,242 @@
+//! Space partitioning for conservative-parallel execution.
+//!
+//! A [`ShardPlan`] assigns every router — and, by co-location, every
+//! terminal NIC — to one of `K` shards. The sharded fabric driver gives
+//! each shard its own event calendar and advances all shards in
+//! bulk-synchronous windows bounded by the minimum cross-shard link
+//! latency (the *lookahead*), so the partition quality has two axes:
+//!
+//! * **balance** — shards should own similar router counts, and
+//! * **cut size** — fewer cross-shard links mean less boundary traffic
+//!   staged at each window barrier.
+//!
+//! The plans here are the classic ones for the two thesis topologies:
+//! contiguous strips along the longer dimension of a mesh (cutting the
+//! short dimension minimizes the cut), and pod-per-shard on a k-ary
+//! n-tree (a pod — the set of non-root switches sharing their topmost
+//! word digit, plus the terminals below them — has internal links only,
+//! so the cut is confined to the root level).
+
+use crate::ids::{Endpoint, NodeId, Port, RouterId};
+use crate::{AnyTopology, Topology};
+
+/// A static assignment of routers and NICs to `K` execution shards.
+///
+/// Invariant: a terminal always lands on the shard of its attachment
+/// router, so NIC↔router traffic (injection, delivery, NIC credits)
+/// never crosses a shard boundary — only router↔router links can.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    shards: u32,
+    router_shard: Vec<u32>,
+    node_shard: Vec<u32>,
+}
+
+impl ShardPlan {
+    /// Partition `topo` into `shards` shards. `shards` must be ≥ 1;
+    /// plans with more shards than rows/pods leave the excess shards
+    /// empty (legal, just useless).
+    pub fn new(topo: &AnyTopology, shards: u32) -> Self {
+        assert!(shards >= 1, "shard count must be at least 1");
+        let router_shard: Vec<u32> = match topo {
+            AnyTopology::Mesh(m) => {
+                // Contiguous strips across the longer dimension: cutting
+                // perpendicular to it yields the smaller cut (w or h
+                // links per boundary instead of the longer side).
+                let (w, h) = (m.width(), m.height());
+                (0..topo.num_routers() as u32)
+                    .map(|r| {
+                        let (x, y) = m.coords(RouterId(r));
+                        if h >= w {
+                            (y as u64 * shards as u64 / h as u64) as u32
+                        } else {
+                            (x as u64 * shards as u64 / w as u64) as u32
+                        }
+                    })
+                    .collect()
+            }
+            AnyTopology::Tree(t) => {
+                // Pod-per-shard: every non-root switch keeps its topmost
+                // word digit fixed across all its up/down links below
+                // the root level, so switches sharing that digit form a
+                // pod whose internal links never cross shards. Root
+                // switches belong to no pod; spread them round-robin.
+                let k = t.arity();
+                let n = t.depth();
+                (0..topo.num_routers() as u32)
+                    .map(|r| {
+                        let rid = RouterId(r);
+                        let (level, word) = (t.level(rid), t.word(rid));
+                        if n >= 2 && level < n - 1 {
+                            let pod = word / k.pow(n - 2);
+                            (pod as u64 * shards as u64 / k as u64) as u32
+                        } else {
+                            word % shards
+                        }
+                    })
+                    .collect()
+            }
+        };
+        let node_shard = (0..topo.num_terminals() as u32)
+            .map(|nd| router_shard[topo.router_of(NodeId(nd)).idx()])
+            .collect();
+        Self {
+            shards,
+            router_shard,
+            node_shard,
+        }
+    }
+
+    /// Number of shards in the plan.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// Shard owning router `r`.
+    #[inline]
+    pub fn shard_of_router(&self, r: RouterId) -> u32 {
+        self.router_shard[r.idx()]
+    }
+
+    /// Shard owning terminal `n`'s NIC (= the shard of its router).
+    #[inline]
+    pub fn shard_of_node(&self, n: NodeId) -> u32 {
+        self.node_shard[n.idx()]
+    }
+
+    /// Routers owned by shard `s`.
+    pub fn routers_of(&self, s: u32) -> impl Iterator<Item = RouterId> + '_ {
+        self.router_shard
+            .iter()
+            .enumerate()
+            .filter(move |&(_, &sh)| sh == s)
+            .map(|(i, _)| RouterId(i as u32))
+    }
+
+    /// Every directed router→router link whose endpoints live on
+    /// different shards: `(src router, src port, dst router)`.
+    pub fn cross_links(&self, topo: &AnyTopology) -> Vec<(RouterId, Port, RouterId)> {
+        let mut out = Vec::new();
+        for r in 0..topo.num_routers() as u32 {
+            let rid = RouterId(r);
+            for p in 0..topo.num_ports(rid) as u8 {
+                if let Some(Endpoint::Router(nr, _)) = topo.neighbor(rid, Port(p)) {
+                    if self.router_shard[rid.idx()] != self.router_shard[nr.idx()] {
+                        out.push((rid, Port(p), nr));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Routers per shard (balance diagnostics).
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.shards as usize];
+        for &s in &self.router_shard {
+            sizes[s as usize] += 1;
+        }
+        sizes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{KAryNTree, Mesh2D};
+
+    #[test]
+    fn single_shard_owns_everything() {
+        for topo in [AnyTopology::mesh8x8(), AnyTopology::fat_tree_64()] {
+            let plan = ShardPlan::new(&topo, 1);
+            assert!((0..topo.num_routers() as u32).all(|r| plan.shard_of_router(RouterId(r)) == 0));
+            assert!(plan.cross_links(&topo).is_empty());
+        }
+    }
+
+    #[test]
+    fn mesh_strips_are_contiguous_and_balanced() {
+        let topo = AnyTopology::mesh8x8();
+        let m = Mesh2D::new(8, 8);
+        for k in [2u32, 4] {
+            let plan = ShardPlan::new(&topo, k);
+            // Strips along y: shard is monotone in the row index and
+            // equal across a row.
+            for y in 0..8u32 {
+                let row_shard = plan.shard_of_router(m.at(0, y));
+                for x in 0..8u32 {
+                    assert_eq!(plan.shard_of_router(m.at(x, y)), row_shard);
+                }
+                assert_eq!(row_shard, y * k / 8);
+            }
+            let sizes = plan.shard_sizes();
+            assert!(sizes.iter().all(|&s| s == 64 / k as usize), "{sizes:?}");
+            // Cut: (k-1) boundaries × 8 columns × 2 directions.
+            assert_eq!(plan.cross_links(&topo).len() as u32, (k - 1) * 8 * 2);
+        }
+    }
+
+    #[test]
+    fn tree_pods_keep_non_root_links_internal() {
+        let topo = AnyTopology::fat_tree_64();
+        let t = KAryNTree::new(4, 3);
+        let plan = ShardPlan::new(&topo, 4);
+        // Every cross link touches the root level.
+        for (a, _, b) in plan.cross_links(&topo) {
+            assert!(
+                t.level(a) == t.depth() - 1 || t.level(b) == t.depth() - 1,
+                "non-root cross link {a} -> {b}"
+            );
+        }
+        // All shards own routers, and terminals follow their leaf switch.
+        assert!(plan.shard_sizes().iter().all(|&s| s > 0));
+        for nd in 0..64u32 {
+            let n = NodeId(nd);
+            assert_eq!(
+                plan.shard_of_node(n),
+                plan.shard_of_router(topo.router_of(n))
+            );
+        }
+    }
+
+    #[test]
+    fn nics_are_colocated_with_their_router_on_every_plan() {
+        for topo in [
+            AnyTopology::Mesh(Mesh2D::new(5, 3)),
+            AnyTopology::Mesh(Mesh2D::new(3, 9)),
+            AnyTopology::Tree(KAryNTree::new(2, 5)),
+            AnyTopology::Tree(KAryNTree::new(8, 2)),
+        ] {
+            for k in 1..=5u32 {
+                let plan = ShardPlan::new(&topo, k);
+                for nd in 0..topo.num_terminals() as u32 {
+                    let n = NodeId(nd);
+                    assert_eq!(
+                        plan.shard_of_node(n),
+                        plan.shard_of_router(topo.router_of(n)),
+                        "{} k={k} node {nd}",
+                        topo.label()
+                    );
+                }
+                // Every router maps to a valid shard.
+                for r in 0..topo.num_routers() as u32 {
+                    assert!(plan.shard_of_router(RouterId(r)) < k);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cross_links_come_in_symmetric_pairs() {
+        let topo = AnyTopology::fat_tree_64();
+        let plan = ShardPlan::new(&topo, 2);
+        let links = plan.cross_links(&topo);
+        assert!(!links.is_empty());
+        for &(a, _, b) in &links {
+            assert!(
+                links.iter().any(|&(x, _, y)| x == b && y == a),
+                "missing reverse of {a} -> {b}"
+            );
+        }
+    }
+}

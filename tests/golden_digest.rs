@@ -19,8 +19,9 @@ use pr_drb::engine::RunKey;
 use pr_drb::prelude::*;
 use pr_drb::simcore::QueueKind;
 
-/// Run `cfg` under both calendar backends; assert the cache keys and the
-/// canonical CSV reports agree byte for byte.
+/// Run `cfg` under both calendar backends and at 1/2/4 fabric shards;
+/// assert the cache keys and the canonical CSV reports agree byte for
+/// byte across every execution variant.
 fn assert_backend_invariant(label: &str, cfg: SimConfig) {
     let mut heap_cfg = cfg.clone();
     heap_cfg.net.queue = QueueKind::Heap;
@@ -32,12 +33,23 @@ fn assert_backend_invariant(label: &str, cfg: SimConfig) {
         "{label}: the calendar backend must not enter the run-cache key"
     );
     let heap = run(heap_cfg);
-    let wheel = run(wheel_cfg);
-    assert_eq!(
-        report_to_csv(kh, &heap),
-        report_to_csv(kw, &wheel),
-        "{label}: wheel-backed run diverged from the heap reference"
-    );
+    let reference = report_to_csv(kh, &heap);
+    for shards in [1u32, 2, 4] {
+        let mut cfg = wheel_cfg.clone();
+        cfg.shards = shards;
+        assert_eq!(
+            RunKey::of(&cfg),
+            kh,
+            "{label}: the shard count must not enter the run-cache key"
+        );
+        let report = run(cfg);
+        assert_eq!(
+            report_to_csv(kw, &report),
+            reference,
+            "{label}: wheel-backed run at shards={shards} diverged from \
+             the heap reference"
+        );
+    }
 }
 
 /// Shortened `fig4_8`: mesh hot-spot situation 1 under DRB — exercises

@@ -95,6 +95,56 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Sharded conservative-parallel execution is bit-identical to the
+    /// serial fabric on randomized topologies and traffic: for any
+    /// mesh / fat-tree shape, policy, load and seed, running with
+    /// `shards ∈ {2, 4}` reproduces the `shards = 1` report byte for
+    /// byte through the run cache's canonical CSV encoding.
+    #[test]
+    fn sharded_runs_match_serial_bit_for_bit(
+        policy_idx in 0usize..7,
+        mbps in 200f64..1000f64,
+        seed in 0u64..1000,
+        shape in 0usize..4,
+        pattern in 0usize..3,
+    ) {
+        use pr_drb::engine::cache::report_to_csv;
+        use pr_drb::engine::RunKey;
+        let policy = PolicyKind::ALL[policy_idx];
+        let topology = match shape {
+            0 => TopologyKind::Mesh8x8,
+            1 => TopologyKind::Mesh { w: 4, h: 8 },
+            2 => TopologyKind::FatTree443,
+            _ => TopologyKind::Tree { k: 2, n: 4 },
+        };
+        let pattern = match pattern {
+            0 => TrafficPattern::Uniform,
+            1 => TrafficPattern::Shuffle,
+            _ => TrafficPattern::Transpose,
+        };
+        let schedule = BurstSchedule::continuous(pattern, mbps);
+        let mut cfg = SimConfig::synthetic(topology, policy, schedule, 16);
+        cfg.duration_ns = 120_000;
+        cfg.max_ns = 4000 * MILLISECOND;
+        cfg.seed = seed;
+        let key = RunKey::of(&cfg);
+        let serial = report_to_csv(key, &run(cfg.clone()));
+        for shards in [2u32, 4] {
+            let mut c = cfg.clone();
+            c.shards = shards;
+            prop_assert_eq!(RunKey::of(&c), key);
+            let sharded = report_to_csv(key, &run(c));
+            prop_assert_eq!(
+                &serial, &sharded,
+                "shards={} diverged on {:?}/{:?}", shards, topology, policy
+            );
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     /// Merging per-replica quantile sketches is lossless: the merged
