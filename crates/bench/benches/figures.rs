@@ -100,10 +100,12 @@ fn bench_permutation(c: &mut Criterion) {
     g.finish();
 }
 
+type TraceCase = (&'static str, fn() -> prdrb_apps::Trace);
+
 fn bench_apps(c: &mut Criterion) {
     let mut g = c.benchmark_group("applications");
     g.sample_size(10);
-    let cases: Vec<(&str, fn() -> prdrb_apps::Trace)> = vec![
+    let cases: Vec<TraceCase> = vec![
         ("fig4_20_nas_lu", || nas_lu(NasClass::S, 64)),
         ("fig4_21_nas_mg", || nas_mg(NasClass::S, 64)),
         ("fig4_24_lammps", || lammps(LammpsProblem::Comb, 64)),

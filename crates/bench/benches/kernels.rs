@@ -99,6 +99,7 @@ fn bench_solution_db(c: &mut Criterion) {
             .map(|j| (NodeId(i + j), NodeId(100 + i + j)))
             .collect();
         db.save(
+            NodeId(100 + i),
             pattern,
             vec![(PathDescriptor::Minimal, 6)],
             5_000,

@@ -3,13 +3,15 @@
 //! Grouped by chapter: [`ch2`] (application-characterization tables and
 //! matrices), [`hotspot`] (§4.5/§4.6.2 mesh experiments), [`permutation`]
 //! (§4.6.3 fat-tree permutation experiments), [`apps`] (§4.8 application
-//! experiments) and [`ablations`] (design-choice studies).
+//! experiments), [`ablations`] (design-choice studies) and
+//! [`resilience`] (fault-injection recovery).
 
 pub mod ablations;
 pub mod apps;
 pub mod ch2;
 pub mod hotspot;
 pub mod permutation;
+pub mod resilience;
 
 use crate::{scaled, FigureOutput};
 use prdrb_apps::Trace;
@@ -36,6 +38,7 @@ pub fn registry() -> Vec<Target> {
     v.extend(permutation::targets());
     v.extend(apps::targets());
     v.extend(ablations::targets());
+    v.extend(resilience::targets());
     v
 }
 

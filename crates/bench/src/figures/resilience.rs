@@ -1,0 +1,232 @@
+//! `repro resilience` — degraded-mode recovery around a mid-run link
+//! failure.
+//!
+//! A shuffle permutation runs in its working zone until a deterministic
+//! [`FaultPlan`] cuts the first-hop wires of several hot flows halfway
+//! through the run. The figure tracks the global latency curve through
+//! the failure for three policies:
+//!
+//! * `drb` — incremental DRB, which must re-open live alternatives one
+//!   settle window at a time;
+//! * `pr-drb` — the predictive policy with whatever solutions it
+//!   learned before the failure;
+//! * `pr-drb warm` — the predictive policy with an offline-preloaded
+//!   solution store (§5.2 static variant).
+//!
+//! The headline metric is the recovery time: how long after the fault
+//! the latency curve re-enters the policy's own pre-fault working zone.
+//! Saved solutions are repaired (dead MSPs cut out) rather than
+//! discarded, and a repaired solution reapplies wholesale on the next
+//! pattern match — so the warm store should recover faster than
+//! incremental re-learning. The measured recovery triple is appended to
+//! the `results/BENCH_PRDRB.json` trajectory next to the perf kernels.
+
+use super::{run_replicated, Target};
+use crate::{perf, scaled, FigureOutput};
+use prdrb_core::{PolicyKind, ProfiledFlow};
+use prdrb_engine::{RunReport, SimConfig, TopologyKind};
+use prdrb_metrics::{render_series, series_csv};
+use prdrb_simcore::time::MILLISECOND;
+use prdrb_topology::{AnyTopology, Endpoint, FaultEvent, FaultPlan, NodeId, TimedFault, Topology};
+use prdrb_traffic::{BurstSchedule, TrafficPattern};
+
+/// Registry entries for this module.
+pub fn targets() -> Vec<Target> {
+    vec![Target {
+        id: "resilience",
+        title: "Fault resilience — recovery after a mid-run link failure",
+        run: resilience,
+    }]
+}
+
+/// The 6-bit shuffle partner (the permutation the workload runs).
+fn shuffle_partner(src: u32) -> NodeId {
+    NodeId(((src << 1) | (src >> 5)) & 63)
+}
+
+/// Cut the deterministic first-hop wires of four hot shuffle flows at
+/// `at`, plus the whole middle-stage router behind the first cut.
+/// Every cut lies on a live minimal route, so the failure drops
+/// in-flight packets, diverts escapes and invalidates learned MSPs;
+/// terminal-facing wires are never cut and every terminal keeps a
+/// minimal route, so no node is stranded.
+fn fault_plan(topo: &AnyTopology, at: u64) -> FaultPlan {
+    let mut events = Vec::new();
+    for src in [1u32, 5, 9, 13] {
+        let dst = shuffle_partner(src);
+        let r = topo.router_of(NodeId(src));
+        let p = topo.minimal_port(r, dst);
+        if let Some(Endpoint::Router(far, _)) = topo.neighbor(r, p) {
+            events.push(TimedFault {
+                at,
+                fault: FaultEvent::LinkDown { router: r, port: p },
+            });
+            if events.len() == 1 {
+                // The switch itself dies too: everything buffered in it
+                // at the instant of failure is dropped and counted.
+                events.push(TimedFault {
+                    at,
+                    fault: FaultEvent::RouterDown { router: far },
+                });
+            }
+        }
+    }
+    FaultPlan::new(events)
+}
+
+/// When the plan strikes, in ns (scaled like the durations).
+fn fault_at() -> u64 {
+    scaled(3 * MILLISECOND)
+}
+
+/// One faulted configuration: continuous shuffle at 500 Mbps over 32
+/// communicating fat-tree nodes, failure halfway through the run.
+fn cfg(policy: PolicyKind, label: &str) -> SimConfig {
+    let schedule = BurstSchedule::continuous(TrafficPattern::Shuffle, 500.0);
+    let mut cfg = SimConfig::synthetic(TopologyKind::FatTree443, policy, schedule, 32);
+    cfg.duration_ns = scaled(6 * MILLISECOND);
+    cfg.max_ns = 4000 * MILLISECOND;
+    cfg.series_bucket_ns = 50_000;
+    cfg.net.monitor.router_threshold_ns = 4_000;
+    cfg.drb.threshold_low_ns = 8_000;
+    cfg.drb.threshold_high_ns = 20_000;
+    cfg.faults = fault_plan(&cfg.topology.build(), fault_at());
+    cfg.label = label.into();
+    cfg
+}
+
+/// Offline communication profile for the warm run: the shuffle flows of
+/// the 32 communicating nodes (what a PAS2P-style extraction provides).
+fn shuffle_profile() -> Vec<ProfiledFlow> {
+    (0..32u32)
+        .filter(|&s| shuffle_partner(s) != NodeId(s))
+        .map(|s| ProfiledFlow {
+            src: NodeId(s),
+            dst: shuffle_partner(s),
+            bytes: 1_000_000,
+        })
+        .collect()
+}
+
+/// Recovery analysis of one latency curve: `(pre-fault mean, post-fault
+/// peak, ns spent out of the working zone after the fault)`. The
+/// working zone bar is `1.5 ×` the policy's own settled pre-fault
+/// level; every post-fault bucket above the bar adds one bucket width
+/// of degraded time, so an oscillating half-recovered curve scores
+/// worse than a clean one and "never recovered" is worst of all. Empty
+/// buckets (no arrivals) are skipped.
+fn recovery(r: &RunReport, fault_ns: u64) -> (f64, f64, u64) {
+    let mut pre = 0.0f64;
+    let mut pre_n = 0u32;
+    let mut peak = 0.0f64;
+    for (t, v, n) in r.series.points() {
+        if n == 0 {
+            continue;
+        }
+        if t < fault_ns {
+            if t >= fault_ns / 2 {
+                pre += v;
+                pre_n += 1;
+            }
+        } else {
+            peak = peak.max(v);
+        }
+    }
+    let pre_mean = if pre_n > 0 { pre / pre_n as f64 } else { 0.0 };
+    let zone = pre_mean * 1.5;
+    let mut degraded_ns = 0u64;
+    for (t, v, n) in r.series.points() {
+        if n > 0 && t >= fault_ns && v > zone {
+            degraded_ns += r.series.bucket_ns();
+        }
+    }
+    (pre_mean, peak, degraded_ns)
+}
+
+fn resilience() -> FigureOutput {
+    let mut out = FigureOutput::new(
+        "resilience",
+        "latency through a mid-run link failure (fault-injected)",
+    );
+    let warm_profile = shuffle_profile();
+    let mut warm = cfg(PolicyKind::PrDrb, "pr-drb warm");
+    warm.preload_profile = warm_profile;
+    let reports = run_replicated(vec![
+        cfg(PolicyKind::Drb, "drb"),
+        cfg(PolicyKind::PrDrb, "pr-drb"),
+        warm,
+    ]);
+    let fault_ns = fault_at();
+    let pairs: Vec<(&str, _)> = vec![
+        ("drb", &reports[0].series),
+        ("pr-drb", &reports[1].series),
+        ("pr-drb warm", &reports[2].series),
+    ];
+    out.push(render_series(&pairs, 12));
+    let plan = fault_plan(&TopologyKind::FatTree443.build(), fault_ns);
+    out.push(format!(
+        "fault plan strikes at {:.2} ms ({} fault events)",
+        fault_ns as f64 / 1e6,
+        plan.events().len()
+    ));
+    let mut recs = Vec::new();
+    for r in &reports {
+        let (pre, peak, rec) = recovery(r, fault_ns);
+        out.push(format!(
+            "{:<12} pre-fault {:>7.2} us  post-fault peak {:>8.2} us  out-of-zone {:>6.2} ms  \
+             dropped {:>5}  invalidated {:>3}",
+            r.label,
+            pre,
+            peak,
+            rec as f64 / 1e6,
+            r.dropped,
+            r.policy_stats.solutions_invalidated,
+        ));
+        recs.push((pre, peak, rec, r.dropped));
+    }
+    let (drb_rec, pr_rec, warm_rec) = (recs[0].2, recs[1].2, recs[2].2);
+    out.check(
+        "a dead wire is a counted outcome, not silent loss (offered == accepted + dropped)",
+        format!(
+            "drops: drb {} / pr-drb {} / warm {}",
+            recs[0].3, recs[1].3, recs[2].3
+        ),
+        reports
+            .iter()
+            .all(|r| r.dropped > 0 && r.offered == r.accepted + r.dropped),
+    );
+    out.check(
+        "the failure knocks every policy out of its working zone",
+        format!(
+            "post-fault peaks {:.1} / {:.1} / {:.1} us over pre-fault {:.1} / {:.1} / {:.1} us",
+            recs[0].1, recs[1].1, recs[2].1, recs[0].0, recs[1].0, recs[2].0
+        ),
+        recs.iter().all(|&(pre, peak, _, _)| peak > pre),
+    );
+    out.check(
+        "the warm solution store recovers to the working zone faster than incremental DRB",
+        format!(
+            "time out of zone: warm {:.2} ms vs drb {:.2} ms (pr-drb {:.2} ms)",
+            warm_rec as f64 / 1e6,
+            drb_rec as f64 / 1e6,
+            pr_rec as f64 / 1e6
+        ),
+        warm_rec < drb_rec,
+    );
+    out.check(
+        "the fault invalidates saved predictive solutions",
+        format!(
+            "solutions invalidated: pr-drb {} / warm {}",
+            reports[1].policy_stats.solutions_invalidated,
+            reports[2].policy_stats.solutions_invalidated
+        ),
+        reports[2].policy_stats.solutions_invalidated > 0,
+    );
+    let csv = series_csv(&pairs);
+    out.artifacts.push(crate::write_artifact(
+        "resilience_latency_vs_time.csv",
+        &csv,
+    ));
+    perf::append_resilience_record(fault_ns, &reports, &recs);
+    out
+}

@@ -382,6 +382,42 @@ fn trajectory_json(prior: &[String], new_run: &str) -> String {
     out
 }
 
+/// Append one resilience record to the `results/BENCH_PRDRB.json`
+/// trajectory (same append-only `runs` array the perf kernels use), so
+/// the recovery-time history rides next to the throughput history.
+/// `recs` holds `(pre-fault mean µs, post-fault peak µs, out-of-zone
+/// ns, drops)` per report, in report order.
+pub fn append_resilience_record(
+    fault_ns: u64,
+    reports: &[prdrb_engine::RunReport],
+    recs: &[(f64, f64, u64, u64)],
+) {
+    let mut run = String::from("    {\n      \"kind\": \"resilience\",\n");
+    run.push_str(&format!(
+        "      \"fault_at_ms\": {:.3},\n      \"policies\": [\n",
+        fault_ns as f64 / 1e6
+    ));
+    for (i, (r, &(pre, peak, rec, dropped))) in reports.iter().zip(recs).enumerate() {
+        run.push_str(&format!(
+            "        {{\"policy\": \"{}\", \"pre_fault_us\": {:.2}, \"post_fault_peak_us\": {:.2}, \
+             \"out_of_zone_ms\": {:.3}, \"dropped\": {}, \"solutions_invalidated\": {}}}{}\n",
+            r.label,
+            pre,
+            peak,
+            rec as f64 / 1e6,
+            dropped,
+            r.policy_stats.solutions_invalidated,
+            if i + 1 < reports.len() { "," } else { "" }
+        ));
+    }
+    run.push_str("      ]\n    }");
+    let bench_path = crate::results_dir().join("BENCH_PRDRB.json");
+    let prior = std::fs::read_to_string(&bench_path)
+        .map(|t| prior_runs(&t))
+        .unwrap_or_default();
+    crate::write_artifact("BENCH_PRDRB.json", &trajectory_json(&prior, &run));
+}
+
 /// Smoke floor for wheel-backed calendar churn, events/sec. Any release
 /// build clears this by two orders of magnitude; tripping it means the
 /// wheel path broke badly.

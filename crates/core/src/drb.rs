@@ -26,7 +26,10 @@ use crate::zones::{Transition, Zone, ZoneTracker};
 use prdrb_network::{FlowPair, NotifyMode, Packet, PacketKind};
 use prdrb_simcore::time::Time;
 use prdrb_simcore::SimRng;
-use prdrb_topology::{route_len, AltPathProvider, AnyTopology, NodeId, PathDescriptor, Topology};
+use prdrb_topology::{
+    route_len, route_survives, AltPathProvider, AnyTopology, FaultState, NodeId, PathDescriptor,
+    Topology,
+};
 
 /// Cap on the accumulated contending-flow pattern per congestion episode.
 const MAX_PATTERN: usize = 32;
@@ -68,10 +71,14 @@ pub struct DrbPolicy {
     /// Per-source solution databases — each source only knows what its
     /// own ACKs taught it (Fig 3.14 "Node S1 — Saved Solution").
     dbs: Vec<SolutionDb>,
+    /// Mirror of the fabric's fault state, updated by `on_fault`; new
+    /// alternative-path candidates are filtered against it.
+    faults: FaultState,
     expansions: u64,
     shrinks: u64,
     watchdog_fires: u64,
     trend_predictions: u64,
+    solutions_invalidated: u64,
 }
 
 impl DrbPolicy {
@@ -79,6 +86,7 @@ impl DrbPolicy {
     pub fn new(topo: AnyTopology, cfg: DrbConfig) -> Self {
         cfg.validate();
         let nodes = topo.num_terminals();
+        let faults = FaultState::new(&topo);
         Self {
             topo,
             cfg,
@@ -90,10 +98,12 @@ impl DrbPolicy {
             dbs: std::iter::repeat_with(SolutionDb::default)
                 .take(nodes)
                 .collect(),
+            faults,
             expansions: 0,
             shrinks: 0,
             watchdog_fires: 0,
             trend_predictions: 0,
+            solutions_invalidated: 0,
         }
     }
 
@@ -136,9 +146,9 @@ impl DrbPolicy {
         pattern: Vec<FlowPair>,
         paths: Vec<(PathDescriptor, u32)>,
     ) {
-        let _ = dst;
         let cfg = self.cfg;
         self.dbs[src.idx()].save(
+            dst,
             pattern,
             paths,
             // Nominal latency: offline solutions are refined by the
@@ -186,10 +196,13 @@ impl DrbPolicy {
         }
     }
 
-    /// Lazily compute the ordered alternative list for a flow.
+    /// Lazily compute the ordered alternative list for a flow. Under an
+    /// active fault state only surviving candidates are admitted —
+    /// expansion never opens a path through a dead link or router.
     fn ensure_alts(
         topo: &AnyTopology,
         cfg: &DrbConfig,
+        faults: &FaultState,
         fs: &mut FlowState,
         src: NodeId,
         dst: NodeId,
@@ -201,6 +214,7 @@ impl DrbPolicy {
         let alts = provider
             .alternatives(src, dst, cfg.max_paths)
             .into_iter()
+            .filter(|&d| route_survives(topo, src, dst, d, faults))
             .map(|d| {
                 let len = route_len(topo, src, dst, d).unwrap_or(u32::MAX / 2);
                 (d, len)
@@ -221,6 +235,7 @@ impl DrbPolicy {
             topo,
             flows,
             dbs,
+            faults,
             expansions,
             ..
         } = self;
@@ -272,7 +287,7 @@ impl DrbPolicy {
         if fs.last_adjust != 0 && now.saturating_sub(fs.last_adjust) < cfg.adjust_settle_ns {
             return;
         }
-        Self::ensure_alts(topo, &cfg, fs, src, dst);
+        Self::ensure_alts(topo, &cfg, faults, fs, src, dst);
         let alts = fs.alts.as_ref().expect("just ensured");
         let open = fs.metapath.entries();
         if let Some(&(desc, len)) = alts
@@ -337,6 +352,7 @@ impl DrbPolicy {
                     };
                     if !pattern.is_empty() && snapshot.len() > 1 {
                         self.dbs[src.idx()].save(
+                            dst,
                             pattern,
                             snapshot,
                             mp_latency,
@@ -482,6 +498,52 @@ impl RoutingPolicy for DrbPolicy {
         self.cfg.watchdog_ns.map(|w| (w / 2).max(1))
     }
 
+    fn on_fault(&mut self, faults: &FaultState, now: Time) {
+        self.faults = faults.clone();
+        let Self {
+            topo,
+            nodes,
+            flows,
+            active,
+            dbs,
+            faults,
+            solutions_invalidated,
+            ..
+        } = self;
+        // Saved solutions are validated against the new exclusion set:
+        // MSPs traversing a failed link are cut out of their entries,
+        // and entries degraded below two live paths are forgotten.
+        for (s, db) in dbs.iter_mut().enumerate() {
+            let src = NodeId(s as u32);
+            *solutions_invalidated +=
+                db.invalidate(|dst, d| route_survives(topo, src, dst, d, faults));
+        }
+        // Per-flow learned state: dead alternatives close immediately,
+        // the candidate cache resets (it is recomputed fault-filtered on
+        // the next expansion), and the current episode restarts so the
+        // flow re-learns under the degraded topology. This covers
+        // recovery too — a LinkUp makes the revived candidates eligible
+        // again through the same cache reset.
+        for &(src, dst) in active.iter() {
+            let fs = flows[src.idx() * *nodes + dst.idx()]
+                .as_mut()
+                .expect("active flows exist");
+            fs.alts = None;
+            if fs
+                .metapath
+                .prune(|d| !route_survives(topo, src, dst, d, faults))
+                > 0
+            {
+                fs.pattern.clear();
+                fs.solution_applied = false;
+                fs.last_adjust = now;
+                if let Some(t) = fs.trend.as_mut() {
+                    t.reset();
+                }
+            }
+        }
+    }
+
     fn preload_profile(
         &mut self,
         topo: &prdrb_topology::AnyTopology,
@@ -499,6 +561,7 @@ impl RoutingPolicy for DrbPolicy {
             shrinks: self.shrinks,
             watchdog_fires: self.watchdog_fires,
             trend_predictions: self.trend_predictions,
+            solutions_invalidated: self.solutions_invalidated,
             ..Default::default()
         };
         for db in &self.dbs {
@@ -771,6 +834,125 @@ mod tests {
         }
         p.on_ack(&b, 2_000);
         assert_eq!(p.open_paths(NodeId(3), NodeId(60)), 2);
+    }
+
+    /// The port on `a` facing adjacent router `b`.
+    fn port_toward(
+        topo: &AnyTopology,
+        a: prdrb_topology::RouterId,
+        b: prdrb_topology::RouterId,
+    ) -> prdrb_topology::Port {
+        use prdrb_topology::{Endpoint, Port};
+        (0..topo.num_ports(a) as u8)
+            .map(Port)
+            .find(|&p| matches!(topo.neighbor(a, p), Some(Endpoint::Router(nr, _)) if nr == b))
+            .expect("routers must be adjacent")
+    }
+
+    #[test]
+    fn faults_prune_metapaths_and_cap_relearning_to_live_paths() {
+        use prdrb_topology::{FaultEvent, Mesh2D};
+        let topo = AnyTopology::mesh8x8();
+        let mut p = drb(topo.clone(), DrbConfig::drb());
+        let mut rng = SimRng::new(5);
+        let _ = p.choose(NodeId(0), NodeId(63), 0, &mut rng);
+        for i in 0..3u64 {
+            p.on_ack(&ack(0, 63, 100 * MICROSECOND, 0), i + 1);
+        }
+        assert_eq!(p.open_paths(NodeId(0), NodeId(63)), 4);
+        // Kill the first hop of column 0: the YX-order candidate (and
+        // any MSP staged through that wire) dies; the XY base survives.
+        let m = Mesh2D::new(8, 8);
+        let mut fstate = FaultState::new(&topo);
+        fstate.apply(
+            &topo,
+            &FaultEvent::LinkDown {
+                router: m.at(0, 0),
+                port: port_toward(&topo, m.at(0, 0), m.at(0, 1)),
+            },
+        );
+        let provider = AltPathProvider::new(&topo);
+        let survivors = provider
+            .alternatives(NodeId(0), NodeId(63), 4)
+            .into_iter()
+            .filter(|&d| route_survives(&topo, NodeId(0), NodeId(63), d, &fstate))
+            .count();
+        assert!(
+            (1..4).contains(&survivors),
+            "the wire must kill some but not all candidates, got {survivors}"
+        );
+        p.on_fault(&fstate, 10_000);
+        assert_eq!(
+            p.open_paths(NodeId(0), NodeId(63)),
+            survivors,
+            "dead alternatives close at the fault"
+        );
+        // Re-learning under the exclusion set never reopens dead paths.
+        for i in 0..6u64 {
+            p.on_ack(&ack(0, 63, 100 * MICROSECOND, 0), 11_000 + i);
+        }
+        assert_eq!(p.open_paths(NodeId(0), NodeId(63)), survivors);
+        // Recovery: the wire comes back, the full candidate set does too.
+        p.on_fault(&FaultState::new(&topo), 20_000);
+        for i in 0..6u64 {
+            p.on_ack(&ack(0, 63, 100 * MICROSECOND, 0), 21_000 + i);
+        }
+        assert_eq!(p.open_paths(NodeId(0), NodeId(63)), 4);
+    }
+
+    #[test]
+    fn faults_invalidate_saved_solutions_and_the_repaired_set_reapplies() {
+        use prdrb_topology::{FaultEvent, Mesh2D};
+        let topo = AnyTopology::mesh8x8();
+        let mut p = drb(topo.clone(), DrbConfig::pr_drb());
+        let mut rng = SimRng::new(5);
+        let _ = p.choose(NodeId(0), NodeId(63), 0, &mut rng);
+        let pattern = [(0, 63), (1, 62), (2, 61)];
+        // Episode 1 teaches a 4-path solution.
+        for i in 0..3u64 {
+            p.on_ack(
+                &ack_with_flows(0, 63, 100 * MICROSECOND, 0, &pattern),
+                i + 1,
+            );
+        }
+        for i in 0..4u8 {
+            p.on_ack(&ack(0, 63, 60 * MICROSECOND, i), 100);
+        }
+        assert_eq!(p.stats().patterns_found, 1);
+        // The fault cuts the dead MSPs out of the saved entry.
+        let m = Mesh2D::new(8, 8);
+        let mut fstate = FaultState::new(&topo);
+        fstate.apply(
+            &topo,
+            &FaultEvent::LinkDown {
+                router: m.at(0, 0),
+                port: port_toward(&topo, m.at(0, 0), m.at(0, 1)),
+            },
+        );
+        let provider = AltPathProvider::new(&topo);
+        let survivors = provider
+            .alternatives(NodeId(0), NodeId(63), 4)
+            .into_iter()
+            .filter(|&d| route_survives(&topo, NodeId(0), NodeId(63), d, &fstate))
+            .count();
+        assert!((2..4).contains(&survivors), "need a repairable entry");
+        p.on_fault(&fstate, 10_000);
+        assert_eq!(p.stats().solutions_invalidated, 1);
+        // Traffic fades, paths close.
+        for i in 0..30u64 {
+            for msp in 0..p.open_paths(NodeId(0), NodeId(63)) as u8 {
+                p.on_ack(&ack(0, 63, MICROSECOND, msp), 11_000 + i);
+            }
+        }
+        assert_eq!(p.open_paths(NodeId(0), NodeId(63)), 1);
+        // Episode 2 under the degraded topology: the repaired solution
+        // still installs wholesale — warm recovery over live paths only.
+        p.on_ack(
+            &ack_with_flows(0, 63, 100 * MICROSECOND, 0, &pattern),
+            50_000,
+        );
+        assert_eq!(p.open_paths(NodeId(0), NodeId(63)), survivors);
+        assert_eq!(p.stats().reuse_applications, 1);
     }
 
     #[test]

@@ -103,6 +103,23 @@ impl Metapath {
         Some(self.msps.remove(worst).descriptor)
     }
 
+    /// Close every path `dead` flags, except the original at index 0 —
+    /// it stays as the flow's anchor even when it no longer survives
+    /// (the fabric's escape divert or drop accounting deals with
+    /// traffic still sent over it). Returns the number of paths closed.
+    pub fn prune(&mut self, mut dead: impl FnMut(PathDescriptor) -> bool) -> usize {
+        let before = self.msps.len();
+        let mut i = 1;
+        while i < self.msps.len() {
+            if dead(self.msps[i].descriptor) {
+                self.msps.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        before - self.msps.len()
+    }
+
     /// Replace the whole alternative set (applying a saved solution,
     /// §3.2.6). Keeps latency estimates of descriptors that stay open.
     pub fn install(&mut self, paths: &[(PathDescriptor, u32)]) {
@@ -291,6 +308,20 @@ mod tests {
         let mut m = mp3();
         m.install(&[]);
         assert_eq!(m.len(), 3, "empty solution must not wipe the metapath");
+    }
+
+    #[test]
+    fn prune_closes_dead_alternatives_but_keeps_the_original() {
+        let mut m = mp3();
+        // Kill one alternative: exactly it goes.
+        assert_eq!(m.prune(|d| d == msp(1)), 1);
+        assert_eq!(m.len(), 2);
+        assert!(m.entries().iter().all(|e| e.descriptor != msp(1)));
+        // Even "everything is dead" keeps the index-0 anchor.
+        assert_eq!(m.prune(|_| true), 1);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.entries()[0].descriptor, PathDescriptor::Minimal);
+        assert_eq!(m.prune(|_| true), 0);
     }
 
     #[test]

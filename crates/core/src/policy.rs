@@ -14,7 +14,7 @@
 use prdrb_network::{NotifyMode, Packet};
 use prdrb_simcore::time::Time;
 use prdrb_simcore::SimRng;
-use prdrb_topology::{AltPathProvider, AnyTopology, NodeId, PathDescriptor};
+use prdrb_topology::{AltPathProvider, AnyTopology, FaultState, NodeId, PathDescriptor};
 use std::collections::HashMap;
 
 /// Counters a policy exposes for the evaluation figures.
@@ -34,6 +34,9 @@ pub struct PolicyStats {
     pub watchdog_fires: u64,
     /// §5.2 trend-predictor early reactions.
     pub trend_predictions: u64,
+    /// Saved solutions discarded because a fault killed one of their
+    /// paths (degraded-mode re-learning).
+    pub solutions_invalidated: u64,
 }
 
 /// A source routing policy.
@@ -69,6 +72,15 @@ pub trait RoutingPolicy: std::fmt::Debug {
     /// Periodic tick (FR-DRB watchdog). Called every `tick_interval`.
     fn tick(&mut self, now: Time) {
         let _ = now;
+    }
+
+    /// The fault state changed (a link or router failed or recovered).
+    /// Oblivious baselines keep their fixed choices — the fabric's
+    /// escape-to-minimal divert is their only survival mechanism — but
+    /// adaptive policies invalidate whatever they learned over paths
+    /// that no longer exist.
+    fn on_fault(&mut self, faults: &FaultState, now: Time) {
+        let _ = (faults, now);
     }
 
     /// Requested tick period, if any.

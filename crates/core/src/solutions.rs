@@ -14,11 +14,14 @@
 use crate::config::Similarity;
 use prdrb_network::FlowPair;
 use prdrb_simcore::time::Time;
-use prdrb_topology::PathDescriptor;
+use prdrb_topology::{NodeId, PathDescriptor};
 
 /// A saved congestion situation and its best known solution.
 #[derive(Debug, Clone)]
 pub struct Solution {
+    /// Destination of the flow the solution was saved for — the route
+    /// endpoint fault invalidation re-walks the saved paths against.
+    pub dst: NodeId,
     /// The contending-flow pattern (sorted, deduplicated).
     pub pattern: Vec<FlowPair>,
     /// The alternative paths that controlled it, with their lengths.
@@ -153,6 +156,7 @@ impl SolutionDb {
     /// §3.2).
     pub fn save(
         &mut self,
+        dst: NodeId,
         pattern: Vec<FlowPair>,
         paths: Vec<(PathDescriptor, u32)>,
         latency_ns: Time,
@@ -166,6 +170,7 @@ impl SolutionDb {
         for e in &mut self.entries {
             if similarity(&e.pattern, &pattern, measure) >= min_similarity {
                 if latency_ns < e.best_latency_ns {
+                    e.dst = dst;
                     e.paths = paths;
                     e.best_latency_ns = latency_ns;
                     self.improvements += 1;
@@ -175,11 +180,34 @@ impl SolutionDb {
         }
         self.patterns_found += 1;
         self.entries.push(Solution {
+            dst,
             pattern,
             paths,
             best_latency_ns: latency_ns,
             hits: 0,
         });
+    }
+
+    /// Fault invalidation: validate every saved path against `survives`
+    /// (called with the entry's flow destination). An MSP that traverses
+    /// a dead link is cut out of its entry — applying it would steer a
+    /// metapath share straight into the failure — and an entry left with
+    /// fewer than two live paths is dropped outright, because a
+    /// single-path "solution" controls nothing. Returns the number of
+    /// entries invalidated (repaired or dropped).
+    pub fn invalidate(&mut self, mut survives: impl FnMut(NodeId, PathDescriptor) -> bool) -> u64 {
+        let mut touched = 0;
+        self.entries.retain_mut(|e| {
+            let dst = e.dst;
+            let before = e.paths.len();
+            e.paths.retain(|&(d, _)| survives(dst, d));
+            if e.paths.len() == before {
+                return true; // untouched entries always stay
+            }
+            touched += 1;
+            e.paths.len() >= 2
+        });
+        touched
     }
 
     /// Iterate over the saved solutions.
@@ -225,7 +253,14 @@ mod tests {
     fn save_then_exact_lookup() {
         let mut db = SolutionDb::new();
         let pat = vec![fp(1, 5), fp(2, 7)];
-        db.save(pat.clone(), paths(), 5_000, 0.8, Similarity::Overlap);
+        db.save(
+            NodeId(9),
+            pat.clone(),
+            paths(),
+            5_000,
+            0.8,
+            Similarity::Overlap,
+        );
         assert_eq!(db.patterns_found, 1);
         let hit = db
             .lookup(&normalize(pat), 0.8, Similarity::Overlap)
@@ -240,7 +275,7 @@ mod tests {
         // §3.2.8: "The percentage used for similarity is of 80%."
         let mut db = SolutionDb::new();
         let saved: Vec<_> = (0..10).map(|i| fp(i, i + 50)).collect();
-        db.save(saved, paths(), 1_000, 0.8, Similarity::Overlap);
+        db.save(NodeId(9), saved, paths(), 1_000, 0.8, Similarity::Overlap);
         // 8 of 10 flows reappear plus 2 new ones → overlap 8/10 = 0.8.
         let mut observed: Vec<_> = (0..8).map(|i| fp(i, i + 50)).collect();
         observed.push(fp(90, 91));
@@ -258,12 +293,26 @@ mod tests {
     fn better_solution_updates_entry() {
         let mut db = SolutionDb::new();
         let pat = vec![fp(1, 2)];
-        db.save(pat.clone(), paths(), 9_000, 0.8, Similarity::Overlap);
+        db.save(
+            NodeId(9),
+            pat.clone(),
+            paths(),
+            9_000,
+            0.8,
+            Similarity::Overlap,
+        );
         let better = vec![
             (PathDescriptor::Minimal, 7),
             (PathDescriptor::MeshOrder { yx: true }, 7),
         ];
-        db.save(pat.clone(), better.clone(), 4_000, 0.8, Similarity::Overlap);
+        db.save(
+            NodeId(9),
+            pat.clone(),
+            better.clone(),
+            4_000,
+            0.8,
+            Similarity::Overlap,
+        );
         assert_eq!(db.len(), 1, "no duplicate entry");
         assert_eq!(db.improvements, 1);
         let hit = db
@@ -272,7 +321,14 @@ mod tests {
         assert_eq!(hit.best_latency_ns, 4_000);
         assert_eq!(hit.paths, better);
         // A worse solution does not overwrite.
-        db.save(pat.clone(), paths(), 20_000, 0.8, Similarity::Overlap);
+        db.save(
+            NodeId(9),
+            pat.clone(),
+            paths(),
+            20_000,
+            0.8,
+            Similarity::Overlap,
+        );
         let hit = db
             .lookup(&normalize(pat), 0.8, Similarity::Overlap)
             .unwrap();
@@ -282,8 +338,22 @@ mod tests {
     #[test]
     fn distinct_patterns_accumulate() {
         let mut db = SolutionDb::new();
-        db.save(vec![fp(1, 2)], paths(), 1_000, 0.8, Similarity::Overlap);
-        db.save(vec![fp(3, 4)], paths(), 1_000, 0.8, Similarity::Overlap);
+        db.save(
+            NodeId(9),
+            vec![fp(1, 2)],
+            paths(),
+            1_000,
+            0.8,
+            Similarity::Overlap,
+        );
+        db.save(
+            NodeId(9),
+            vec![fp(3, 4)],
+            paths(),
+            1_000,
+            0.8,
+            Similarity::Overlap,
+        );
         assert_eq!(db.len(), 2);
         assert_eq!(db.patterns_found, 2);
         assert!(db.lookup(&[fp(9, 9)], 0.8, Similarity::Overlap).is_none());
@@ -292,16 +362,67 @@ mod tests {
     #[test]
     fn empty_saves_are_ignored() {
         let mut db = SolutionDb::new();
-        db.save(vec![], paths(), 1_000, 0.8, Similarity::Overlap);
-        db.save(vec![fp(1, 2)], vec![], 1_000, 0.8, Similarity::Overlap);
+        db.save(NodeId(9), vec![], paths(), 1_000, 0.8, Similarity::Overlap);
+        db.save(
+            NodeId(9),
+            vec![fp(1, 2)],
+            vec![],
+            1_000,
+            0.8,
+            Similarity::Overlap,
+        );
         assert!(db.is_empty());
+    }
+
+    #[test]
+    fn invalidate_repairs_or_drops_dead_solutions() {
+        let mut db = SolutionDb::new();
+        let three = vec![
+            (PathDescriptor::Minimal, 7),
+            (PathDescriptor::MeshOrder { yx: true }, 7),
+            (PathDescriptor::MeshOrder { yx: false }, 7),
+        ];
+        db.save(
+            NodeId(5),
+            vec![fp(1, 2)],
+            three,
+            1_000,
+            0.8,
+            Similarity::Overlap,
+        );
+        db.save(
+            NodeId(6),
+            vec![fp(3, 4)],
+            paths(),
+            1_000,
+            0.8,
+            Similarity::Overlap,
+        );
+        // Nothing dead: untouched.
+        assert_eq!(db.invalidate(|_, _| true), 0);
+        assert_eq!(db.len(), 2);
+        // One dead MSP in the 3-path entry: repaired, not dropped. The
+        // single-path entry for dst 6 loses its only path and goes.
+        let removed = db.invalidate(|dst, d| {
+            !(dst == NodeId(5) && d == PathDescriptor::Minimal) && dst != NodeId(6)
+        });
+        assert_eq!(removed, 2, "both entries were touched");
+        assert_eq!(db.len(), 1, "the repaired entry survives");
+        assert_eq!(db.iter().next().unwrap().paths.len(), 2);
     }
 
     #[test]
     fn hit_counting_tracks_reuse_statistics() {
         let mut db = SolutionDb::new();
         let pat = vec![fp(1, 2)];
-        db.save(pat.clone(), paths(), 1_000, 0.8, Similarity::Overlap);
+        db.save(
+            NodeId(9),
+            pat.clone(),
+            paths(),
+            1_000,
+            0.8,
+            Similarity::Overlap,
+        );
         let norm = normalize(pat);
         for _ in 0..279 {
             db.lookup(&norm, 0.8, Similarity::Overlap).unwrap();

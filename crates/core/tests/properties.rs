@@ -104,7 +104,7 @@ proptest! {
     fn db_roundtrip(p in pattern_strategy(), bar in 0.1f64..1.0) {
         let mut db = SolutionDb::new();
         let norm = normalize(p.clone());
-        db.save(p, vec![(PathDescriptor::Minimal, 4)], 1_000, bar, Similarity::Overlap);
+        db.save(NodeId(1), p, vec![(PathDescriptor::Minimal, 4)], 1_000, bar, Similarity::Overlap);
         prop_assert!(db.lookup(&norm, bar, Similarity::Overlap).is_some());
     }
 

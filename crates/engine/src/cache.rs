@@ -36,7 +36,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// v2: the fabric calendar became content-keyed (`(time, key, seq)`
 /// ordering) and control-packet ids content-derived, which perturbs
 /// same-instant tie-breaks relative to v1 runs.
-const CACHE_FORMAT: u32 = 2;
+///
+/// v3: fault injection — reports carry a dropped-packet counter and a
+/// `solutions_invalidated` policy stat, and the fault plan joined the
+/// key encoding.
+const CACHE_FORMAT: u32 = 3;
 
 /// First line of every cache file.
 const MAGIC: &str = "prdrb-run-cache,v1";
@@ -102,6 +106,7 @@ fn fold_config(cfg: &SimConfig, h: &mut StableHasher) {
         max_ns,
         series_bucket_ns,
         preload_profile,
+        faults,
         // Like the calendar backend below, the shard count is an
         // execution knob with bit-identical results (golden-digest and
         // shard-equivalence tests), so serial and sharded runs share
@@ -260,6 +265,15 @@ fn fold_config(cfg: &SimConfig, h: &mut StableHasher) {
         h.write_u32(src.0);
         h.write_u32(dst.0);
         h.write_u64(bytes);
+    }
+    h.write_usize(faults.events().len());
+    for tf in faults.events() {
+        let prdrb_topology::TimedFault { at, fault } = *tf;
+        h.write_u64(at);
+        let (tag, router, port) = fault.key();
+        h.write_u8(tag);
+        h.write_u32(router);
+        h.write_u8(port);
     }
 }
 
@@ -434,8 +448,8 @@ pub fn report_to_csv(key: RunKey, r: &RunReport) -> String {
         None => out.push_str("exec,none\n"),
     }
     out.push_str(&format!(
-        "counters,{},{},{},{},{}\n",
-        r.messages, r.offered, r.accepted, r.acks_sent, r.notifications
+        "counters,{},{},{},{},{},{}\n",
+        r.messages, r.offered, r.accepted, r.dropped, r.acks_sent, r.notifications
     ));
     let PolicyStats {
         expansions,
@@ -445,9 +459,10 @@ pub fn report_to_csv(key: RunKey, r: &RunReport) -> String {
         reuse_applications,
         watchdog_fires,
         trend_predictions,
+        solutions_invalidated,
     } = r.policy_stats;
     out.push_str(&format!(
-        "stats,{expansions},{shrinks},{patterns_found},{patterns_reused},{reuse_applications},{watchdog_fires},{trend_predictions}\n"
+        "stats,{expansions},{shrinks},{patterns_found},{patterns_reused},{reuse_applications},{watchdog_fires},{trend_predictions},{solutions_invalidated}\n"
     ));
     out.push_str(&format!("end,{},{}\n", r.end_ns, r.truncated as u8));
     out.push_str(&format!("series,{}\n", series_fields(&r.series)));
@@ -514,6 +529,7 @@ pub fn report_from_csv(text: &str) -> Option<RunReport> {
     let messages = next_u64()?;
     let offered = next_u64()?;
     let accepted = next_u64()?;
+    let dropped = next_u64()?;
     let acks_sent = next_u64()?;
     let notifications = next_u64()?;
     let stats = take("stats")?;
@@ -527,6 +543,7 @@ pub fn report_from_csv(text: &str) -> Option<RunReport> {
         reuse_applications: next_stat()?,
         watchdog_fires: next_stat()?,
         trend_predictions: next_stat()?,
+        solutions_invalidated: next_stat()?,
     };
     let end = take("end")?;
     let (end_ns, truncated) = end.split_once(',')?;
@@ -592,6 +609,7 @@ pub fn report_from_csv(text: &str) -> Option<RunReport> {
         messages,
         offered,
         accepted,
+        dropped,
         acks_sent,
         notifications,
         latency_map,
@@ -683,10 +701,12 @@ mod tests {
         assert!(s.chars().all(|c| c.is_ascii_hexdigit()));
     }
 
+    type Mutation = Box<dyn Fn(&mut SimConfig)>;
+
     #[test]
     fn every_config_field_changes_the_key() {
         let base = RunKey::of(&cfg());
-        let mutations: Vec<Box<dyn Fn(&mut SimConfig)>> = vec![
+        let mutations: Vec<Mutation> = vec![
             Box::new(|c| c.label = "x".into()),
             Box::new(|c| c.topology = TopologyKind::FatTree443),
             Box::new(|c| c.policy = PolicyKind::Drb),
@@ -719,6 +739,15 @@ mod tests {
                     dst: prdrb_topology::NodeId(1),
                     bytes: 1,
                 })
+            }),
+            Box::new(|c| {
+                c.faults = prdrb_topology::FaultPlan::new(vec![prdrb_topology::TimedFault {
+                    at: 1,
+                    fault: prdrb_topology::FaultEvent::LinkDown {
+                        router: prdrb_topology::RouterId(0),
+                        port: prdrb_topology::Port(0),
+                    },
+                }])
             }),
         ];
         for (i, m) in mutations.iter().enumerate() {

@@ -4,7 +4,7 @@ use prdrb_apps::Trace;
 use prdrb_core::{DrbConfig, PolicyKind};
 use prdrb_network::NetworkConfig;
 use prdrb_simcore::time::{Time, MILLISECOND};
-use prdrb_topology::{AnyTopology, KAryNTree, Mesh2D, NodeId};
+use prdrb_topology::{AnyTopology, FaultPlan, KAryNTree, Mesh2D, NodeId};
 use prdrb_traffic::BurstSchedule;
 use std::sync::Arc;
 
@@ -101,6 +101,11 @@ pub struct SimConfig {
     /// Offline communication profile to preload into predictive
     /// policies (§5.2 static variant); empty = fully dynamic.
     pub preload_profile: Vec<prdrb_core::ProfiledFlow>,
+    /// Deterministic fault schedule (timed link-down/link-up and
+    /// router-down events). Part of the run's identity: a faulted run is
+    /// content-addressed like any other, and every shard of a sharded
+    /// run replays the same events at the same simulated times.
+    pub faults: FaultPlan,
     /// Fabric execution shards (conservative-parallel windows). `1`
     /// runs the serial fabric; `K > 1` partitions the topology into K
     /// shards with bit-identical results, so this is an execution knob,
@@ -133,6 +138,7 @@ impl SimConfig {
             max_ns: 400 * MILLISECOND,
             series_bucket_ns: 50_000,
             preload_profile: Vec::new(),
+            faults: FaultPlan::none(),
             shards: 1,
         }
     }
@@ -151,6 +157,7 @@ impl SimConfig {
             max_ns: 30_000 * MILLISECOND,
             series_bucket_ns: 100_000,
             preload_profile: Vec::new(),
+            faults: FaultPlan::none(),
             shards: 1,
         }
     }

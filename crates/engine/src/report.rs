@@ -25,10 +25,14 @@ pub struct RunReport {
     pub exec_time_ns: Option<Time>,
     /// Messages injected.
     pub messages: u64,
-    /// Data packets offered / accepted (lossless ⇒ equal after drain).
+    /// Data packets offered / accepted. Lossless semantics end at a
+    /// dead wire: on fault-free runs `offered == accepted` after drain;
+    /// under a fault plan `offered == accepted + dropped`.
     pub offered: u64,
     /// Data packets accepted.
     pub accepted: u64,
+    /// Data packets dropped on failed links or routers.
+    pub dropped: u64,
     /// ACK packets generated.
     pub acks_sent: u64,
     /// Congestion notifications (CFD triggers).
@@ -63,6 +67,7 @@ impl RunReport {
             agg.add_counter("messages", r.messages);
             agg.add_counter("offered", r.offered);
             agg.add_counter("accepted", r.accepted);
+            agg.add_counter("dropped", r.dropped);
             agg.add_counter("acks_sent", r.acks_sent);
             agg.add_counter("notifications", r.notifications);
             agg.add_counter("expansions", r.policy_stats.expansions);
@@ -72,6 +77,10 @@ impl RunReport {
             agg.add_counter("reuse_applications", r.policy_stats.reuse_applications);
             agg.add_counter("watchdog_fires", r.policy_stats.watchdog_fires);
             agg.add_counter("trend_predictions", r.policy_stats.trend_predictions);
+            agg.add_counter(
+                "solutions_invalidated",
+                r.policy_stats.solutions_invalidated,
+            );
         }
         let mut first = replicas.into_iter().next().expect("non-empty");
         first.global_avg_latency_us = agg.latency_us().mean();
@@ -81,6 +90,7 @@ impl RunReport {
         first.messages = agg.counter("messages");
         first.offered = agg.counter("offered");
         first.accepted = agg.counter("accepted");
+        first.dropped = agg.counter("dropped");
         first.acks_sent = agg.counter("acks_sent");
         first.notifications = agg.counter("notifications");
         first.policy_stats = PolicyStats {
@@ -91,6 +101,7 @@ impl RunReport {
             reuse_applications: agg.counter("reuse_applications"),
             watchdog_fires: agg.counter("watchdog_fires"),
             trend_predictions: agg.counter("trend_predictions"),
+            solutions_invalidated: agg.counter("solutions_invalidated"),
         };
         first
     }

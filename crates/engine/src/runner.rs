@@ -19,7 +19,7 @@ use prdrb_network::{
 use prdrb_simcore::stats::{RunningMean, TimeSeries};
 use prdrb_simcore::time::{interarrival_ns, ns_to_us, Time};
 use prdrb_simcore::{EventQueue, SimRng};
-use prdrb_topology::{AnyTopology, NodeId, RouteState, RouterId, Topology};
+use prdrb_topology::{AnyTopology, FaultState, NodeId, RouteState, RouterId, Topology};
 use prdrb_traffic::TrafficPattern;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -140,6 +140,11 @@ pub struct Simulation {
     series: TimeSeries,
     quantiles: LatencyQuantiles,
     next_tick: Option<Time>,
+    /// Host-side fault mirror: the same plan the fabric replays, applied
+    /// at the same simulated times, so the policy's `on_fault` hook
+    /// fires identically under every execution backend.
+    faults: FaultState,
+    fault_cursor: usize,
     /// Reusable buffers: deliveries swapped out of the fabric per tick
     /// and the send list filled by the trace player per wakeup.
     delivery_buf: Vec<Delivery>,
@@ -163,9 +168,15 @@ impl Simulation {
         let sharded =
             cfg.shards > 1 && !matches!(cfg.workload, Workload::Trace(_)) && net.wire_delay_ns > 0;
         let fabric = if sharded {
-            NetFabric::Sharded(ShardedFabric::new(topo.clone(), net, cfg.shards))
+            NetFabric::Sharded(ShardedFabric::with_faults(
+                topo.clone(),
+                net,
+                cfg.shards,
+                prdrb_network::ExecMode::Auto,
+                cfg.faults.clone(),
+            ))
         } else {
-            NetFabric::Serial(Fabric::new(topo.clone(), net))
+            NetFabric::Serial(Fabric::with_faults(topo.clone(), net, cfg.faults.clone()))
         };
         let rng = SimRng::new(cfg.seed);
         let mut sim = Self {
@@ -179,6 +190,8 @@ impl Simulation {
             series: TimeSeries::new(cfg.series_bucket_ns),
             quantiles: LatencyQuantiles::new(),
             next_tick: policy.tick_interval(),
+            faults: FaultState::new(&topo),
+            fault_cursor: 0,
             delivery_buf: Vec::new(),
             send_buf: Vec::new(),
             topo,
@@ -298,7 +311,26 @@ impl Simulation {
         self.finish(truncated)
     }
 
+    /// Apply every fault-plan event with `at <= now` to the host mirror
+    /// and notify the policy at the event's own timestamp. Called from
+    /// [`Self::tick_policy`], i.e. before host events fire at `now` and
+    /// before each delivery is handed to the policy — the same points
+    /// under the serial and sharded backends, so the `on_fault` call
+    /// sequence is backend-independent.
+    fn apply_faults_through(&mut self, now: Time) {
+        while self.fault_cursor < self.cfg.faults.events().len() {
+            let tf = self.cfg.faults.events()[self.fault_cursor];
+            if tf.at > now {
+                break;
+            }
+            self.fault_cursor += 1;
+            self.faults.apply(&self.topo, &tf.fault);
+            self.policy.on_fault(&self.faults, tf.at);
+        }
+    }
+
     fn tick_policy(&mut self, now: Time) {
+        self.apply_faults_through(now);
         let Some(iv) = self.policy.tick_interval() else {
             return;
         };
@@ -527,6 +559,7 @@ impl Simulation {
             messages: self.messages,
             offered: stats.offered_data,
             accepted: stats.accepted_data,
+            dropped: stats.dropped_data,
             acks_sent: stats.acks_sent,
             notifications: stats.notifications,
             latency_map: LatencyMap::new(&self.topo, contention),
@@ -582,6 +615,29 @@ mod tests {
                 let sharded = report_to_csv(key, &Simulation::new(cfg).run());
                 assert_eq!(serial, sharded, "{policy:?} shards={k}");
             }
+        }
+    }
+
+    #[test]
+    fn faulted_runs_are_byte_identical_to_serial_and_account_drops() {
+        use crate::cache::{report_to_csv, RunKey};
+        use prdrb_topology::FaultPlan;
+        let mut base = quick_synth(PolicyKind::PrDrb);
+        base.faults = FaultPlan::seeded(&TopologyKind::FatTree443.build(), 7, 4, 50_000, 400_000);
+        let key = RunKey::of(&base);
+        let serial = Simulation::new(base.clone()).run();
+        assert!(serial.dropped > 0, "the plan must bite");
+        assert_eq!(
+            serial.offered,
+            serial.accepted + serial.dropped,
+            "lossless semantics end at a dead wire"
+        );
+        let serial_csv = report_to_csv(key, &serial);
+        for k in [2u32, 4] {
+            let mut cfg = base.clone();
+            cfg.shards = k;
+            let sharded = report_to_csv(key, &Simulation::new(cfg).run());
+            assert_eq!(serial_csv, sharded, "faulted run shards={k}");
         }
     }
 

@@ -32,7 +32,8 @@ use prdrb_simcore::stats::{RunningMean, TimeSeries};
 use prdrb_simcore::time::{ns_to_us, Time};
 use prdrb_simcore::EventQueue;
 use prdrb_topology::{
-    AnyTopology, Endpoint, NodeId, Port, RouteTable, RouterId, ShardPlan, Topology,
+    AnyTopology, Endpoint, FaultEvent, FaultPlan, FaultState, NodeId, PathDescriptor, Port,
+    RouteState, RouteTable, RouterId, ShardPlan, Topology,
 };
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -218,6 +219,15 @@ pub struct FabricStats {
     pub acks_received: u64,
     /// CFD trigger count (congestion notifications).
     pub notifications: u64,
+    /// Data packets lost to link/router failures: drained from queues
+    /// feeding a dead wire, caught in flight at a dead input, or stuck
+    /// at a hop with no live output left. Lossless semantics end at a
+    /// dead wire — `offered == accepted + dropped` replaces
+    /// `offered == accepted` on faulted runs.
+    pub dropped_data: u64,
+    /// Control packets (ACKs, predictive notifications) lost the same
+    /// ways.
+    pub dropped_ctrl: u64,
 }
 
 /// The simulated interconnection network.
@@ -243,6 +253,15 @@ pub struct Fabric {
     /// events bound for routers/NICs of other shards are staged in the
     /// outbox instead of entering the local calendar.
     shard: Option<ShardCtx>,
+    /// Timed fault schedule (usually empty). Applied lazily: every
+    /// event in the plan takes effect before any calendar event at
+    /// `t >= at` dispatches, and emits no calendar events itself, so
+    /// serial and sharded execution see identical fault timing.
+    fault_plan: Arc<FaultPlan>,
+    /// Index of the next unapplied plan event.
+    fault_cursor: usize,
+    /// Materialized dead-link / dead-router view at the current time.
+    faults: FaultState,
     /// Cumulative counters.
     pub stats: FabricStats,
 }
@@ -250,18 +269,28 @@ pub struct Fabric {
 impl Fabric {
     /// Build a fabric over `topo` with configuration `cfg`.
     pub fn new(topo: AnyTopology, cfg: NetworkConfig) -> Self {
-        Self::build(topo, cfg, None)
+        Self::build(topo, cfg, None, Arc::new(FaultPlan::none()))
+    }
+
+    /// Build a fabric that replays `faults` as it runs. An empty plan
+    /// is byte-identical to [`Self::new`].
+    pub fn with_faults(topo: AnyTopology, cfg: NetworkConfig, faults: FaultPlan) -> Self {
+        Self::build(topo, cfg, None, Arc::new(faults))
     }
 
     /// Build shard `id` of a partitioned fabric: a full-size instance
     /// whose event loop only ever touches the routers and NICs the plan
     /// assigns to `id`, and whose cross-shard schedules divert to an
-    /// outbox drained by the window driver.
+    /// outbox drained by the window driver. Every shard replays the
+    /// whole fault plan (state flips are global knowledge; drops only
+    /// ever touch owned routers), keeping the per-shard fault views
+    /// identical mirrors.
     pub(crate) fn new_sharded(
         topo: AnyTopology,
         cfg: NetworkConfig,
         plan: Arc<ShardPlan>,
         id: u32,
+        faults: Arc<FaultPlan>,
     ) -> Self {
         debug_assert!(id < plan.shards());
         Self::build(
@@ -272,10 +301,16 @@ impl Fabric {
                 plan,
                 outbox: Vec::new(),
             }),
+            faults,
         )
     }
 
-    fn build(topo: AnyTopology, cfg: NetworkConfig, shard: Option<ShardCtx>) -> Self {
+    fn build(
+        topo: AnyTopology,
+        cfg: NetworkConfig,
+        shard: Option<ShardCtx>,
+        fault_plan: Arc<FaultPlan>,
+    ) -> Self {
         cfg.validate();
         let nr = topo.num_routers();
         assert!(nr < 1 << 24, "event keys hold 24-bit router ids");
@@ -320,6 +355,7 @@ impl Fabric {
             })
             .collect();
         let table = RouteTable::build(&topo);
+        let faults = FaultState::new(&topo);
         Self {
             topo,
             cfg,
@@ -334,6 +370,9 @@ impl Fabric {
             cand_scratch: Vec::with_capacity(8),
             src_scratch: Vec::with_capacity(8),
             shard,
+            fault_plan,
+            fault_cursor: 0,
+            faults,
             stats: FabricStats::default(),
         }
     }
@@ -351,6 +390,126 @@ impl Fabric {
     /// Current simulated time (time of the last processed event).
     pub fn now(&self) -> Time {
         self.clock
+    }
+
+    /// The dead-link / dead-router view at the current time.
+    pub fn fault_state(&self) -> &FaultState {
+        &self.faults
+    }
+
+    /// Apply every plan event with `at <= t`. Called before dispatching
+    /// any calendar event at time `t` (and once more at the end of a
+    /// bounded run), so the fault timing is a pure function of the plan
+    /// — independent of event density, calendar backend or sharding.
+    #[inline]
+    fn apply_faults_through(&mut self, t: Time) {
+        while self.fault_cursor < self.fault_plan.events().len() {
+            let tf = self.fault_plan.events()[self.fault_cursor];
+            if tf.at > t {
+                break;
+            }
+            self.fault_cursor += 1;
+            self.apply_fault(&tf.fault);
+        }
+    }
+
+    /// Flip the fault state for one event and account the consequences
+    /// on this fabric's owned routers: queues feeding (or fed by) a
+    /// dead wire are drained with every packet counted as dropped, and
+    /// a recovered wire has its sender-side credits re-initialized to a
+    /// full buffer — link retraining resets flow control, and the
+    /// receive queue is guaranteed empty because arrivals on a dead
+    /// wire were dropped and counted.
+    fn apply_fault(&mut self, fault: &FaultEvent) {
+        match *fault {
+            FaultEvent::LinkDown { router, port } => {
+                self.faults.apply(&self.topo, fault);
+                if let Some(Endpoint::Router(nr, np)) = self.table.neighbor(router, port) {
+                    if self.owns(router) {
+                        self.drain_port(router, port.idx());
+                    }
+                    if self.owns(nr) {
+                        self.drain_port(nr, np.idx());
+                    }
+                }
+            }
+            FaultEvent::LinkUp { router, port } => {
+                let was_dead = self.faults.link_dead(router, port);
+                self.faults.apply(&self.topo, fault);
+                if was_dead && !self.faults.link_dead(router, port) {
+                    if let Some(Endpoint::Router(nr, np)) = self.table.neighbor(router, port) {
+                        if self.owns(router) {
+                            self.reset_credits(router, port.idx());
+                        }
+                        if self.owns(nr) {
+                            self.reset_credits(nr, np.idx());
+                        }
+                    }
+                }
+            }
+            FaultEvent::RouterDown { router } => {
+                self.faults.apply(&self.topo, fault);
+                let ports = self.topo.num_ports(router);
+                if self.owns(router) {
+                    for p in 0..ports {
+                        self.drain_port(router, p);
+                    }
+                }
+                for p in 0..ports {
+                    if let Some(Endpoint::Router(nr, np)) =
+                        self.table.neighbor(router, Port(p as u8))
+                    {
+                        if self.owns(nr) {
+                            self.drain_port(nr, np.idx());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether this fabric owns router `r`'s state (always true serial;
+    /// the plan decides under sharding — drops must be counted exactly
+    /// once across shards).
+    #[inline]
+    fn owns(&self, r: RouterId) -> bool {
+        self.shard
+            .as_ref()
+            .is_none_or(|c| c.plan.shard_of_router(r) == c.id)
+    }
+
+    /// Drop every packet queued at `(r, p)` — input lanes and output
+    /// queue — clearing occupancy bits and byte accounting. Upstream
+    /// credits are *not* returned: the only caller is fault application,
+    /// where the upstream link is the dead wire itself (its credits are
+    /// re-initialized on recovery) or a permanently dead router.
+    fn drain_port(&mut self, r: RouterId, p: usize) {
+        for vc in 0..NUM_VCS {
+            while let Some(pkt) = self.routers[r.idx()].in_q[p][vc].pop_front() {
+                self.drop_boxed(pkt);
+            }
+            self.routers[r.idx()].in_occ &= !(1 << (p * NUM_VCS + vc));
+        }
+        while let Some(pkt) = self.routers[r.idx()].out_q[p].pop_front() {
+            self.drop_boxed(pkt);
+        }
+        self.routers[r.idx()].out_bytes[p] = 0;
+    }
+
+    /// Re-initialize the credits of output port `p` at `r` to a full
+    /// downstream buffer (LinkUp retraining).
+    fn reset_credits(&mut self, r: RouterId, p: usize) {
+        self.routers[r.idx()].credits[p] = [self.cfg.input_buf_bytes as i64; NUM_VCS];
+    }
+
+    /// Count and recycle a packet lost to a fault.
+    fn drop_boxed(&mut self, pkt: Box<Packet>) {
+        if pkt.is_data() {
+            self.stats.dropped_data += 1;
+        } else {
+            self.stats.dropped_ctrl += 1;
+        }
+        self.pool.free(pkt);
     }
 
     /// Allocate a unique packet id.
@@ -406,10 +565,12 @@ impl Fabric {
     pub(crate) fn run_window(&mut self, wend: Time) -> u64 {
         let mut n = 0;
         while let Some(entry) = self.q.pop_before(wend) {
+            self.apply_faults_through(entry.time);
             self.clock = entry.time;
             self.dispatch(entry.event);
             n += 1;
         }
+        self.apply_faults_through(wend);
         self.q.advance_to(wend);
         n
     }
@@ -456,10 +617,12 @@ impl Fabric {
     pub fn run_until(&mut self, until: Time) -> u64 {
         let mut n = 0;
         while let Some(entry) = self.q.pop_before(until) {
+            self.apply_faults_through(entry.time);
             self.clock = entry.time;
             self.dispatch(entry.event);
             n += 1;
         }
+        self.apply_faults_through(until);
         self.clock = self.clock.max(until);
         n
     }
@@ -474,6 +637,7 @@ impl Fabric {
         while self.deliveries.is_empty() {
             match self.q.pop_before(until) {
                 Some(entry) => {
+                    self.apply_faults_through(entry.time);
                     self.clock = entry.time;
                     self.dispatch(entry.event);
                 }
@@ -481,6 +645,9 @@ impl Fabric {
             }
         }
         if self.deliveries.is_empty() {
+            // No event ≤ `until` remains, so time passes to `until`;
+            // faults scheduled in the quiet stretch take effect now.
+            self.apply_faults_through(until);
             self.clock = self
                 .clock
                 .max(until.min(self.q.peek_time().unwrap_or(until)));
@@ -492,6 +659,7 @@ impl Fabric {
     /// of the last event.
     pub fn run_to_quiescence(&mut self, max_t: Time) -> Time {
         while let Some(entry) = self.q.pop_before(max_t) {
+            self.apply_faults_through(entry.time);
             self.clock = entry.time;
             self.dispatch(entry.event);
         }
@@ -547,6 +715,15 @@ impl Fabric {
                 port,
                 mut packet,
             } => {
+                if self.faults.any()
+                    && (self.faults.router_dead(router) || self.faults.link_dead(router, port))
+                {
+                    // The wire (or the whole router) died while the
+                    // packet was in flight: lost, counted. The sender's
+                    // consumed credit comes back at link retraining.
+                    self.drop_boxed(packet);
+                    return;
+                }
                 packet.queued_at = self.clock;
                 packet.decided_port = None;
                 let vc = (packet.route.header_id as usize).min(NUM_VCS - 1);
@@ -585,6 +762,15 @@ impl Fabric {
     }
 
     fn nic_tx(&mut self, node: NodeId) {
+        if self.faults.any() && self.faults.router_dead(self.table.nic_attach(node).0) {
+            // The attach router is gone: the NIC can reach nothing.
+            // Drain the queue, counting every packet as dropped (future
+            // injections drain the same way at their own NicTx).
+            while let Some(pkt) = self.nics[node.idx()].queue.pop_front() {
+                self.drop_boxed(pkt);
+            }
+            return;
+        }
         let nic = &mut self.nics[node.idx()];
         let Some(head) = nic.queue.front() else {
             return;
@@ -706,6 +892,34 @@ impl Fabric {
                 op
             }
         };
+        // Degraded mode: an output whose wire has died is re-decided
+        // over the live minimal candidates toward the final destination
+        // (lowest live port — deterministic). The remaining multi-step
+        // structure may lead straight back into the dead wire, so the
+        // diverted packet switches to plain minimal routing on the
+        // escape channel; minimal hops strictly close on the
+        // destination, so it cannot livelock. A head with no live
+        // escape is dropped and counted.
+        let out = if self.faults.any() && self.faults.link_dead(router, out) {
+            let cands = &mut self.cand_scratch;
+            self.table
+                .minimal_candidates(&self.topo, router, head.dst, cands);
+            let live = cands
+                .iter()
+                .copied()
+                .filter(|&c| !self.faults.link_dead(router, c))
+                .min_by_key(|c| c.idx());
+            match live {
+                Some(c) => {
+                    head.route = RouteState::new(PathDescriptor::Minimal);
+                    head.decided_port = Some(c);
+                    c
+                }
+                None => return self.drop_head(router, p, vc),
+            }
+        } else {
+            out
+        };
         let size = head.size;
         if rs.out_bytes[out.idx()] + size > self.cfg.output_buf_bytes {
             return false;
@@ -747,7 +961,50 @@ impl Fabric {
         true
     }
 
+    /// Drop the head of input lane `(p, vc)` at `router` — no live
+    /// output remains for it. The freed input slot's credit returns
+    /// upstream exactly as a successful move would, so upstream flow
+    /// control (over a live wire) stays balanced. Returns true: the
+    /// arbitration pass made progress.
+    fn drop_head(&mut self, router: RouterId, p: usize, vc: usize) -> bool {
+        let rs = &mut self.routers[router.idx()];
+        let pkt = rs.in_q[p][vc].pop_front().expect("head");
+        if rs.in_q[p][vc].is_empty() {
+            rs.in_occ &= !(1 << (p * NUM_VCS + vc));
+        }
+        let size = pkt.size;
+        self.drop_boxed(pkt);
+        match self.table.neighbor(router, Port(p as u8)) {
+            Some(Endpoint::Router(ur, up)) => self.sched(
+                self.clock + self.cfg.wire_delay_ns,
+                NetEvent::Credit {
+                    router: ur,
+                    port: up,
+                    vc: vc as u8,
+                    bytes: size,
+                },
+            ),
+            Some(Endpoint::Terminal(n)) => self.sched(
+                self.clock + self.cfg.wire_delay_ns,
+                NetEvent::NicCredit {
+                    node: n,
+                    vc: vc as u8,
+                    bytes: size,
+                },
+            ),
+            None => {}
+        }
+        true
+    }
+
     fn try_tx(&mut self, router: RouterId, port: Port) {
+        if self.faults.any() && self.faults.link_dead(router, port) {
+            // The queue was drained when the wire died and nothing is
+            // admitted onto a dead port afterwards; stray TryTx /
+            // LinkFree events on it are inert.
+            debug_assert!(self.routers[router.idx()].out_q[port.idx()].is_empty());
+            return;
+        }
         let rs = &mut self.routers[router.idx()];
         let Some(head) = rs.out_q[port.idx()].front() else {
             return;
@@ -884,9 +1141,29 @@ impl Fabric {
     /// Control packets use a dedicated channel: they bypass output-queue
     /// capacity but share link bandwidth.
     fn router_inject(&mut self, router: RouterId, mut pkt: Packet) {
-        let out = self
+        let mut out = self
             .table
             .next_port(&self.topo, router, pkt.dst, &mut pkt.route);
+        if self.faults.any() && self.faults.link_dead(router, out) {
+            // Notification toward a dead wire: divert over the live
+            // minimal candidates or count it lost.
+            let cands = &mut self.cand_scratch;
+            self.table
+                .minimal_candidates(&self.topo, router, pkt.dst, cands);
+            match cands
+                .iter()
+                .copied()
+                .filter(|&c| !self.faults.link_dead(router, c))
+                .min_by_key(|c| c.idx())
+            {
+                Some(c) => out = c,
+                None => {
+                    let boxed = self.pool.boxed(pkt);
+                    self.drop_boxed(boxed);
+                    return;
+                }
+            }
+        }
         pkt.queued_at = self.clock;
         pkt.decided_port = Some(out);
         let boxed = self.pool.boxed(pkt);

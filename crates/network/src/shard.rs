@@ -41,7 +41,7 @@ use crate::fabric::{delivery_order_key, Delivery, Fabric, FabricStats, StagedEve
 use crate::packet::Packet;
 use prdrb_simcore::stats::TimeSeries;
 use prdrb_simcore::time::Time;
-use prdrb_topology::{AnyTopology, RouterId, ShardPlan};
+use prdrb_topology::{AnyTopology, FaultPlan, FaultState, RouterId, ShardPlan};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -55,6 +55,28 @@ use std::thread::JoinHandle;
 /// one empty) has unbounded lookahead.
 pub fn shard_lookahead(plan: &ShardPlan, topo: &AnyTopology, cfg: &NetworkConfig) -> Time {
     plan.cross_links(topo)
+        .iter()
+        .map(|_link| {
+            cfg.wire_delay_ns
+                .min(cfg.wire_delay_ns.saturating_add(cfg.header_ns))
+        })
+        .min()
+        .unwrap_or(Time::MAX / 2)
+}
+
+/// [`shard_lookahead`] over the *live* cut only: a dead cross-shard
+/// link carries no events, so it cannot bound the window — and a
+/// recovered one must bound it again. The window driver re-evaluates
+/// this on every fault event it applies (and additionally never lets a
+/// window cross a pending fault time, so a stale bound is never used
+/// past the instant it changes).
+pub fn shard_lookahead_live(
+    plan: &ShardPlan,
+    topo: &AnyTopology,
+    cfg: &NetworkConfig,
+    faults: &FaultState,
+) -> Time {
+    plan.live_cross_links(topo, faults)
         .iter()
         .map(|_link| {
             cfg.wire_delay_ns
@@ -120,6 +142,14 @@ pub struct ShardedFabric {
     cfg: NetworkConfig,
     plan: Arc<ShardPlan>,
     lookahead: Time,
+    /// The shared fault schedule; every shard replays it locally, and
+    /// the driver mirrors it here to keep the lookahead honest.
+    fault_plan: Arc<FaultPlan>,
+    /// Index of the next plan event the *driver* has not yet applied
+    /// to its mirror (shards keep their own lazy cursors).
+    fault_cursor: usize,
+    /// The driver's dead-link view, advanced at each window start.
+    faults: FaultState,
     exec: Exec,
     /// Host-visible clock, mirroring the serial fabric's clamp rules.
     clock: Time,
@@ -149,6 +179,19 @@ impl ShardedFabric {
 
     /// Build with an explicit execution backend.
     pub fn with_mode(topo: AnyTopology, cfg: NetworkConfig, shards: u32, mode: ExecMode) -> Self {
+        Self::with_faults(topo, cfg, shards, mode, FaultPlan::none())
+    }
+
+    /// Build with an explicit execution backend and a fault schedule.
+    /// Every shard replays the full plan at identical simulated times,
+    /// so K-shard faulted runs stay bit-identical to serial.
+    pub fn with_faults(
+        topo: AnyTopology,
+        cfg: NetworkConfig,
+        shards: u32,
+        mode: ExecMode,
+        faults: FaultPlan,
+    ) -> Self {
         assert!(shards >= 1, "shard count must be at least 1");
         let plan = Arc::new(ShardPlan::new(&topo, shards));
         let lookahead = shard_lookahead(&plan, &topo, &cfg);
@@ -157,8 +200,18 @@ impl ShardedFabric {
             "zero-latency cross-shard links leave no conservative window; \
              run serial instead"
         );
+        let fault_plan = Arc::new(faults);
+        let fault_state = FaultState::new(&topo);
         let fabrics: Vec<Fabric> = (0..shards)
-            .map(|s| Fabric::new_sharded(topo.clone(), cfg, Arc::clone(&plan), s))
+            .map(|s| {
+                Fabric::new_sharded(
+                    topo.clone(),
+                    cfg,
+                    Arc::clone(&plan),
+                    s,
+                    Arc::clone(&fault_plan),
+                )
+            })
             .collect();
         let threaded = shards > 1 && Self::want_threads(mode);
         let exec = if threaded {
@@ -189,6 +242,9 @@ impl ShardedFabric {
             cfg,
             plan,
             lookahead,
+            fault_plan,
+            fault_cursor: 0,
+            faults: fault_state,
             exec,
             clock: 0,
             next_id: 1,
@@ -375,6 +431,8 @@ impl ShardedFabric {
             total.acks_sent += s.acks_sent;
             total.acks_received += s.acks_received;
             total.notifications += s.notifications;
+            total.dropped_data += s.dropped_data;
+            total.dropped_ctrl += s.dropped_ctrl;
         }
         total
     }
@@ -448,7 +506,32 @@ impl ShardedFabric {
     /// One bulk-synchronous window starting at `start`, clipped to the
     /// host horizon `until`.
     fn window(&mut self, start: Time, until: Time) {
-        let wend = start.saturating_add(self.lookahead - 1).min(until);
+        // Advance the driver's fault mirror to the window start. Any
+        // fault event taking effect here changes the live cut, so the
+        // lookahead is recomputed; shards apply the same events lazily
+        // inside run_window, before their first event at t >= at.
+        let mut cut_changed = false;
+        while self.fault_cursor < self.fault_plan.events().len() {
+            let tf = self.fault_plan.events()[self.fault_cursor];
+            if tf.at > start {
+                break;
+            }
+            self.fault_cursor += 1;
+            self.faults.apply(&self.topo, &tf.fault);
+            cut_changed = true;
+        }
+        if cut_changed {
+            self.lookahead = shard_lookahead_live(&self.plan, &self.topo, &self.cfg, &self.faults);
+            assert!(self.lookahead >= 1, "live cut lookahead collapsed");
+        }
+        let mut wend = start.saturating_add(self.lookahead - 1).min(until);
+        // Never cross a pending fault time with the current lookahead:
+        // the event re-shapes the live cut (a recovering link could
+        // shrink the bound) from that instant on.
+        if self.fault_cursor < self.fault_plan.events().len() {
+            let at = self.fault_plan.events()[self.fault_cursor].at;
+            wend = wend.min(at - 1); // at > start, so wend >= start
+        }
         let merge_from = self.deliveries.len();
         match &mut self.exec {
             Exec::Sequential(fabs) => {
@@ -567,7 +650,9 @@ mod tests {
     use super::*;
     use crate::config::NotifyMode;
     use crate::packet::Packet;
-    use prdrb_topology::{Endpoint, NodeId, PathDescriptor, Port, RouteState, Topology};
+    use prdrb_topology::{
+        Endpoint, FaultEvent, NodeId, PathDescriptor, Port, RouteState, TimedFault, Topology,
+    };
 
     fn cfg() -> NetworkConfig {
         let mut cfg = NetworkConfig {
@@ -650,8 +735,11 @@ mod tests {
         out
     }
 
-    fn run_serial(topo: &AnyTopology) -> (Vec<(Time, u64, NodeId)>, FabricStats, Time, u64) {
-        let mut fab = Fabric::new(topo.clone(), cfg());
+    fn run_serial(
+        topo: &AnyTopology,
+        faults: FaultPlan,
+    ) -> (Vec<(Time, u64, NodeId)>, FabricStats, Time, u64) {
+        let mut fab = Fabric::with_faults(topo.clone(), cfg(), faults);
         let mut next_id = 1;
         for p in traffic(topo, &mut next_id) {
             fab.inject(p);
@@ -670,8 +758,9 @@ mod tests {
         topo: &AnyTopology,
         k: u32,
         mode: ExecMode,
+        faults: FaultPlan,
     ) -> (Vec<(Time, u64, NodeId)>, FabricStats, Time, u64) {
-        let mut fab = ShardedFabric::with_mode(topo.clone(), cfg(), k, mode);
+        let mut fab = ShardedFabric::with_faults(topo.clone(), cfg(), k, mode, faults);
         let mut next_id = 1;
         for p in traffic(topo, &mut next_id) {
             fab.inject(p);
@@ -699,14 +788,16 @@ mod tests {
         assert_eq!(ss.acks_sent, ps.acks_sent, "{tag}");
         assert_eq!(ss.acks_received, ps.acks_received, "{tag}");
         assert_eq!(ss.notifications, ps.notifications, "{tag}");
+        assert_eq!(ss.dropped_data, ps.dropped_data, "{tag}");
+        assert_eq!(ss.dropped_ctrl, ps.dropped_ctrl, "{tag}");
     }
 
     #[test]
     fn sharded_sequential_matches_serial() {
         for topo in [AnyTopology::mesh8x8(), AnyTopology::fat_tree_64()] {
-            let serial = run_serial(&topo);
+            let serial = run_serial(&topo, FaultPlan::none());
             for k in [1u32, 2, 4] {
-                let par = run_sharded(&topo, k, ExecMode::Sequential);
+                let par = run_sharded(&topo, k, ExecMode::Sequential, FaultPlan::none());
                 assert_same(
                     (serial.0.clone(), serial.1, serial.2, serial.3),
                     par,
@@ -719,9 +810,62 @@ mod tests {
     #[test]
     fn sharded_threaded_matches_serial() {
         let topo = AnyTopology::mesh8x8();
-        let serial = run_serial(&topo);
-        let par = run_sharded(&topo, 4, ExecMode::Threaded);
+        let serial = run_serial(&topo, FaultPlan::none());
+        let par = run_sharded(&topo, 4, ExecMode::Threaded, FaultPlan::none());
         assert_same(serial, par, "mesh8x8 threaded k=4");
+    }
+
+    /// A plan exercising every fault class mid-traffic: seeded link
+    /// failures (some recover), plus an explicit router death. The
+    /// seeded wires routinely land on the shard cut, which is the
+    /// interesting case for the window driver's live lookahead.
+    fn faulty_plan(topo: &AnyTopology) -> FaultPlan {
+        let mut ev = FaultPlan::seeded(topo, 11, 6, 1_000, 12_000)
+            .events()
+            .to_vec();
+        ev.push(TimedFault {
+            at: 5_000,
+            fault: FaultEvent::RouterDown {
+                router: RouterId(9),
+            },
+        });
+        FaultPlan::new(ev)
+    }
+
+    #[test]
+    fn faulted_sharded_matches_serial() {
+        for topo in [AnyTopology::mesh8x8(), AnyTopology::fat_tree_64()] {
+            let plan = faulty_plan(&topo);
+            let serial = run_serial(&topo, plan.clone());
+            assert!(
+                serial.1.dropped_data > 0,
+                "{}: the fault plan must actually bite",
+                topo.label()
+            );
+            assert_eq!(
+                serial.1.offered_data,
+                serial.1.accepted_data + serial.1.dropped_data,
+                "{}: drop accounting must balance",
+                topo.label()
+            );
+            for k in [1u32, 2, 4] {
+                let par = run_sharded(&topo, k, ExecMode::Sequential, plan.clone());
+                assert_same(
+                    (serial.0.clone(), serial.1, serial.2, serial.3),
+                    par,
+                    &format!("faulted {} k={k}", topo.label()),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn faulted_threaded_matches_serial() {
+        let topo = AnyTopology::mesh8x8();
+        let plan = faulty_plan(&topo);
+        let serial = run_serial(&topo, plan.clone());
+        let par = run_sharded(&topo, 4, ExecMode::Threaded, plan);
+        assert_same(serial, par, "faulted mesh8x8 threaded k=4");
     }
 
     #[test]

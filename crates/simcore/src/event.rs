@@ -647,6 +647,22 @@ mod tests {
     }
 
     #[test]
+    #[cfg(not(debug_assertions))]
+    fn overflowing_delay_saturates_in_release() {
+        // Release builds must clamp an overflowing delay (e.g. a fault
+        // event landing past the wheel horizon) to the end of time —
+        // never wrap it into the past, where it would pop immediately.
+        for kind in KINDS {
+            let mut q = EventQueue::with_kind(kind, 0);
+            q.schedule(100, 0u8);
+            q.pop();
+            q.schedule_in(Time::MAX, 1u8);
+            let e = q.pop().unwrap();
+            assert_eq!((e.time, e.event), (Time::MAX, 1), "{kind:?}");
+        }
+    }
+
+    #[test]
     fn counters_track_push_pop() {
         for kind in KINDS {
             let mut q = EventQueue::with_kind(kind, 0);

@@ -193,8 +193,8 @@ mod tests {
         };
         let alts = p.alternatives(NodeId(0), NodeId(7), 3);
         if let PathDescriptor::Msp { in1, in2 } = alts[1] {
-            assert_eq!(m.ring(NodeId(0), 1).contains(&in1), true);
-            assert_eq!(m.ring(NodeId(7), 1).contains(&in2), true);
+            assert!(m.ring(NodeId(0), 1).contains(&in1));
+            assert!(m.ring(NodeId(7), 1).contains(&in2));
         } else {
             panic!("expected an MSP at index 1, got {:?}", alts[1]);
         }

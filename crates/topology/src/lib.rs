@@ -17,6 +17,7 @@
 
 pub mod altpath;
 pub mod fattree;
+pub mod faults;
 pub mod ids;
 pub mod mesh;
 pub mod partition;
@@ -25,6 +26,10 @@ pub mod table;
 
 pub use altpath::AltPathProvider;
 pub use fattree::KAryNTree;
+pub use faults::{
+    live_distance, minimal_route_exists, route_survives, FaultEvent, FaultPlan, FaultState,
+    TimedFault,
+};
 pub use ids::{Endpoint, NodeId, Port, RouterId};
 pub use mesh::Mesh2D;
 pub use partition::ShardPlan;

@@ -130,6 +130,21 @@ impl ShardPlan {
         out
     }
 
+    /// The cross-shard links that are currently *live* under `faults`.
+    /// The sharded driver's lookahead must be recomputed over this set
+    /// on every fault event: a dead cut link carries no events, so it
+    /// cannot bound the window — and a recovered one must bound it
+    /// again.
+    pub fn live_cross_links(
+        &self,
+        topo: &AnyTopology,
+        faults: &crate::faults::FaultState,
+    ) -> Vec<(RouterId, Port, RouterId)> {
+        let mut links = self.cross_links(topo);
+        links.retain(|&(r, p, _)| !faults.link_dead(r, p));
+        links
+    }
+
     /// Routers per shard (balance diagnostics).
     pub fn shard_sizes(&self) -> Vec<usize> {
         let mut sizes = vec![0usize; self.shards as usize];
@@ -143,6 +158,7 @@ impl ShardPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::{FaultEvent, FaultState};
     use crate::{KAryNTree, Mesh2D};
 
     #[test]
@@ -224,6 +240,71 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn live_cross_links_exclude_failed_cut_wires() {
+        let topo = AnyTopology::mesh8x8();
+        let plan = ShardPlan::new(&topo, 2);
+        let all = plan.cross_links(&topo);
+        let mut faults = FaultState::new(&topo);
+        assert_eq!(plan.live_cross_links(&topo, &faults), all);
+        // Kill one cut wire: both directions leave the live set.
+        let (r, p, nr) = all[0];
+        faults.apply(&topo, &FaultEvent::LinkDown { router: r, port: p });
+        let live = plan.live_cross_links(&topo, &faults);
+        assert_eq!(live.len(), all.len() - 2, "both directions excluded");
+        assert!(live.iter().all(|&(a, _, b)| !(a == r && b == nr)));
+        assert!(live.iter().all(|&(a, _, b)| !(a == nr && b == r)));
+        // Recovery restores the full cut.
+        faults.apply(&topo, &FaultEvent::LinkUp { router: r, port: p });
+        assert_eq!(plan.live_cross_links(&topo, &faults), all);
+    }
+
+    #[test]
+    fn router_down_on_the_boundary_shrinks_the_live_cut() {
+        let topo = AnyTopology::mesh8x8();
+        let m = Mesh2D::new(8, 8);
+        let plan = ShardPlan::new(&topo, 2);
+        // Row 3 / row 4 is the 2-shard boundary; kill a boundary router.
+        let r = m.at(2, 3);
+        assert_ne!(
+            plan.shard_of_router(r),
+            plan.shard_of_router(m.at(2, 4)),
+            "r sits on the cut"
+        );
+        let mut faults = FaultState::new(&topo);
+        faults.apply(&topo, &FaultEvent::RouterDown { router: r });
+        let live = plan.live_cross_links(&topo, &faults);
+        assert_eq!(live.len(), plan.cross_links(&topo).len() - 2);
+        assert!(live.iter().all(|&(a, _, b)| a != r && b != r));
+        // A whole-cut failure leaves no live cross links at all.
+        for x in 0..8 {
+            faults.apply(&topo, &FaultEvent::RouterDown { router: m.at(x, 3) });
+        }
+        assert!(plan.live_cross_links(&topo, &faults).is_empty());
+    }
+
+    #[test]
+    fn interior_faults_leave_the_cut_alone() {
+        let topo = AnyTopology::fat_tree_64();
+        let plan = ShardPlan::new(&topo, 4);
+        let t = KAryNTree::new(4, 3);
+        let mut faults = FaultState::new(&topo);
+        // A leaf-level up link is pod-internal on the pod-per-shard
+        // plan, so the live cut is unchanged.
+        assert_eq!(t.level(RouterId(0)), 0);
+        faults.apply(
+            &topo,
+            &FaultEvent::LinkDown {
+                router: RouterId(0),
+                port: Port(4),
+            },
+        );
+        assert_eq!(
+            plan.live_cross_links(&topo, &faults),
+            plan.cross_links(&topo)
+        );
     }
 
     #[test]

@@ -87,6 +87,41 @@ fn fat_tree_permutation_digest_is_backend_invariant() {
     assert_backend_invariant("fig4_13 stand-in", cfg);
 }
 
+/// Faulted fat-tree scenario: a seeded mid-run fault plan (link-downs,
+/// recoveries and a router-down) under PR-DRB. Fault application is a
+/// pure function of the plan and simulated time, so the dropped-packet
+/// accounting, the degraded-mode rerouting and the solution
+/// invalidations must all land identically under both calendar backends
+/// and at every shard count — and the plan must enter the run key (same
+/// config minus the plan is a different run).
+#[test]
+fn faulted_scenario_digest_is_backend_invariant() {
+    use pr_drb::topology::{FaultEvent, FaultPlan, RouterId, TimedFault};
+    let schedule = BurstSchedule::continuous(TrafficPattern::Shuffle, 400.0);
+    let mut cfg = SimConfig::synthetic(TopologyKind::FatTree443, PolicyKind::PrDrb, schedule, 32);
+    cfg.duration_ns = MILLISECOND / 2;
+    cfg.max_ns = 50 * MILLISECOND;
+    let topo = TopologyKind::FatTree443.build();
+    let mut events = FaultPlan::seeded(&topo, 7, 4, 50_000, 400_000)
+        .events()
+        .to_vec();
+    events.push(TimedFault {
+        at: 150_000,
+        fault: FaultEvent::RouterDown {
+            router: RouterId(20),
+        },
+    });
+    cfg.faults = FaultPlan::new(events);
+    let mut fault_free = cfg.clone();
+    fault_free.faults = FaultPlan::none();
+    assert_ne!(
+        RunKey::of(&cfg),
+        RunKey::of(&fault_free),
+        "the fault plan must participate in the run-cache key"
+    );
+    assert_backend_invariant("faulted stand-in", cfg);
+}
+
 /// Shortened `load_sweep` point: continuous shuffle near saturation for
 /// every policy family member — the deterministic route floods the
 /// calendar with far-apart retries, stressing the wheel's overflow path.

@@ -372,6 +372,7 @@ macro_rules! __proptest_items {
 }
 
 #[cfg(test)]
+#[allow(clippy::overly_complex_bool_expr)]
 mod tests {
     use crate::prelude::*;
 
