@@ -13,6 +13,7 @@
 //! Every target prints the paper's expected qualitative result next to
 //! the measured one and drops CSV/text artifacts under `results/`.
 
+pub mod analysis;
 pub mod figures;
 pub mod perf;
 pub mod report;
@@ -29,14 +30,53 @@ pub fn results_dir() -> PathBuf {
     p
 }
 
-/// Write an artifact file, returning its path.
+/// Write an artifact file atomically, returning its path.
+///
+/// The contents go to a hidden temp file in the same directory first
+/// and are renamed into place, so a crash mid-write can never leave a
+/// half-written artifact behind. This matters most for the append-only
+/// `BENCH_PRDRB.json` trajectory, which is read back and re-emitted on
+/// every `repro bench` invocation — a torn in-place write there would
+/// silently shed history. (The trajectory parser additionally drops an
+/// unterminated tail record, so even pre-atomic torn files heal on the
+/// next append; see [`analysis::split_runs`].)
 pub fn write_artifact(name: &str, contents: &str) -> PathBuf {
     let p = results_dir().join(name);
     if let Some(parent) = p.parent() {
         let _ = std::fs::create_dir_all(parent);
     }
-    std::fs::write(&p, contents).unwrap_or_else(|e| panic!("writing {}: {e}", p.display()));
+    let fname = p.file_name().and_then(|n| n.to_str()).unwrap_or("artifact");
+    let tmp = p.with_file_name(format!(".{fname}.{}.tmp", std::process::id()));
+    std::fs::write(&tmp, contents).unwrap_or_else(|e| panic!("writing {}: {e}", tmp.display()));
+    if let Err(e) = std::fs::rename(&tmp, &p) {
+        let _ = std::fs::remove_file(&tmp);
+        panic!("renaming {} into place: {e}", p.display());
+    }
     p
+}
+
+/// Export the probe-registry snapshot to `results/probes.{csv,json}`
+/// through the shared [`prdrb_metrics::Table`] pipeline. Returns the
+/// two paths, or None when nothing was recorded. With the `probes`
+/// feature off this is a no-op returning None — the registry compiles
+/// but every instrumentation site expands to nothing.
+#[cfg(feature = "probes")]
+pub fn export_probe_artifacts() -> Option<(PathBuf, PathBuf)> {
+    let rows = prdrb_simcore::probe::snapshot();
+    if rows.is_empty() {
+        return None;
+    }
+    let table = prdrb_metrics::probe_table(&rows);
+    Some((
+        write_artifact("probes.csv", &table.to_csv()),
+        write_artifact("probes.json", &table.to_json()),
+    ))
+}
+
+/// Probe export stub: the `probes` feature is off, nothing is recorded.
+#[cfg(not(feature = "probes"))]
+pub fn export_probe_artifacts() -> Option<(PathBuf, PathBuf)> {
+    None
 }
 
 /// The shared run cache every bench target runs through. Controlled by
@@ -217,6 +257,29 @@ mod tests {
         let out = f.finish();
         assert!(out.contains("hello"));
         assert!(out.contains("[ok]"));
+        std::env::remove_var("PRDRB_RESULTS");
+    }
+
+    #[test]
+    fn write_artifact_is_atomic_and_leaves_no_temp() {
+        std::env::set_var(
+            "PRDRB_RESULTS",
+            std::env::temp_dir().join("prdrb-test-atomic"),
+        );
+        let p = write_artifact("atomic_probe.txt", "first");
+        let p2 = write_artifact("atomic_probe.txt", "second");
+        assert_eq!(p, p2);
+        assert_eq!(std::fs::read_to_string(&p).unwrap(), "second");
+        let dir = p.parent().unwrap();
+        let leftovers: Vec<_> = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files must not survive: {leftovers:?}"
+        );
         std::env::remove_var("PRDRB_RESULTS");
     }
 

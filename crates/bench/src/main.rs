@@ -7,6 +7,7 @@
 //! repro all             # everything (rayon-parallel)
 //! repro all --shards 4  # same outputs, sharded fabric execution
 //! repro bench [--quick] # hot-path perf kernels -> BENCH_PRDRB.json
+//! repro gate            # re-judge the latest bench run vs its history
 //! ```
 //!
 //! `--shards N` runs every figure simulation through the conservative-
@@ -42,12 +43,26 @@ fn main() {
         for t in &targets {
             println!("  {:<22} {}", t.id, t.title);
         }
-        println!("\nusage: repro [--shards N] <id>... | all | bench [--quick]");
+        println!("\nusage: repro [--shards N] <id>... | all | bench [--quick] | gate");
         return;
     }
     if args[0] == "bench" {
         let quick = args.iter().any(|a| a == "--quick");
         std::process::exit(prdrb_bench::perf::run_bench(quick));
+    }
+    if args[0] == "gate" {
+        // Re-run the regression gate over the recorded trajectory
+        // without re-timing anything (exit 1 = regression, 2 = no
+        // trajectory to judge).
+        let path = prdrb_bench::results_dir().join("BENCH_PRDRB.json");
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("gate: cannot read {}: {e}", path.display());
+            std::process::exit(2);
+        });
+        let gate = prdrb_bench::analysis::gate_trajectory(&text);
+        prdrb_bench::write_artifact("BENCH_GATE.txt", &gate.render());
+        print!("{}", gate.render());
+        std::process::exit(if gate.failed() { 1 } else { 0 });
     }
     let selected: Vec<&Target> = if args.iter().any(|a| a == "all") {
         targets.iter().collect()
@@ -96,6 +111,9 @@ fn main() {
         "{}",
         prdrb_bench::report::timing_block("per-target wall-clock", &rows)
     );
+    if let Some((csv, json)) = prdrb_bench::export_probe_artifacts() {
+        println!("probe artifacts: {} {}", csv.display(), json.display());
+    }
     let cache_line = prdrb_bench::report::cache_line();
     println!(
         "\n{} target(s) in {:.1} s; {} with all checks holding, {} with deviations; \

@@ -24,13 +24,16 @@
 //!   (≈1×), not a speedup.
 //!
 //! `--quick` shrinks every kernel for CI smoke use. The exit code is
-//! nonzero when a kernel panics or the smoke thresholds regress.
+//! nonzero when a kernel panics, the smoke thresholds regress, or the
+//! trajectory gate ([`crate::analysis`]) finds the run more than 15 %
+//! below its own recent median.
 //!
 //! `results/BENCH_PRDRB.json` is an append-only trajectory: each
-//! invocation appends one run record to the `runs` array instead of
-//! overwriting the file, so the artifact carries the perf history of
-//! the machine it was grown on.
+//! invocation appends one run record (tagged with a sanitized host
+//! name) to the `runs` array instead of overwriting the file, so the
+//! artifact carries the perf history of the machine it was grown on.
 
+use crate::analysis::{gate_trajectory, split_runs, trajectory_json};
 use crate::report;
 use prdrb_apps::pop;
 use prdrb_core::PolicyKind;
@@ -303,6 +306,7 @@ fn fabric_parallel(quick: bool) -> Vec<Kernel> {
 fn to_json(kernels: &[Kernel], churn_speedup: f64, shard_speedup: f64, quick: bool) -> String {
     let mut out = String::from("    {\n");
     out.push_str(&format!("      \"quick\": {quick},\n"));
+    out.push_str(&format!("      \"host\": \"{}\",\n", bench_host()));
     out.push_str(&format!(
         "      \"churn_speedup_wheel_over_heap\": {churn_speedup:.3},\n"
     ));
@@ -325,61 +329,31 @@ fn to_json(kernels: &[Kernel], churn_speedup: f64, shard_speedup: f64, quick: bo
     out
 }
 
-/// Pull the run records out of an existing `BENCH_PRDRB.json` so a new
-/// record can be appended. Understands both the v2 trajectory layout
-/// (objects inside `"runs": [...]`, extracted by brace depth — safe
-/// because no string field ever contains a brace) and the legacy v1
-/// layout (one bare object per file), which is carried over verbatim as
-/// the trajectory's first entry.
-fn prior_runs(text: &str) -> Vec<String> {
-    if let Some(key) = text.find("\"runs\"") {
-        let Some(open) = text[key..].find('[') else {
-            return Vec::new();
-        };
-        let body = &text[key + open..];
-        let mut runs = Vec::new();
-        let mut depth = 0i32;
-        let mut start = None;
-        for (i, c) in body.char_indices() {
-            match c {
-                '{' => {
-                    if depth == 0 {
-                        start = Some(i);
-                    }
-                    depth += 1;
-                }
-                '}' => {
-                    depth -= 1;
-                    if depth == 0 {
-                        if let Some(s) = start.take() {
-                            runs.push(body[s..=i].to_string());
-                        }
-                    }
-                }
-                ']' if depth == 0 => break,
-                _ => {}
+/// Host tag for the trajectory record, so the regression gate never
+/// compares numbers taken on different machines. `PRDRB_BENCH_HOST`
+/// overrides (CI sets a stable tag), else `HOSTNAME`, else "unknown".
+/// Sanitized to `[A-Za-z0-9._-]` — the trajectory's brace-depth record
+/// splitter relies on no string field ever containing a brace, and the
+/// JSON writer on no embedded quote.
+fn bench_host() -> String {
+    let raw = std::env::var("PRDRB_BENCH_HOST")
+        .or_else(|_| std::env::var("HOSTNAME"))
+        .unwrap_or_else(|_| "unknown".into());
+    let cleaned: String = raw
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') {
+                c
+            } else {
+                '-'
             }
-        }
-        runs
-    } else if text.trim_start().starts_with('{') {
-        vec![text.trim().to_string()]
+        })
+        .collect();
+    if cleaned.is_empty() {
+        "unknown".into()
     } else {
-        Vec::new()
+        cleaned
     }
-}
-
-/// Compose the full trajectory document from prior run records plus the
-/// newly rendered one.
-fn trajectory_json(prior: &[String], new_run: &str) -> String {
-    let mut out = String::from("{\n  \"schema\": \"prdrb-bench-v2\",\n  \"runs\": [\n");
-    for r in prior {
-        out.push_str("    ");
-        out.push_str(r.trim());
-        out.push_str(",\n");
-    }
-    out.push_str(new_run);
-    out.push_str("\n  ]\n}\n");
-    out
 }
 
 /// Append one resilience record to the `results/BENCH_PRDRB.json`
@@ -393,6 +367,7 @@ pub fn append_resilience_record(
     recs: &[(f64, f64, u64, u64)],
 ) {
     let mut run = String::from("    {\n      \"kind\": \"resilience\",\n");
+    run.push_str(&format!("      \"host\": \"{}\",\n", bench_host()));
     run.push_str(&format!(
         "      \"fault_at_ms\": {:.3},\n      \"policies\": [\n",
         fault_ns as f64 / 1e6
@@ -413,7 +388,7 @@ pub fn append_resilience_record(
     run.push_str("      ]\n    }");
     let bench_path = crate::results_dir().join("BENCH_PRDRB.json");
     let prior = std::fs::read_to_string(&bench_path)
-        .map(|t| prior_runs(&t))
+        .map(|t| split_runs(&t))
         .unwrap_or_default();
     crate::write_artifact("BENCH_PRDRB.json", &trajectory_json(&prior, &run));
 }
@@ -467,13 +442,31 @@ pub fn run_bench(quick: bool) -> i32 {
     );
     let bench_path = crate::results_dir().join("BENCH_PRDRB.json");
     let prior = std::fs::read_to_string(&bench_path)
-        .map(|t| prior_runs(&t))
+        .map(|t| split_runs(&t))
         .unwrap_or_default();
     let run = to_json(&kernels, speedup, shard_speedup, quick);
-    let path = crate::write_artifact("BENCH_PRDRB.json", &trajectory_json(&prior, &run));
+    let doc = trajectory_json(&prior, &run);
+    let path = crate::write_artifact("BENCH_PRDRB.json", &doc);
     println!("{}", report::cache_line());
     println!("bench artifact: {}", path.display());
+    // Gate the run just appended against its trailing history; the
+    // verdict is an artifact too, so CI can surface it without rerun.
+    let gate = gate_trajectory(&doc);
+    let gate_path = crate::write_artifact("BENCH_GATE.txt", &gate.render());
+    print!("{}", gate.render());
+    println!("gate artifact: {}", gate_path.display());
+    if let Some((csv, json)) = crate::export_probe_artifacts() {
+        println!("probe artifacts: {} {}", csv.display(), json.display());
+    }
     let mut code = 0;
+    if gate.failed() {
+        eprintln!(
+            "FAIL: {} kernel(s) regressed more than {}% vs the trailing median",
+            gate.regressions(),
+            crate::analysis::GATE_THRESHOLD_PCT
+        );
+        code = 1;
+    }
     if kernels[1].per_sec() < CHURN_FLOOR_PER_SEC {
         eprintln!(
             "FAIL: wheel churn {:.0} events/s below the {:.0} smoke floor",
@@ -533,8 +526,8 @@ mod tests {
             wall_s: 0.5,
         }];
         let first = trajectory_json(&[], &to_json(&kernels, 2.0, 1.0, true));
-        let second = trajectory_json(&prior_runs(&first), &to_json(&kernels, 2.1, 1.1, true));
-        let runs = prior_runs(&second);
+        let second = trajectory_json(&split_runs(&first), &to_json(&kernels, 2.1, 1.1, true));
+        let runs = split_runs(&second);
         assert_eq!(runs.len(), 2, "both invocations survive:\n{second}");
         assert!(runs[0].contains("\"churn_speedup_wheel_over_heap\": 2.000"));
         assert!(runs[1].contains("\"churn_speedup_wheel_over_heap\": 2.100"));
@@ -544,11 +537,11 @@ mod tests {
     fn legacy_v1_artifact_becomes_first_trajectory_entry() {
         let v1 = "{\n  \"schema\": \"prdrb-bench-v1\",\n  \"quick\": true,\n  \
                   \"kernels\": [\n    {\"kernel\": \"x\"}\n  ]\n}\n";
-        let prior = prior_runs(v1);
+        let prior = split_runs(v1);
         assert_eq!(prior.len(), 1);
         let doc = trajectory_json(&prior, &to_json(&[], 2.0, 1.0, true));
         assert!(doc.contains("prdrb-bench-v1"), "legacy record kept:\n{doc}");
-        assert_eq!(prior_runs(&doc).len(), 2);
+        assert_eq!(split_runs(&doc).len(), 2);
     }
 
     #[test]

@@ -128,6 +128,7 @@ impl SolutionDb {
 
     /// Count an application of solution `i` and return it.
     pub fn apply(&mut self, i: usize) -> &Solution {
+        prdrb_simcore::probe_count!(SolutionHit, 0);
         let e = &mut self.entries[i];
         if e.hits == 0 {
             self.patterns_reused += 1;
@@ -179,6 +180,7 @@ impl SolutionDb {
             }
         }
         self.patterns_found += 1;
+        prdrb_simcore::probe_count!(SolutionStore, 0);
         self.entries.push(Solution {
             dst,
             pattern,
@@ -207,6 +209,8 @@ impl SolutionDb {
             touched += 1;
             e.paths.len() >= 2
         });
+        // count = invalidation sweeps, sum = entries repaired/dropped.
+        prdrb_simcore::probe_value!(SolutionEvict, 0, touched);
         touched
     }
 

@@ -40,7 +40,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// v3: fault injection — reports carry a dropped-packet counter and a
 /// `solutions_invalidated` policy stat, and the fault plan joined the
 /// key encoding.
-const CACHE_FORMAT: u32 = 3;
+///
+/// v4: GPA source notification became globally deduplicated
+/// (first-occurrence order) instead of adjacent-only, so a source
+/// contending on interleaved flows no longer receives duplicate
+/// same-id predictive-ACK volleys — router-based runs schedule fewer
+/// control packets.
+const CACHE_FORMAT: u32 = 4;
 
 /// First line of every cache file.
 const MAGIC: &str = "prdrb-run-cache,v1";
@@ -648,8 +654,14 @@ impl RunCache {
             .ok()
             .and_then(|text| report_from_csv(&text));
         match &loaded {
-            Some(_) => HITS.fetch_add(1, Ordering::Relaxed),
-            None => MISSES.fetch_add(1, Ordering::Relaxed),
+            Some(_) => {
+                prdrb_simcore::probe_count!(CacheHit, 0);
+                HITS.fetch_add(1, Ordering::Relaxed)
+            }
+            None => {
+                prdrb_simcore::probe_count!(CacheMiss, 0);
+                MISSES.fetch_add(1, Ordering::Relaxed)
+            }
         };
         loaded
     }
@@ -805,8 +817,13 @@ mod tests {
         assert_eq!(back.quantiles.total(), report.quantiles.total());
     }
 
+    /// Serializes tests that touch the process-global hit/miss counters
+    /// so their exact-count assertions cannot interleave.
+    static STATS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn cache_hit_replays_exact_report() {
+        let _stats = STATS_LOCK.lock().unwrap();
         let dir = std::env::temp_dir().join(format!("prdrb-cache-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let cache = RunCache::new(&dir);
@@ -829,5 +846,67 @@ mod tests {
         let csv = report_to_csv(RunKey::of(&cfg()), &report);
         let truncated = &csv[..csv.len() / 2];
         assert!(report_from_csv(truncated).is_none());
+    }
+
+    /// Version skew: an entry stamped by a hypothetical future writer
+    /// (different magic version) must be a clean miss — never a panic,
+    /// never a misparse — both through the raw parser and through a
+    /// `RunCache` whose on-disk file is forged in place.
+    #[test]
+    fn version_skewed_entry_is_a_clean_miss() {
+        let _stats = STATS_LOCK.lock().unwrap();
+        let report = crate::run(cfg());
+        let key = RunKey::of(&cfg());
+        let csv = report_to_csv(key, &report);
+        let forged = csv.replacen("prdrb-run-cache,v1", "prdrb-run-cache,v2", 1);
+        assert_ne!(forged, csv, "magic line must be present to forge");
+        assert!(
+            report_from_csv(&forged).is_none(),
+            "future-format entry must parse to a miss"
+        );
+        let dir = std::env::temp_dir().join(format!("prdrb-skew-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = RunCache::new(&dir);
+        cache.store(key, &report);
+        let path = cache.path(key);
+        let on_disk = std::fs::read_to_string(&path).expect("stored entry readable");
+        std::fs::write(
+            &path,
+            on_disk.replacen("prdrb-run-cache,v1", "prdrb-run-cache,v2", 1),
+        )
+        .expect("forge version in place");
+        reset_cache_stats();
+        assert!(cache.load(key).is_none(), "skewed entry must miss");
+        assert_eq!(cache_stats(), (0, 1), "counted as a miss, not a hit");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A future writer could also emit quantile counts this writer never
+    /// produces — indices in the histogram's log < SUB_BITS dead zone.
+    /// The reader accepts any structurally valid layout, so the sketch
+    /// must answer queries on it instead of panicking (pre-fix, the
+    /// sub-bucket shift in `bucket_low` underflowed on these indices).
+    #[test]
+    fn forged_dead_zone_quantile_counts_are_answerable() {
+        let report = crate::run(cfg());
+        let key = RunKey::of(&cfg());
+        let csv = report_to_csv(key, &report);
+        let forged: String = csv
+            .lines()
+            .map(|l| {
+                if l.starts_with("quantiles,") {
+                    // total=5, max=18, all five counts at index 20
+                    // (log=1, sub=4 — unreachable from push()).
+                    "quantiles,5,18,20:5".to_string()
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let back = report_from_csv(&forged).expect("structurally valid entry parses");
+        assert_eq!(back.quantiles.total(), 5);
+        // bucket_low(20) = (1 << 1) | (4 >> (SUB_BITS - 1)) = 2.
+        assert_eq!(back.quantiles.quantile_ns(0.5), 2);
     }
 }

@@ -1,0 +1,266 @@
+//! One structured tabular export pipeline (DESIGN §11).
+//!
+//! Every tabular artifact the harness writes — the fig4_2x per-router
+//! contention CSVs (via [`crate::series_csv`], rebuilt on this module)
+//! and the probe-registry snapshots (`results/probes.{csv,json}`) —
+//! renders through one [`Table`] type with one CSV writer and one JSON
+//! writer, instead of each call site hand-formatting its own rows. The
+//! JSON writer is hand-rolled like the rest of the workspace (no serde,
+//! DESIGN §7): values are restricted to text, integers and finite
+//! floats, which is everything a deterministic simulation exports.
+
+use prdrb_simcore::probe::ProbeRow;
+
+/// One table cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    /// Free-form text (written raw in CSV, quoted/escaped in JSON).
+    Text(String),
+    /// An exact integer.
+    Int(u64),
+    /// A float rendered at a fixed decimal precision.
+    Num(f64, usize),
+    /// No value (empty CSV field, JSON `null`).
+    Missing,
+}
+
+impl Cell {
+    fn csv(&self, out: &mut String) {
+        match self {
+            Cell::Text(s) => out.push_str(s),
+            Cell::Int(v) => out.push_str(&v.to_string()),
+            Cell::Num(v, prec) => out.push_str(&format!("{v:.prec$}")),
+            Cell::Missing => {}
+        }
+    }
+
+    fn json(&self, out: &mut String) {
+        match self {
+            Cell::Text(s) => json_string(s, out),
+            Cell::Int(v) => out.push_str(&v.to_string()),
+            // A fixed-precision finite float is already a JSON number.
+            Cell::Num(v, prec) => out.push_str(&format!("{v:.prec$}")),
+            Cell::Missing => out.push_str("null"),
+        }
+    }
+}
+
+fn json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A schema-tagged table of typed cells with CSV and JSON renderings.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<Cell>>,
+}
+
+impl Table {
+    /// An empty table. `schema` names the layout in the JSON rendering
+    /// (CSV carries only the header row).
+    pub fn new(schema: impl Into<String>, columns: Vec<String>) -> Self {
+        Self {
+            schema: schema.into(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row; its arity must match the header.
+    pub fn push_row(&mut self, cells: Vec<Cell>) {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row arity must match the {} header columns",
+            self.columns.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Rows appended so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows were appended.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// CSV rendering: header line, then one line per row, `,`-joined.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.columns.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                cell.csv(&mut out);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// JSON rendering: `{"schema": ..., "columns": [...], "rows":
+    /// [[...], ...]}` — rows are arrays in column order, so the document
+    /// stays compact and diff-friendly.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": ");
+        json_string(&self.schema, &mut out);
+        out.push_str(",\n  \"columns\": [");
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            json_string(c, &mut out);
+        }
+        out.push_str("],\n  \"rows\": [\n");
+        for (ri, row) in self.rows.iter().enumerate() {
+            out.push_str("    [");
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                cell.json(&mut out);
+            }
+            out.push(']');
+            if ri + 1 < self.rows.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// The probe-registry snapshot as a table (schema `prdrb-probes-v1`):
+/// one row per `(kind, entity)` stream with its count/sum/mean/max
+/// aggregate. Row order is the registry's deterministic `(kind,
+/// entity)` order, so two identical runs export identical bytes.
+pub fn probe_table(rows: &[ProbeRow]) -> Table {
+    let columns = ["kind", "entity", "count", "sum", "mean", "max"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut table = Table::new("prdrb-probes-v1", columns);
+    for r in rows {
+        table.push_row(vec![
+            Cell::Text(r.kind.name().to_string()),
+            Cell::Int(r.entity),
+            Cell::Int(r.count),
+            Cell::Num(r.sum, 3),
+            Cell::Num(r.mean(), 3),
+            Cell::Num(r.max, 3),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prdrb_simcore::probe::ProbeKind;
+
+    fn sample() -> Table {
+        let mut t = Table::new(
+            "test-v1",
+            vec!["name".into(), "n".into(), "v".into(), "opt".into()],
+        );
+        t.push_row(vec![
+            Cell::Text("a".into()),
+            Cell::Int(3),
+            Cell::Num(1.5, 4),
+            Cell::Missing,
+        ]);
+        t.push_row(vec![
+            Cell::Text("b\"x\\".into()),
+            Cell::Int(u64::MAX),
+            Cell::Num(-0.25, 2),
+            Cell::Int(7),
+        ]);
+        t
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "name,n,v,opt");
+        assert_eq!(lines[1], "a,3,1.5000,");
+        assert_eq!(lines[2], "b\"x\\,18446744073709551615,-0.25,7");
+        assert!(csv.ends_with('\n'));
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_nulls() {
+        let json = sample().to_json();
+        assert!(json.contains("\"schema\": \"test-v1\""));
+        assert!(json.contains("[\"a\", 3, 1.5000, null]"));
+        assert!(
+            json.contains("\\\"x\\\\"),
+            "quote/backslash escaped: {json}"
+        );
+        // Brackets and braces balance (cheap well-formedness check —
+        // the workspace carries no JSON parser).
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            let o = json.matches(open).count();
+            let c = json.matches(close).count();
+            assert_eq!(o, c, "unbalanced {open}{close} in:\n{json}");
+        }
+        assert!(!json.contains(",\n  ]"), "no trailing comma:\n{json}");
+    }
+
+    #[test]
+    fn empty_table_renders() {
+        let t = Table::new("empty-v1", vec!["x".into()]);
+        assert!(t.is_empty());
+        assert_eq!(t.to_csv(), "x\n");
+        assert!(t.to_json().contains("\"rows\": [\n  ]"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("x", vec!["a".into(), "b".into()]);
+        t.push_row(vec![Cell::Int(1)]);
+    }
+
+    #[test]
+    fn probe_table_shape() {
+        let rows = vec![ProbeRow {
+            kind: ProbeKind::QueueWait,
+            entity: 3,
+            count: 2,
+            sum: 6.0,
+            max: 4.0,
+        }];
+        let t = probe_table(&rows);
+        assert_eq!(t.len(), 1);
+        let csv = t.to_csv();
+        assert_eq!(
+            csv,
+            "kind,entity,count,sum,mean,max\nqueue_wait_ns,3,2,6.000,3.000,4.000\n"
+        );
+        assert!(t
+            .to_json()
+            .contains("\"queue_wait_ns\", 3, 2, 6.000, 3.000, 4.000"));
+    }
+}

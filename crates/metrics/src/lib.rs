@@ -7,11 +7,13 @@
 //! (Figs 4.12–4.18) and tabular/CSV reports.
 
 pub mod aggregate;
+pub mod export;
 pub mod latmap;
 pub mod quantiles;
 pub mod series;
 
 pub use aggregate::{Accum, ReportAggregate};
+pub use export::{probe_table, Cell, Table};
 pub use latmap::LatencyMap;
 pub use quantiles::LatencyQuantiles;
-pub use series::{render_series, series_csv, SeriesSummary};
+pub use series::{render_series, series_csv, series_table, SeriesSummary};

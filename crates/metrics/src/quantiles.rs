@@ -50,6 +50,15 @@ impl LatencyQuantiles {
         if log == 0 {
             return sub as Time;
         }
+        if (log as u32) < SUB_BITS {
+            // Dead-zone indices (log 1..SUB_BITS): push() never emits
+            // them — tiny values take the exact log-0 path and v ≥ SUB
+            // has log ≥ SUB_BITS — but from_parts() accepts any layout
+            // (cache replay of an entry a future writer produced). The
+            // unguarded shift below would underflow here; invert the
+            // sub-bucket scaling with the opposite shift instead.
+            return (1u64 << log) | ((sub as u64) >> (SUB_BITS - log as u32));
+        }
         (1u64 << log) | ((sub as u64) << (log as u32 - SUB_BITS))
     }
 
@@ -190,6 +199,71 @@ mod tests {
         assert_eq!(a.total(), all.total());
         assert_eq!(a.quantile_ns(0.5), all.quantile_ns(0.5));
         assert_eq!(a.quantile_ns(0.99), all.quantile_ns(0.99));
+    }
+
+    #[test]
+    fn boundary_values_roundtrip_exactly() {
+        // The values that sit on the bucket-math seams: zero, one, the
+        // exact-path/log-path boundary `1 << SUB_BITS`, and u64::MAX
+        // (log 63 — the widest possible shift). Bucket floors are exact
+        // for all of these but u64::MAX, which lands mid-bucket and
+        // must honor the sketch's ≤ 1/16 relative-error bound.
+        for v in [0u64, 1, (1 << SUB_BITS) - 1, 1 << SUB_BITS] {
+            let mut q = LatencyQuantiles::new();
+            q.push(v);
+            assert_eq!(q.total(), 1);
+            assert_eq!(q.max_ns(), v);
+            assert_eq!(q.quantile_ns(0.0), v, "v={v}");
+            assert_eq!(q.quantile_ns(0.5), v, "v={v}");
+            assert_eq!(q.quantile_ns(1.0), v, "v={v}");
+        }
+        let mut q = LatencyQuantiles::new();
+        q.push(u64::MAX);
+        assert_eq!(q.max_ns(), u64::MAX);
+        let got = q.quantile_ns(1.0);
+        assert!(
+            got >= u64::MAX - (u64::MAX >> SUB_BITS),
+            "u64::MAX quantile {got} outside the 1/16 error bound"
+        );
+    }
+
+    #[test]
+    fn every_bucket_index_has_a_floor() {
+        // bucket_low must be total over the whole 64×16 layout —
+        // including the log < SUB_BITS dead zone that push() never
+        // fills but from_parts() (cache replay) can. Pre-fix, indices
+        // 16..64 underflowed the sub-bucket shift and panicked in
+        // debug builds.
+        for idx in 0..64 * SUB {
+            let mut counts = vec![0u64; 64 * SUB];
+            counts[idx] = 1;
+            let q = LatencyQuantiles::from_parts(counts, 1, u64::MAX);
+            let floor = q.quantile_ns(1.0);
+            let log = idx / SUB;
+            if log > 0 {
+                assert!(
+                    floor >= 1 << log,
+                    "idx {idx}: floor {floor} below its power-of-two base"
+                );
+                if log < 63 {
+                    assert!(
+                        floor < 1u64 << (log + 1),
+                        "idx {idx}: floor {floor} past its bucket ceiling"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forged_dead_zone_counts_answer_queries() {
+        // Index 20 = log 1, sub 4: floor (1<<1) | (4 >> 3) = 2.
+        let mut counts = vec![0u64; 64 * SUB];
+        counts[20] = 5;
+        let q = LatencyQuantiles::from_parts(counts, 5, 18);
+        assert_eq!(q.quantile_ns(0.5), 2);
+        assert_eq!(q.quantile_ns(1.0), 2);
+        assert_eq!(q.max_ns(), 18);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Latency-vs-time curves (Figs 4.12–4.18, 4.22/4.23, 4.28).
 
+use crate::export::{Cell, Table};
 use prdrb_simcore::stats::TimeSeries;
 use prdrb_simcore::time::{Time, MICROSECOND};
 
@@ -100,13 +101,22 @@ pub fn render_series(series: &[(&str, &TimeSeries)], height: usize) -> String {
 }
 
 /// CSV: `time_us,<label1>,<label2>,...` over the union of buckets.
+///
+/// Built as a [`crate::export::Table`] (schema `prdrb-series-v1`) and
+/// rendered through the shared pipeline — the output bytes are
+/// unchanged from the hand-formatted writer this replaced, so the
+/// committed fig4_2x artifacts stay byte-identical.
 pub fn series_csv(series: &[(&str, &TimeSeries)]) -> String {
-    let mut out = String::from("time_us");
-    for (label, _) in series {
-        out.push(',');
-        out.push_str(label);
-    }
-    out.push('\n');
+    series_table(series).to_csv()
+}
+
+/// The latency-vs-time curves as a structured table (one `time_us`
+/// column plus one column per labelled series; empty buckets are
+/// [`Cell::Missing`]).
+pub fn series_table(series: &[(&str, &TimeSeries)]) -> Table {
+    let mut columns = vec!["time_us".to_string()];
+    columns.extend(series.iter().map(|(label, _)| label.to_string()));
+    let mut table = Table::new("prdrb-series-v1", columns);
     let max_len = series.iter().map(|(_, s)| s.len()).max().unwrap_or(0);
     let bucket = series
         .first()
@@ -114,17 +124,18 @@ pub fn series_csv(series: &[(&str, &TimeSeries)]) -> String {
         .unwrap_or(MICROSECOND);
     for i in 0..max_len {
         let t = i as Time * bucket;
-        out.push_str(&format!("{:.1}", t as f64 / 1e3));
+        let mut row = Vec::with_capacity(series.len() + 1);
+        row.push(Cell::Num(t as f64 / 1e3, 1));
         for (_, s) in series {
             let v = s.points().find(|(pt, _, _)| *pt == t).map(|(_, v, _)| v);
-            match v {
-                Some(v) => out.push_str(&format!(",{v:.4}")),
-                None => out.push(','),
-            }
+            row.push(match v {
+                Some(v) => Cell::Num(v, 4),
+                None => Cell::Missing,
+            });
         }
-        out.push('\n');
+        table.push_row(row);
     }
-    out
+    table
 }
 
 #[cfg(test)]
@@ -174,6 +185,21 @@ mod tests {
         let a = series(&[]);
         assert_eq!(render_series(&[("x", &a)], 5), "(no samples)\n");
         assert_eq!(render_series(&[], 5), "(no samples)\n");
+    }
+
+    #[test]
+    fn table_pipeline_preserves_legacy_csv_bytes() {
+        // Pins the exact bytes the pre-Table hand-formatted writer
+        // produced — the committed fig4_2x contention artifacts were
+        // written in this format and must keep diffing clean.
+        let a = series(&[(0, 1.0), (2500, 4.0)]);
+        let b = series(&[(1200, 2.0)]);
+        let csv = series_csv(&[("a", &a), ("b", &b)]);
+        assert_eq!(csv, "time_us,a,b\n0.0,1.0000,\n1.0,,2.0000\n2.0,4.0000,\n");
+        assert_eq!(series_csv(&[]), "time_us\n");
+        let t = series_table(&[("a", &a)]);
+        assert_eq!(t.len(), 3);
+        assert!(t.to_json().contains("\"prdrb-series-v1\""));
     }
 
     #[test]

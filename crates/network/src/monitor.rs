@@ -9,6 +9,7 @@
 //! bytes belonging to each flow.
 
 use crate::packet::{FlowPair, Packet};
+use prdrb_topology::NodeId;
 use std::collections::VecDeque;
 
 /// One identified contending flow with its occupancy share.
@@ -63,11 +64,28 @@ pub fn contending_flows(
         .collect()
 }
 
+/// The GPA notification targets for a contending-flow set: each distinct
+/// source once, in first-occurrence order of `pairs` (which arrives
+/// strongest-share-first from [`contending_flows`]). A plain
+/// `Vec::dedup` is wrong here — it only removes *adjacent* repeats, and
+/// a source contending on two flows that interleave with another
+/// source's ([A, B, A]) would be notified twice under the same GPA id.
+/// `out` is reused scratch; the pair count is capped by the monitor's
+/// `max_flows` (≤ 8 in practice), so the quadratic scan beats hashing.
+pub fn dedup_sources(pairs: &[FlowPair], out: &mut Vec<NodeId>) {
+    out.clear();
+    for f in pairs {
+        if !out.contains(&f.0) {
+            out.push(f.0);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use prdrb_simcore::time::Time;
-    use prdrb_topology::{NodeId, PathDescriptor, RouteState};
+    use prdrb_topology::{PathDescriptor, RouteState};
 
     fn pkt(src: u32, dst: u32, size: u32) -> Box<Packet> {
         Box::new(Packet::data(
@@ -149,5 +167,50 @@ mod tests {
         q.push_back(pkt(1, 2, 100));
         let c = contending_flows(&q, None, 0.0, 8);
         assert_eq!(c[0].flow, (NodeId(1), NodeId(2)));
+    }
+
+    #[test]
+    fn equal_shares_order_by_flow_key_regardless_of_queue_order() {
+        // Three flows with identical occupancy shares, queued in
+        // descending key order: the output must come back in ascending
+        // FlowPair order, not queue/insertion order, so probe exports
+        // and GPA notification order are stable across runs.
+        let mut q = VecDeque::new();
+        q.push_back(pkt(7, 9, 100));
+        q.push_back(pkt(3, 4, 100));
+        q.push_back(pkt(1, 2, 100));
+        let c = contending_flows(&q, None, 0.0, 8);
+        let flows: Vec<FlowPair> = c.iter().map(|x| x.flow).collect();
+        assert_eq!(
+            flows,
+            vec![
+                (NodeId(1), NodeId(2)),
+                (NodeId(3), NodeId(4)),
+                (NodeId(7), NodeId(9)),
+            ]
+        );
+        for x in &c {
+            assert!((x.share - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dedup_sources_is_global_and_first_occurrence_ordered() {
+        let a = NodeId(5);
+        let b = NodeId(2);
+        let c = NodeId(9);
+        // Source `a` contends on two flows that interleave with `b` —
+        // the adjacent-only dedup this replaced notified `a` twice.
+        let pairs = vec![
+            (a, NodeId(10)),
+            (b, NodeId(11)),
+            (a, NodeId(12)),
+            (c, NodeId(13)),
+        ];
+        let mut out = vec![NodeId(99)]; // stale scratch must be cleared
+        dedup_sources(&pairs, &mut out);
+        assert_eq!(out, vec![a, b, c]);
+        dedup_sources(&[], &mut out);
+        assert!(out.is_empty());
     }
 }

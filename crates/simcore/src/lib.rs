@@ -15,12 +15,14 @@
 
 pub mod event;
 pub mod hash;
+pub mod probe;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use event::{EventEntry, EventQueue, QueueKind};
 pub use hash::StableHasher;
+pub use probe::{ProbeKind, ProbeRow};
 pub use rng::SimRng;
 pub use stats::{Histogram, RunningMean, TimeSeries, WelfordVariance};
 pub use time::{Time, MICROSECOND, MILLISECOND, NANOSECOND, SECOND};
