@@ -3,8 +3,9 @@
 //! Grouped by chapter: [`ch2`] (application-characterization tables and
 //! matrices), [`hotspot`] (§4.5/§4.6.2 mesh experiments), [`permutation`]
 //! (§4.6.3 fat-tree permutation experiments), [`apps`] (§4.8 application
-//! experiments), [`ablations`] (design-choice studies) and
-//! [`resilience`] (fault-injection recovery).
+//! experiments), [`ablations`] (design-choice studies), [`resilience`]
+//! (fault-injection recovery) and [`workloads`] (application-level
+//! workload extensions: collectives, phase loops, open-loop arrivals).
 
 pub mod ablations;
 pub mod apps;
@@ -12,6 +13,7 @@ pub mod ch2;
 pub mod hotspot;
 pub mod permutation;
 pub mod resilience;
+pub mod workloads;
 
 use crate::{scaled, FigureOutput};
 use prdrb_apps::Trace;
@@ -39,6 +41,7 @@ pub fn registry() -> Vec<Target> {
     v.extend(apps::targets());
     v.extend(ablations::targets());
     v.extend(resilience::targets());
+    v.extend(workloads::targets());
     v
 }
 

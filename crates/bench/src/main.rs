@@ -6,9 +6,15 @@
 //! repro fig4_13 fig4_14 # several
 //! repro all             # everything (rayon-parallel)
 //! repro all --shards 4  # same outputs, sharded fabric execution
+//! repro workloads       # the wl_* application-workload targets
+//! repro workloads --quick # same, shrunk for CI smoke use
 //! repro bench [--quick] # hot-path perf kernels -> BENCH_PRDRB.json
 //! repro gate            # re-judge the latest bench run vs its history
 //! ```
+//!
+//! `workloads` is a group alias expanding to every `wl_*` target;
+//! `--quick` there shrinks the runs by defaulting `PRDRB_SCALE=0.2` and
+//! `PRDRB_SEEDS=2` (explicit environment settings win).
 //!
 //! `--shards N` runs every figure simulation through the conservative-
 //! parallel fabric at N shards; the outputs are bit-identical to serial
@@ -43,8 +49,28 @@ fn main() {
         for t in &targets {
             println!("  {:<22} {}", t.id, t.title);
         }
-        println!("\nusage: repro [--shards N] <id>... | all | bench [--quick] | gate");
+        println!(
+            "\nusage: repro [--shards N] <id>... | all | workloads [--quick] | \
+             bench [--quick] | gate"
+        );
         return;
+    }
+    if args[0] == "workloads" {
+        // Group alias: every wl_* target. --quick shrinks the runs for
+        // CI smoke use without clobbering explicit env overrides.
+        if args.iter().any(|a| a == "--quick") {
+            if std::env::var("PRDRB_SCALE").is_err() {
+                std::env::set_var("PRDRB_SCALE", "0.2");
+            }
+            if std::env::var("PRDRB_SEEDS").is_err() {
+                std::env::set_var("PRDRB_SEEDS", "2");
+            }
+        }
+        args = targets
+            .iter()
+            .filter(|t| t.id.starts_with("wl_"))
+            .map(|t| t.id.to_string())
+            .collect();
     }
     if args[0] == "bench" {
         let quick = args.iter().any(|a| a == "--quick");

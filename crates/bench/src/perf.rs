@@ -14,6 +14,11 @@
 //!   fat-tree (tree route tables, ascending/descending phases).
 //! * `pop_trace` — a full POP application trace under PR-DRB through
 //!   the whole engine stack (policy, ACKs, player).
+//! * `workload_collective` / `workload_phases` / `workload_openloop` —
+//!   one full-stack engine run per application-workload family (ring
+//!   all-to-all on the fat-tree, the mini-app phase loop on the mesh,
+//!   heavy-tailed open-loop arrivals), so the trajectory records the
+//!   end-to-end message rate of each generator path.
 //! * `fabric_parallel_k{1,2,4}` — the same fat-tree hot-spot workload
 //!   driven through the conservative-parallel [`ShardedFabric`] at 1, 2
 //!   and 4 shards. Event and delivery counts are cross-checked across
@@ -39,8 +44,10 @@ use prdrb_apps::pop;
 use prdrb_core::PolicyKind;
 use prdrb_engine::{SimConfig, TopologyKind};
 use prdrb_network::{Fabric, NetworkConfig, Packet, ShardedFabric};
+use prdrb_simcore::time::MILLISECOND;
 use prdrb_simcore::{EventQueue, QueueKind};
 use prdrb_topology::{AnyTopology, NodeId, PathDescriptor, RouteState};
+use prdrb_traffic::{CollectiveKind, CollectiveSpec, OpenLoopSpec, PhaseProgram, ScheduleShape};
 use std::time::Instant;
 
 /// One timed kernel result.
@@ -191,19 +198,67 @@ fn ft_shuffle(quick: bool) -> Kernel {
 /// Full-stack POP trace under PR-DRB (uncached — always a real run).
 fn pop_trace(quick: bool) -> Kernel {
     let (ranks, steps) = if quick { (16, 2) } else { (64, 3) };
-    let cfg = SimConfig::trace(
-        TopologyKind::FatTree443,
-        PolicyKind::PrDrb,
-        pop(ranks, steps),
-    );
+    engine_kernel(
+        "pop_trace",
+        SimConfig::trace(
+            TopologyKind::FatTree443,
+            PolicyKind::PrDrb,
+            pop(ranks, steps),
+        ),
+    )
+}
+
+/// Time one full engine run, counting injected messages (uncached).
+fn engine_kernel(name: &'static str, cfg: SimConfig) -> Kernel {
     let t0 = Instant::now();
     let r = prdrb_engine::run(cfg);
     Kernel {
-        name: "pop_trace",
+        name,
         unit: "messages",
         count: r.messages,
         wall_s: t0.elapsed().as_secs_f64(),
     }
+}
+
+/// Ring all-to-all on the fat-tree: the collective lowering plus the
+/// trace player's mailbox machinery under PR-DRB.
+fn workload_collective(quick: bool) -> Kernel {
+    let (ranks, iters) = if quick { (16, 2) } else { (64, 3) };
+    let spec = CollectiveSpec::new(
+        CollectiveKind::AllToAll,
+        ScheduleShape::Ring,
+        ranks,
+        64 * 1024,
+    );
+    engine_kernel(
+        "workload_collective",
+        SimConfig::collective(TopologyKind::FatTree443, PolicyKind::PrDrb, spec, iters),
+    )
+}
+
+/// The mini-app phase loop on the mesh: phase-boundary wakeups, the
+/// pattern-similarity store and the per-phase probe flushes.
+fn workload_phases(quick: bool) -> Kernel {
+    let iters = if quick { 2 } else { 6 };
+    let program = PhaseProgram::mini_app(iters, 150_000, 500.0);
+    engine_kernel(
+        "workload_phases",
+        SimConfig::phased(TopologyKind::Mesh8x8, PolicyKind::PrDrb, program, 32),
+    )
+}
+
+/// Heavy-tailed open-loop arrivals: per-source sampler substreams plus
+/// solution-store eviction churn under a tight capacity bound.
+fn workload_openloop(quick: bool) -> Kernel {
+    let mut cfg = SimConfig::open_loop(
+        TopologyKind::FatTree443,
+        PolicyKind::PrDrb,
+        OpenLoopSpec::heavy_tail(15_000.0),
+        48,
+    );
+    cfg.duration_ns = if quick { MILLISECOND / 4 } else { MILLISECOND };
+    cfg.drb.max_solutions = 64;
+    engine_kernel("workload_openloop", cfg)
 }
 
 /// Drive the conservative-parallel fabric through the same hot loop as
@@ -412,6 +467,9 @@ pub fn run_bench(quick: bool) -> i32 {
         mesh_hotspot(quick),
         ft_shuffle(quick),
         pop_trace(quick),
+        workload_collective(quick),
+        workload_phases(quick),
+        workload_openloop(quick),
     ];
     kernels.extend(fabric_parallel(quick));
     let speedup = if kernels[0].wall_s > 0.0 {

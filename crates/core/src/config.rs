@@ -39,6 +39,13 @@ pub struct DrbConfig {
     /// Minimum pattern similarity to reuse a saved solution (0.8 per
     /// §3.2.8).
     pub min_similarity: f64,
+    /// Capacity of each per-source solution database. When a new
+    /// pattern arrives at a full store, the entry with the fewest hits
+    /// (oldest on ties) is evicted deterministically — the open-loop
+    /// workload (DESIGN §12) exists to stress exactly this bound. The
+    /// default is far above what any closed-loop evaluation run saves,
+    /// so the paper figures are unaffected.
+    pub max_solutions: usize,
     /// Which similarity measure to use.
     pub similarity: Similarity,
     /// FR-DRB watchdog: expand when no ACK arrived for this long after a
@@ -68,6 +75,7 @@ impl Default for DrbConfig {
             ewma_alpha: 0.5,
             adjust_settle_ns: 120 * MICROSECOND,
             min_similarity: 0.8,
+            max_solutions: 1024,
             similarity: Similarity::Overlap,
             watchdog_ns: None,
             predictive: false,
@@ -123,6 +131,7 @@ impl DrbConfig {
             "zone thresholds inverted"
         );
         assert!(self.max_paths >= 1);
+        assert!(self.max_solutions >= 1, "solution store needs capacity");
         assert!((0.0..=1.0).contains(&self.ewma_alpha));
         assert!((0.0..=1.0).contains(&self.min_similarity));
     }

@@ -95,7 +95,7 @@ impl DrbPolicy {
                 .take(nodes * nodes)
                 .collect(),
             active: Vec::new(),
-            dbs: std::iter::repeat_with(SolutionDb::default)
+            dbs: std::iter::repeat_with(|| SolutionDb::with_capacity(cfg.max_solutions))
                 .take(nodes)
                 .collect(),
             faults,
@@ -252,7 +252,7 @@ impl DrbPolicy {
             // already in the normalized form `find` expects.
             let hit = match flows[i].as_ref() {
                 Some(fs) if !fs.pattern.is_empty() => {
-                    let db = &dbs[src.idx()];
+                    let db = &mut dbs[src.idx()];
                     db.find(&fs.pattern, cfg.min_similarity, cfg.similarity)
                         // Applying a saved solution is an *expansion*
                         // shortcut (Fig 3.15): never let a stale match
@@ -568,6 +568,8 @@ impl RoutingPolicy for DrbPolicy {
             s.patterns_found += db.patterns_found;
             s.patterns_reused += db.patterns_reused;
             s.reuse_applications += db.reuse_applications;
+            s.store_lookups += db.store_lookups;
+            s.store_evictions += db.store_evictions;
         }
         s
     }

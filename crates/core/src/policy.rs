@@ -37,6 +37,24 @@ pub struct PolicyStats {
     /// Saved solutions discarded because a fault killed one of their
     /// paths (degraded-mode re-learning).
     pub solutions_invalidated: u64,
+    /// Solution-store pattern-match scans attempted — the denominator
+    /// of the store hit rate (`reuse_applications / store_lookups`).
+    pub store_lookups: u64,
+    /// Solutions evicted by the store's capacity bound (DESIGN §12's
+    /// open-loop stress; distinct from fault invalidation).
+    pub store_evictions: u64,
+}
+
+impl PolicyStats {
+    /// Fraction of solution-store lookups that applied a saved
+    /// solution (0 when the store was never consulted).
+    pub fn hit_rate(&self) -> f64 {
+        if self.store_lookups == 0 {
+            0.0
+        } else {
+            self.reuse_applications as f64 / self.store_lookups as f64
+        }
+    }
 }
 
 /// A source routing policy.

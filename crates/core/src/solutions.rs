@@ -33,9 +33,12 @@ pub struct Solution {
 }
 
 /// Per-flow database of congestion patterns → best path sets.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SolutionDb {
     entries: Vec<Solution>,
+    /// Capacity bound: saving a new pattern into a full store evicts
+    /// the fewest-hit (oldest on ties) entry first.
+    capacity: usize,
     /// Distinct patterns ever saved (Fig 4.26b "patterns found").
     pub patterns_found: u64,
     /// Patterns that were later matched at least once ("identified or
@@ -45,6 +48,19 @@ pub struct SolutionDb {
     pub reuse_applications: u64,
     /// Updates of an existing pattern with a better solution.
     pub improvements: u64,
+    /// Pattern-match scans attempted ([`SolutionDb::find`] calls) — the
+    /// denominator of the store hit rate, and the driver of the linear
+    /// matching cost the open-loop workload stresses.
+    pub store_lookups: u64,
+    /// Entries evicted to respect [`capacity`](Self::with_capacity).
+    pub store_evictions: u64,
+}
+
+impl Default for SolutionDb {
+    /// Unbounded store (capacity `usize::MAX`).
+    fn default() -> Self {
+        Self::with_capacity(usize::MAX)
+    }
 }
 
 /// Normalize a pattern: sort and deduplicate so similarity is
@@ -88,6 +104,21 @@ impl SolutionDb {
         Self::default()
     }
 
+    /// Empty database holding at most `capacity` solutions.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity >= 1, "solution store needs capacity");
+        Self {
+            entries: Vec::new(),
+            capacity,
+            patterns_found: 0,
+            patterns_reused: 0,
+            reuse_applications: 0,
+            improvements: 0,
+            store_lookups: 0,
+            store_evictions: 0,
+        }
+    }
+
     /// Number of saved solutions.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -103,7 +134,7 @@ impl SolutionDb {
     /// reuse — callers that actually install the solution follow up with
     /// [`SolutionDb::apply`].
     pub fn find(
-        &self,
+        &mut self,
         observed: &[FlowPair],
         min_similarity: f64,
         measure: Similarity,
@@ -111,6 +142,7 @@ impl SolutionDb {
         if observed.is_empty() {
             return None;
         }
+        self.store_lookups += 1;
         let mut best: Option<(usize, f64)> = None;
         for (i, e) in self.entries.iter().enumerate() {
             let s = similarity(&e.pattern, observed, measure);
@@ -181,6 +213,21 @@ impl SolutionDb {
         }
         self.patterns_found += 1;
         prdrb_simcore::probe_count!(SolutionStore, 0);
+        if self.entries.len() >= self.capacity {
+            // Deterministic capacity eviction: the entry that earned
+            // the fewest re-applications goes first; ties break to the
+            // oldest (lowest index), so replay order is seed-stable.
+            let victim = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, e)| (e.hits, *i))
+                .map(|(i, _)| i)
+                .expect("capacity >= 1 implies a full store is non-empty");
+            self.entries.remove(victim);
+            self.store_evictions += 1;
+            prdrb_simcore::probe_count!(SolutionCapacityEvict, 0);
+        }
         self.entries.push(Solution {
             dst,
             pattern,
@@ -413,6 +460,91 @@ mod tests {
         assert_eq!(removed, 2, "both entries were touched");
         assert_eq!(db.len(), 1, "the repaired entry survives");
         assert_eq!(db.iter().next().unwrap().paths.len(), 2);
+    }
+
+    #[test]
+    fn capacity_evicts_fewest_hit_oldest_first() {
+        let mut db = SolutionDb::with_capacity(2);
+        db.save(
+            NodeId(9),
+            vec![fp(1, 2)],
+            paths(),
+            1_000,
+            0.8,
+            Similarity::Overlap,
+        );
+        db.save(
+            NodeId(9),
+            vec![fp(3, 4)],
+            paths(),
+            1_000,
+            0.8,
+            Similarity::Overlap,
+        );
+        // Hit the second entry so the first is the eviction candidate.
+        assert!(db
+            .lookup(&normalize(vec![fp(3, 4)]), 0.8, Similarity::Overlap)
+            .is_some());
+        db.save(
+            NodeId(9),
+            vec![fp(5, 6)],
+            paths(),
+            1_000,
+            0.8,
+            Similarity::Overlap,
+        );
+        assert_eq!(db.len(), 2, "store never exceeds capacity");
+        assert_eq!(db.store_evictions, 1);
+        // The zero-hit oldest entry (1,2) is gone; (3,4) survives.
+        assert!(db
+            .lookup(&normalize(vec![fp(1, 2)]), 0.8, Similarity::Overlap)
+            .is_none());
+        assert!(db
+            .lookup(&normalize(vec![fp(3, 4)]), 0.8, Similarity::Overlap)
+            .is_some());
+        // All-zero hits: the oldest of the tie goes.
+        let mut db = SolutionDb::with_capacity(2);
+        for (i, p) in [fp(1, 2), fp(3, 4), fp(5, 6)].into_iter().enumerate() {
+            db.save(
+                NodeId(9),
+                vec![p],
+                paths(),
+                1_000 + i as Time,
+                0.8,
+                Similarity::Overlap,
+            );
+        }
+        assert_eq!(db.store_evictions, 1);
+        assert!(db
+            .lookup(&normalize(vec![fp(1, 2)]), 0.8, Similarity::Overlap)
+            .is_none());
+        assert!(db
+            .lookup(&normalize(vec![fp(5, 6)]), 0.8, Similarity::Overlap)
+            .is_some());
+    }
+
+    #[test]
+    fn lookups_are_counted() {
+        let mut db = SolutionDb::new();
+        db.save(
+            NodeId(9),
+            vec![fp(1, 2)],
+            paths(),
+            1_000,
+            0.8,
+            Similarity::Overlap,
+        );
+        assert_eq!(db.store_lookups, 0, "saving is not a lookup");
+        let _ = db.find(&normalize(vec![fp(1, 2)]), 0.8, Similarity::Overlap);
+        let _ = db.find(&normalize(vec![fp(7, 8)]), 0.8, Similarity::Overlap);
+        let _ = db.find(&[], 0.8, Similarity::Overlap);
+        assert_eq!(db.store_lookups, 2, "empty observations don't scan");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        SolutionDb::with_capacity(0);
     }
 
     #[test]

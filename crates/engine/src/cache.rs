@@ -26,7 +26,10 @@ use prdrb_network::{MonitorConfig, NetworkConfig, NotifyMode};
 use prdrb_simcore::stats::{RunningMean, TimeSeries};
 use prdrb_simcore::time::Time;
 use prdrb_simcore::StableHasher;
-use prdrb_traffic::{BurstPattern, BurstSchedule, TrafficPattern};
+use prdrb_traffic::{
+    BurstPattern, BurstSchedule, CollectiveKind, CollectiveSpec, OpenLoopSpec, PhaseSpec,
+    ScheduleShape, TrafficPattern,
+};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -46,7 +49,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// contending on interleaved flows no longer receives duplicate
 /// same-id predictive-ACK volleys — router-based runs schedule fewer
 /// control packets.
-const CACHE_FORMAT: u32 = 4;
+///
+/// v5: application-level workloads — `DrbConfig` gained the
+/// `max_solutions` capacity bound, reports carry the solution-store
+/// lookup/eviction counters, and the collective / phased / open-loop
+/// workload families joined the key encoding.
+const CACHE_FORMAT: u32 = 5;
 
 /// First line of every cache file.
 const MAGIC: &str = "prdrb-run-cache,v1";
@@ -151,6 +159,7 @@ fn fold_config(cfg: &SimConfig, h: &mut StableHasher) {
         ewma_alpha,
         adjust_settle_ns,
         min_similarity,
+        max_solutions,
         similarity,
         watchdog_ns,
         predictive,
@@ -164,6 +173,7 @@ fn fold_config(cfg: &SimConfig, h: &mut StableHasher) {
     h.write_f64(ewma_alpha);
     h.write_u64(adjust_settle_ns);
     h.write_f64(min_similarity);
+    h.write_usize(max_solutions);
     h.write_u8(match similarity {
         Similarity::Jaccard => 0,
         Similarity::Overlap => 1,
@@ -259,6 +269,70 @@ fn fold_config(cfg: &SimConfig, h: &mut StableHasher) {
                     fold_trace_event(ev, h);
                 }
             }
+        }
+        Workload::Collective {
+            spec,
+            iterations,
+            compute_ns,
+        } => {
+            h.write_u8(3);
+            let CollectiveSpec {
+                kind,
+                shape,
+                ranks,
+                bytes,
+            } = *spec;
+            h.write_u8(match kind {
+                CollectiveKind::AllToAll => 0,
+                CollectiveKind::AllReduce => 1,
+            });
+            h.write_u8(match shape {
+                ScheduleShape::Ring => 0,
+                ScheduleShape::Tree => 1,
+            });
+            h.write_u32(ranks);
+            h.write_u32(bytes);
+            h.write_u32(*iterations);
+            h.write_u64(*compute_ns);
+        }
+        Workload::Phased {
+            program,
+            active_nodes,
+            msg_bytes,
+        } => {
+            h.write_u8(4);
+            h.write_usize(program.phases.len());
+            for p in &program.phases {
+                let PhaseSpec {
+                    label,
+                    pattern,
+                    mbps,
+                    duration_ns,
+                } = p;
+                h.write_str(label);
+                fold_pattern(pattern, h);
+                h.write_f64(*mbps);
+                h.write_u64(*duration_ns);
+            }
+            h.write_u32(program.iterations);
+            h.write_usize(*active_nodes);
+            h.write_u32(*msg_bytes);
+        }
+        Workload::OpenLoop { spec, active_nodes } => {
+            h.write_u8(5);
+            let OpenLoopSpec {
+                mean_gap_ns,
+                alpha,
+                min_bytes,
+                max_bytes,
+                pattern,
+            } = spec;
+            h.write_f64(*mean_gap_ns);
+            h.write_f64(*alpha);
+            h.write_u32(*min_bytes);
+            h.write_u32(*max_bytes);
+            fold_pattern(pattern, h);
+            h.write_usize(*active_nodes);
         }
     }
     h.write_u64(*seed);
@@ -466,9 +540,11 @@ pub fn report_to_csv(key: RunKey, r: &RunReport) -> String {
         watchdog_fires,
         trend_predictions,
         solutions_invalidated,
+        store_lookups,
+        store_evictions,
     } = r.policy_stats;
     out.push_str(&format!(
-        "stats,{expansions},{shrinks},{patterns_found},{patterns_reused},{reuse_applications},{watchdog_fires},{trend_predictions},{solutions_invalidated}\n"
+        "stats,{expansions},{shrinks},{patterns_found},{patterns_reused},{reuse_applications},{watchdog_fires},{trend_predictions},{solutions_invalidated},{store_lookups},{store_evictions}\n"
     ));
     out.push_str(&format!("end,{},{}\n", r.end_ns, r.truncated as u8));
     out.push_str(&format!("series,{}\n", series_fields(&r.series)));
@@ -550,6 +626,8 @@ pub fn report_from_csv(text: &str) -> Option<RunReport> {
         watchdog_fires: next_stat()?,
         trend_predictions: next_stat()?,
         solutions_invalidated: next_stat()?,
+        store_lookups: next_stat()?,
+        store_evictions: next_stat()?,
     };
     let end = take("end")?;
     let (end_ns, truncated) = end.split_once(',')?;
@@ -728,6 +806,7 @@ mod tests {
             Box::new(|c| c.drb.ewma_alpha += 1e-9),
             Box::new(|c| c.drb.adjust_settle_ns += 1),
             Box::new(|c| c.drb.min_similarity += 1e-9),
+            Box::new(|c| c.drb.max_solutions += 1),
             Box::new(|c| c.drb.similarity = Similarity::Jaccard),
             Box::new(|c| c.drb.watchdog_ns = Some(1)),
             Box::new(|c| c.drb.predictive = !c.drb.predictive),
@@ -800,6 +879,62 @@ mod tests {
             f[0].1 = prdrb_topology::NodeId(6);
         }
         assert_ne!(RunKey::of(&flows2), RunKey::of(&flows));
+    }
+
+    /// The three new workload families must key distinctly from the
+    /// old families, from each other, and from their own close
+    /// variants (field-level sensitivity inside each payload).
+    #[test]
+    fn new_workload_families_hash_distinctly() {
+        let with = |w: Workload| {
+            let mut c = cfg();
+            c.workload = w;
+            RunKey::of(&c)
+        };
+        let spec = CollectiveSpec::new(CollectiveKind::AllToAll, ScheduleShape::Ring, 8, 4096);
+        let keys = vec![
+            RunKey::of(&cfg()),
+            with(Workload::Collective {
+                spec,
+                iterations: 2,
+                compute_ns: 1_000,
+            }),
+            with(Workload::Collective {
+                spec,
+                iterations: 3,
+                compute_ns: 1_000,
+            }),
+            with(Workload::Collective {
+                spec: CollectiveSpec::new(CollectiveKind::AllReduce, ScheduleShape::Tree, 8, 4096),
+                iterations: 2,
+                compute_ns: 1_000,
+            }),
+            with(Workload::Phased {
+                program: prdrb_traffic::PhaseProgram::mini_app(2, 10_000, 100.0),
+                active_nodes: 8,
+                msg_bytes: 1024,
+            }),
+            with(Workload::Phased {
+                program: prdrb_traffic::PhaseProgram::mini_app(3, 10_000, 100.0),
+                active_nodes: 8,
+                msg_bytes: 1024,
+            }),
+            with(Workload::OpenLoop {
+                spec: OpenLoopSpec::heavy_tail(10_000.0),
+                active_nodes: 8,
+            }),
+            with(Workload::OpenLoop {
+                spec: OpenLoopSpec {
+                    alpha: 1.7,
+                    ..OpenLoopSpec::heavy_tail(10_000.0)
+                },
+                active_nodes: 8,
+            }),
+        ];
+        let mut uniq = keys.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), keys.len(), "all workload keys distinct");
     }
 
     #[test]

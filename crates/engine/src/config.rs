@@ -5,7 +5,7 @@ use prdrb_core::{DrbConfig, PolicyKind};
 use prdrb_network::NetworkConfig;
 use prdrb_simcore::time::{Time, MILLISECOND};
 use prdrb_topology::{AnyTopology, FaultPlan, KAryNTree, Mesh2D, NodeId};
-use prdrb_traffic::BurstSchedule;
+use prdrb_traffic::{BurstSchedule, CollectiveSpec, OpenLoopSpec, PhaseProgram};
 use std::sync::Arc;
 
 /// Which topology to instantiate.
@@ -72,6 +72,39 @@ pub enum Workload {
     /// Replay an application logical trace (collectives must already be
     /// lowered — [`crate::Simulation::new`] lowers them if present).
     Trace(Arc<Trace>),
+    /// An MPI-style collective schedule (DESIGN §12): `iterations`
+    /// repetitions of the spec's rounds, lowered onto the trace player
+    /// with rank `r` attached to the `r`-th NIC. Runs serial like
+    /// [`Workload::Trace`] (the player leaves zero host lookahead).
+    Collective {
+        /// The operation × schedule-shape instance.
+        spec: CollectiveSpec,
+        /// Back-to-back repetitions of the schedule.
+        iterations: u32,
+        /// Model computation between iterations (0 = none).
+        compute_ns: Time,
+    },
+    /// Phase-structured mini-app loop: the first `active_nodes`
+    /// terminals inject per the phase in force, and per-phase
+    /// solution-store probes attribute policy activity to global phase
+    /// indices (the `probes` feature).
+    Phased {
+        /// The phase sequence and iteration count.
+        program: PhaseProgram,
+        /// Number of injecting terminals.
+        active_nodes: usize,
+        /// Message size in bytes.
+        msg_bytes: u32,
+    },
+    /// Open-loop arrivals: Poisson flow arrivals with bounded-Pareto
+    /// sizes, one deterministic sampler substream per source — the
+    /// aperiodic stressor for solution-store capacity and matching.
+    OpenLoop {
+        /// Arrival/size process parameters.
+        spec: OpenLoopSpec,
+        /// Number of injecting terminals.
+        active_nodes: usize,
+    },
 }
 
 /// Full configuration of one simulation run.
@@ -133,6 +166,89 @@ impl SimConfig {
                 active_nodes,
                 msg_bytes: 1024,
             },
+            seed: 1,
+            duration_ns: 2 * MILLISECOND,
+            max_ns: 400 * MILLISECOND,
+            series_bucket_ns: 50_000,
+            preload_profile: Vec::new(),
+            faults: FaultPlan::none(),
+            shards: 1,
+        }
+    }
+
+    /// A collective workload run: `iterations` repetitions of `spec`
+    /// with a small compute gap between them, running to completion
+    /// like a trace.
+    pub fn collective(
+        topology: TopologyKind,
+        policy: PolicyKind,
+        spec: CollectiveSpec,
+        iterations: u32,
+    ) -> Self {
+        Self {
+            label: format!("{}x{iterations}", spec.label()),
+            topology,
+            policy,
+            drb: DrbConfig::default(),
+            net: NetworkConfig::default(),
+            workload: Workload::Collective {
+                spec,
+                iterations,
+                compute_ns: 50_000,
+            },
+            seed: 1,
+            duration_ns: Time::MAX / 4,
+            max_ns: 30_000 * MILLISECOND,
+            series_bucket_ns: 100_000,
+            preload_profile: Vec::new(),
+            faults: FaultPlan::none(),
+            shards: 1,
+        }
+    }
+
+    /// A mini-app phase-loop run: injection ends with the program.
+    pub fn phased(
+        topology: TopologyKind,
+        policy: PolicyKind,
+        program: PhaseProgram,
+        active_nodes: usize,
+    ) -> Self {
+        let duration_ns = program.total_ns();
+        Self {
+            label: String::new(),
+            topology,
+            policy,
+            drb: DrbConfig::default(),
+            net: NetworkConfig::default(),
+            workload: Workload::Phased {
+                program,
+                active_nodes,
+                msg_bytes: 1024,
+            },
+            seed: 1,
+            duration_ns,
+            max_ns: 400 * MILLISECOND,
+            series_bucket_ns: 50_000,
+            preload_profile: Vec::new(),
+            faults: FaultPlan::none(),
+            shards: 1,
+        }
+    }
+
+    /// An open-loop arrival run with the synthetic-run time window.
+    pub fn open_loop(
+        topology: TopologyKind,
+        policy: PolicyKind,
+        spec: OpenLoopSpec,
+        active_nodes: usize,
+    ) -> Self {
+        Self {
+            label: String::new(),
+            topology,
+            policy,
+            drb: DrbConfig::default(),
+            net: NetworkConfig::default(),
+            workload: Workload::OpenLoop { spec, active_nodes },
             seed: 1,
             duration_ns: 2 * MILLISECOND,
             max_ns: 400 * MILLISECOND,

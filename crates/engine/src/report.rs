@@ -81,6 +81,8 @@ impl RunReport {
                 "solutions_invalidated",
                 r.policy_stats.solutions_invalidated,
             );
+            agg.add_counter("store_lookups", r.policy_stats.store_lookups);
+            agg.add_counter("store_evictions", r.policy_stats.store_evictions);
         }
         let mut first = replicas.into_iter().next().expect("non-empty");
         first.global_avg_latency_us = agg.latency_us().mean();
@@ -102,6 +104,8 @@ impl RunReport {
             watchdog_fires: agg.counter("watchdog_fires"),
             trend_predictions: agg.counter("trend_predictions"),
             solutions_invalidated: agg.counter("solutions_invalidated"),
+            store_lookups: agg.counter("store_lookups"),
+            store_evictions: agg.counter("store_evictions"),
         };
         first
     }
@@ -123,6 +127,12 @@ impl RunReport {
     /// p50/p95/p99 latency in µs.
     pub fn tail_latency_us(&self) -> (f64, f64, f64) {
         self.quantiles.summary_us()
+    }
+
+    /// Solution-store hit rate: reuse applications per lookup scan
+    /// (0 for non-predictive policies — there are no lookups).
+    pub fn solution_hit_rate(&self) -> f64 {
+        self.policy_stats.hit_rate()
     }
 
     /// One-line summary for harness output.

@@ -10,7 +10,7 @@
 use crate::config::{SimConfig, Workload};
 use crate::player::{Player, SendOp};
 use crate::report::RunReport;
-use prdrb_apps::lower_collectives;
+use prdrb_apps::{lower_collectives, Trace, TraceEvent, COLLECTIVE_TAG_BASE};
 use prdrb_core::{make_policy, RoutingPolicy};
 use prdrb_metrics::{LatencyMap, LatencyQuantiles};
 use prdrb_network::{
@@ -20,7 +20,7 @@ use prdrb_simcore::stats::{RunningMean, TimeSeries};
 use prdrb_simcore::time::{interarrival_ns, ns_to_us, Time};
 use prdrb_simcore::{EventQueue, SimRng};
 use prdrb_topology::{AnyTopology, FaultState, NodeId, RouteState, RouterId, Topology};
-use prdrb_traffic::TrafficPattern;
+use prdrb_traffic::{exp_gap_ns, CollectiveSpec, Splitmix64, TrafficPattern};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -113,6 +113,12 @@ enum StreamKind {
     Fixed { dst: NodeId, mbps: f64 },
     /// Uniform noise at a fixed rate.
     Noise { mbps: f64 },
+    /// Follows the phase program in force (mini-app loop); sleeps
+    /// through quiet phases and dies when the program completes.
+    Phase,
+    /// Open-loop Poisson arrivals with heavy-tailed sizes, drawn from
+    /// the stream's own seed-derived sampler.
+    Open { rng: Splitmix64 },
 }
 
 #[derive(Debug)]
@@ -149,6 +155,10 @@ pub struct Simulation {
     /// and the send list filled by the trace player per wakeup.
     delivery_buf: Vec<Delivery>,
     send_buf: Vec<SendOp>,
+    /// Phase-attribution cursor (`Workload::Phased` only): the global
+    /// phase in force and the policy's reuse/expansion counters when it
+    /// began, so per-phase deltas can feed the phase probes.
+    phase_cursor: Option<(u32, u64, u64)>,
 }
 
 impl Simulation {
@@ -162,11 +172,16 @@ impl Simulation {
         }
         net.acks_enabled = policy.needs_acks();
         net.monitor.mode = policy.notify_mode();
-        // Trace replay feeds deliveries straight back into sends (zero
+        // Trace replay (and collective schedules, which lower onto the
+        // same player) feeds deliveries straight back into sends (zero
         // host lookahead), and zero-latency links leave no conservative
         // window — both run serial regardless of the shard knob.
-        let sharded =
-            cfg.shards > 1 && !matches!(cfg.workload, Workload::Trace(_)) && net.wire_delay_ns > 0;
+        let sharded = cfg.shards > 1
+            && !matches!(
+                cfg.workload,
+                Workload::Trace(_) | Workload::Collective { .. }
+            )
+            && net.wire_delay_ns > 0;
         let fabric = if sharded {
             NetFabric::Sharded(ShardedFabric::with_faults(
                 topo.clone(),
@@ -194,6 +209,7 @@ impl Simulation {
             fault_cursor: 0,
             delivery_buf: Vec::new(),
             send_buf: Vec::new(),
+            phase_cursor: None,
             topo,
             fabric,
             policy,
@@ -255,6 +271,46 @@ impl Simulation {
                     trace.clone()
                 };
                 self.player = Some(Player::new(lowered));
+            }
+            Workload::Collective {
+                spec,
+                iterations,
+                compute_ns,
+            } => {
+                assert!(
+                    spec.ranks as usize <= self.topo.num_terminals(),
+                    "collective has more ranks than the topology has terminals"
+                );
+                let trace = lower_collective_workload(spec, *iterations, *compute_ns);
+                self.player = Some(Player::new(Arc::new(trace)));
+            }
+            Workload::Phased {
+                active_nodes,
+                msg_bytes,
+                ..
+            } => {
+                let n = (*active_nodes).min(self.topo.num_terminals());
+                for i in 0..n {
+                    self.streams.push(Stream {
+                        node: NodeId(i as u32),
+                        kind: StreamKind::Phase,
+                        msg_bytes: *msg_bytes,
+                    });
+                }
+            }
+            Workload::OpenLoop { spec, active_nodes } => {
+                let n = (*active_nodes).min(self.topo.num_terminals());
+                for i in 0..n {
+                    self.streams.push(Stream {
+                        node: NodeId(i as u32),
+                        kind: StreamKind::Open {
+                            rng: spec.stream(self.cfg.seed, i as u32),
+                        },
+                        // The per-flow size is drawn at fire time; this
+                        // field is unused for open-loop streams.
+                        msg_bytes: 0,
+                    });
+                }
             }
         }
         // Seed external events: streams start with a small deterministic
@@ -347,6 +403,11 @@ impl Simulation {
         if now >= self.cfg.duration_ns {
             return; // injection window over; stream dies
         }
+        match self.streams[i].kind {
+            StreamKind::Phase => return self.fire_phase_stream(i, now),
+            StreamKind::Open { .. } => return self.fire_open_stream(i, now),
+            _ => {}
+        }
         let (dst, mbps, bytes) = {
             let s = &self.streams[i];
             let n = self.topo.num_terminals();
@@ -364,6 +425,9 @@ impl Simulation {
                     let dst = TrafficPattern::Uniform.dest(s.node, n, &mut self.rng);
                     (dst, *mbps, s.msg_bytes)
                 }
+                StreamKind::Phase | StreamKind::Open { .. } => {
+                    unreachable!("dispatched to their own fire paths above")
+                }
             }
         };
         let src = self.streams[i].node;
@@ -379,6 +443,97 @@ impl Simulation {
             let gap = (-self.rng.unit().max(1e-12).ln() * mean).max(1.0) as Time;
             let e = Ext::Stream(i as u32);
             self.ext.schedule_keyed(now + gap, ext_key(e), e);
+        }
+    }
+
+    /// One firing of a mini-app phase stream: inject per the phase in
+    /// force, sleep through quiet (compute) phases, die at program end.
+    fn fire_phase_stream(&mut self, i: usize, now: Time) {
+        let (g, dst, mbps, quiet_wake, src, bytes) = {
+            let src = self.streams[i].node;
+            let bytes = self.streams[i].msg_bytes;
+            let Workload::Phased { program, .. } = &self.cfg.workload else {
+                unreachable!()
+            };
+            match program.at(now) {
+                None => return, // program complete; the stream dies
+                Some((g, p)) if p.mbps <= 0.0 => {
+                    // Quiet phase: wake exactly at the next boundary.
+                    let wake = program.phase_start_ns(g + 1).unwrap_or(program.total_ns());
+                    (g, src, 0.0, Some(wake), src, bytes)
+                }
+                Some((g, p)) => {
+                    let dst = p
+                        .pattern
+                        .dest(src, self.topo.num_terminals(), &mut self.rng);
+                    (g, dst, p.mbps, None, src, bytes)
+                }
+            }
+        };
+        self.note_phase(g);
+        let e = Ext::Stream(i as u32);
+        if let Some(wake) = quiet_wake {
+            self.ext.schedule_keyed(wake, ext_key(e), e);
+            return;
+        }
+        if dst != src {
+            self.inject_message(src, dst, bytes, 0, now);
+        }
+        let mean = interarrival_ns(bytes as u64, mbps) as f64;
+        let gap = (-self.rng.unit().max(1e-12).ln() * mean).max(1.0) as Time;
+        self.ext.schedule_keyed(now + gap, ext_key(e), e);
+    }
+
+    /// One firing of an open-loop stream: the flow size and the next
+    /// inter-arrival gap come from the stream's own sampler substream
+    /// (pure function of the config seed); only the spatial aim shares
+    /// the run's global generator, like every other stream kind.
+    fn fire_open_stream(&mut self, i: usize, now: Time) {
+        let n = self.topo.num_terminals();
+        let src = self.streams[i].node;
+        let (dst, bytes, gap) = {
+            let Workload::OpenLoop { spec, .. } = &self.cfg.workload else {
+                unreachable!()
+            };
+            let StreamKind::Open { rng } = &mut self.streams[i].kind else {
+                unreachable!()
+            };
+            let bytes = spec.sizes().sample(rng) as u32;
+            let gap = exp_gap_ns(rng, spec.mean_gap_ns);
+            let dst = spec.pattern.dest(src, n, &mut self.rng);
+            (dst, bytes, gap)
+        };
+        if dst != src {
+            self.inject_message(src, dst, bytes.max(1), 0, now);
+        }
+        let e = Ext::Stream(i as u32);
+        self.ext.schedule_keyed(now + gap, ext_key(e), e);
+    }
+
+    /// Record that global phase `g` is in force. On a boundary crossing
+    /// the previous phase's policy-counter deltas flush to the phase
+    /// probes (observational only — compiled out without `probes`).
+    fn note_phase(&mut self, g: u32) {
+        match self.phase_cursor {
+            Some((cur, _, _)) if cur == g => {}
+            _ => {
+                self.flush_phase_probes();
+                let st = self.policy.stats();
+                self.phase_cursor = Some((g, st.reuse_applications, st.expansions));
+            }
+        }
+    }
+
+    /// Attribute the reuse/expansion counters accumulated since the
+    /// current phase began to its global index.
+    fn flush_phase_probes(&mut self) {
+        if let Some((cur, hits0, exp0)) = self.phase_cursor.take() {
+            let st = self.policy.stats();
+            let hit_delta = st.reuse_applications.saturating_sub(hits0);
+            let exp_delta = st.expansions.saturating_sub(exp0);
+            prdrb_simcore::probe_value!(PhaseSolutionHit, cur, hit_delta);
+            prdrb_simcore::probe_value!(PhaseExpansion, cur, exp_delta);
+            let _ = (cur, hit_delta, exp_delta);
         }
     }
 
@@ -509,6 +664,9 @@ impl Simulation {
         // Drain leftover control traffic for final accounting.
         self.fabric.run_to_quiescence(self.cfg.max_ns);
         self.pump_deliveries();
+        // The last phase's deltas include the drain's ACK-driven
+        // policy activity — flush them now that everything settled.
+        self.flush_phase_probes();
         if let Some(p) = &self.player {
             if !p.all_done() && !truncated {
                 let stuck: Vec<String> = (0..p.num_ranks() as u32)
@@ -569,6 +727,49 @@ impl Simulation {
             truncated,
         }
     }
+}
+
+/// Lower a collective schedule onto the trace player: per round, every
+/// sender's `Send` (buffered, non-blocking) precedes every receiver's
+/// blocking `Recv`, so a rank enters round `r + 1` only after receiving
+/// everything round `r` addressed to it — the schedule's round barrier,
+/// independent of packet timing. Tags are `iteration * rounds + round`,
+/// kept below [`COLLECTIVE_TAG_BASE`] so they can never collide with
+/// the tag namespace of [`lower_collectives`].
+fn lower_collective_workload(spec: &CollectiveSpec, iterations: u32, compute_ns: Time) -> Trace {
+    assert!(iterations >= 1, "a collective workload needs iterations");
+    let rounds = spec.rounds();
+    let tags_per_iter = rounds.len() as u32;
+    assert!(
+        iterations.saturating_mul(tags_per_iter) < COLLECTIVE_TAG_BASE,
+        "collective tags must stay below the lowering namespace"
+    );
+    let mut trace = Trace::new(
+        format!("{}x{iterations}", spec.label()),
+        spec.ranks as usize,
+    );
+    for it in 0..iterations {
+        if it > 0 && compute_ns > 0 {
+            trace.push_all(TraceEvent::Compute { ns: compute_ns });
+        }
+        for (r, msgs) in rounds.iter().enumerate() {
+            let tag = it * tags_per_iter + r as u32;
+            for m in msgs {
+                trace.push(
+                    m.src,
+                    TraceEvent::Send {
+                        dst: m.dst,
+                        bytes: m.bytes,
+                        tag,
+                    },
+                );
+            }
+            for m in msgs {
+                trace.push(m.dst, TraceEvent::Recv { src: m.src, tag });
+            }
+        }
+    }
+    trace
 }
 
 impl std::fmt::Debug for Simulation {
@@ -732,6 +933,151 @@ mod tests {
         assert!(
             r.latency_map.contended_routers() > 0,
             "hot-spot must contend"
+        );
+    }
+
+    #[test]
+    fn collective_workloads_complete_losslessly() {
+        use prdrb_traffic::{CollectiveKind, ScheduleShape};
+        for (kind, shape) in [
+            (CollectiveKind::AllToAll, ScheduleShape::Ring),
+            (CollectiveKind::AllToAll, ScheduleShape::Tree),
+            (CollectiveKind::AllReduce, ScheduleShape::Ring),
+            (CollectiveKind::AllReduce, ScheduleShape::Tree),
+        ] {
+            let spec = CollectiveSpec::new(kind, shape, 16, 8 * 1024);
+            let cfg = SimConfig::collective(TopologyKind::FatTree443, PolicyKind::PrDrb, spec, 2);
+            let r = Simulation::new(cfg).run();
+            assert!(!r.truncated, "{} truncated", spec.label());
+            assert!(r.exec_time_ns.expect("collectives report exec time") > 0);
+            assert_eq!(r.offered, r.accepted, "{} lossless", spec.label());
+            assert!(r.messages > 0);
+        }
+    }
+
+    #[test]
+    fn collective_lowering_respects_tag_namespace_and_rounds() {
+        let spec = CollectiveSpec::new(
+            prdrb_traffic::CollectiveKind::AllToAll,
+            prdrb_traffic::ScheduleShape::Ring,
+            8,
+            4096,
+        );
+        let trace = lower_collective_workload(&spec, 3, 1_000);
+        assert_eq!(trace.num_ranks(), 8);
+        let max_tag = trace
+            .ranks
+            .iter()
+            .flatten()
+            .filter_map(|e| match e {
+                TraceEvent::Send { tag, .. } | TraceEvent::Recv { tag, .. } => Some(*tag),
+                _ => None,
+            })
+            .max()
+            .unwrap();
+        assert!(max_tag < COLLECTIVE_TAG_BASE);
+        // 3 iterations × 7 rounds of an 8-rank ring all-to-all.
+        assert_eq!(max_tag, 3 * 7 - 1);
+        // Iteration gaps: every rank computes twice (before it 1 and 2).
+        for rank in &trace.ranks {
+            let computes = rank
+                .iter()
+                .filter(|e| matches!(e, TraceEvent::Compute { .. }))
+                .count();
+            assert_eq!(computes, 2);
+        }
+    }
+
+    #[test]
+    fn phased_workload_runs_the_program_and_prdrb_learns() {
+        use prdrb_traffic::PhaseProgram;
+        let program = PhaseProgram::mini_app(4, 150_000, 500.0);
+        let total = program.total_ns();
+        let cfg = SimConfig::phased(TopologyKind::Mesh8x8, PolicyKind::PrDrb, program, 32);
+        assert_eq!(cfg.duration_ns, total, "injection ends with the program");
+        let r = Simulation::new(cfg).run();
+        assert!(r.messages > 100, "phases must inject ({})", r.messages);
+        assert_eq!(r.offered, r.accepted, "lossless");
+        assert!(
+            r.end_ns >= total,
+            "the run spans the whole program ({} < {total})",
+            r.end_ns
+        );
+    }
+
+    #[test]
+    fn quiet_phases_inject_nothing() {
+        use prdrb_traffic::{PhaseProgram, PhaseSpec};
+        let program = PhaseProgram::new(
+            vec![PhaseSpec {
+                label: "compute",
+                pattern: TrafficPattern::Uniform,
+                mbps: 0.0,
+                duration_ns: 100_000,
+            }],
+            3,
+        );
+        let cfg = SimConfig::phased(
+            TopologyKind::Mesh8x8,
+            PolicyKind::Deterministic,
+            program,
+            32,
+        );
+        let r = Simulation::new(cfg).run();
+        assert_eq!(r.messages, 0, "an all-quiet program injects nothing");
+    }
+
+    #[test]
+    fn open_loop_workload_draws_heavy_tailed_flows() {
+        use prdrb_traffic::OpenLoopSpec;
+        let mut cfg = SimConfig::open_loop(
+            TopologyKind::FatTree443,
+            PolicyKind::PrDrb,
+            OpenLoopSpec::heavy_tail(40_000.0),
+            32,
+        );
+        cfg.duration_ns = MILLISECOND / 2;
+        cfg.max_ns = 50 * MILLISECOND;
+        let r = Simulation::new(cfg.clone()).run();
+        assert!(r.messages > 100, "open loop must inject ({})", r.messages);
+        assert_eq!(r.offered, r.accepted, "lossless without faults");
+        // Heavy-tailed sizes: multi-fragment elephants push offered
+        // packets well above one per message.
+        assert!(
+            r.offered > r.messages,
+            "bounded-Pareto flows must fragment ({} vs {})",
+            r.offered,
+            r.messages
+        );
+        let again = Simulation::new(cfg).run();
+        assert_eq!(r.messages, again.messages, "sampler streams are pure");
+        assert_eq!(r.end_ns, again.end_ns);
+    }
+
+    #[test]
+    fn open_loop_stresses_bounded_solution_stores() {
+        use prdrb_traffic::OpenLoopSpec;
+        let mut cfg = SimConfig::open_loop(
+            TopologyKind::FatTree443,
+            PolicyKind::PrDrb,
+            OpenLoopSpec::heavy_tail(15_000.0),
+            48,
+        );
+        cfg.duration_ns = MILLISECOND;
+        cfg.max_ns = 100 * MILLISECOND;
+        cfg.drb.max_solutions = 1;
+        let tight = Simulation::new(cfg.clone()).run();
+        cfg.drb.max_solutions = 1024;
+        let roomy = Simulation::new(cfg).run();
+        assert!(
+            tight.policy_stats.store_evictions >= roomy.policy_stats.store_evictions,
+            "a 1-entry store cannot evict less ({} vs {})",
+            tight.policy_stats.store_evictions,
+            roomy.policy_stats.store_evictions
+        );
+        assert!(
+            roomy.policy_stats.store_lookups > 0,
+            "predictive lookups must be counted"
         );
     }
 

@@ -56,11 +56,21 @@ pub enum ProbeKind {
     CacheHit,
     /// Run-cache lookup that had to simulate.
     CacheMiss,
+    /// Solution-store entry evicted to respect the capacity bound
+    /// (distinct from [`ProbeKind::SolutionEvict`], which counts fault
+    /// invalidations).
+    SolutionCapacityEvict,
+    /// Saved-solution application attributed to a workload phase
+    /// (entity = global phase index).
+    PhaseSolutionHit,
+    /// Metapath expansion attributed to a workload phase (entity =
+    /// global phase index).
+    PhaseExpansion,
 }
 
 impl ProbeKind {
     /// Every kind, in export order.
-    pub const ALL: [ProbeKind; 9] = [
+    pub const ALL: [ProbeKind; 12] = [
         ProbeKind::QueueWait,
         ProbeKind::OutputWait,
         ProbeKind::ArbSteps,
@@ -70,6 +80,9 @@ impl ProbeKind {
         ProbeKind::SolutionEvict,
         ProbeKind::CacheHit,
         ProbeKind::CacheMiss,
+        ProbeKind::SolutionCapacityEvict,
+        ProbeKind::PhaseSolutionHit,
+        ProbeKind::PhaseExpansion,
     ];
 
     /// Stable export name (snake_case, used in CSV/JSON schemas).
@@ -84,6 +97,9 @@ impl ProbeKind {
             ProbeKind::SolutionEvict => "solution_evict",
             ProbeKind::CacheHit => "cache_hit",
             ProbeKind::CacheMiss => "cache_miss",
+            ProbeKind::SolutionCapacityEvict => "solution_cap_evict",
+            ProbeKind::PhaseSolutionHit => "phase_solution_hit",
+            ProbeKind::PhaseExpansion => "phase_expansion",
         }
     }
 }

@@ -1,0 +1,131 @@
+//! Property-based tests of the workload layer (ISSUE 7 satellite):
+//! every collective schedule delivers each rank's contribution exactly
+//! once for randomized rank counts and payloads, and the deterministic
+//! samplers are pure functions of their seeds.
+
+use prdrb_traffic::{
+    check_exactly_once, exp_gap_ns, BoundedPareto, CollectiveKind, CollectiveSpec, PhaseProgram,
+    PhaseSpec, ScheduleShape, Splitmix64, TrafficPattern,
+};
+use proptest::prelude::*;
+
+fn kind_strategy() -> impl Strategy<Value = CollectiveKind> {
+    prop_oneof![
+        Just(CollectiveKind::AllToAll),
+        Just(CollectiveKind::AllReduce)
+    ]
+}
+
+fn shape_strategy() -> impl Strategy<Value = ScheduleShape> {
+    prop_oneof![Just(ScheduleShape::Ring), Just(ScheduleShape::Tree)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Exactly-once delivery for every (kind, shape) on arbitrary rank
+    /// counts — including non-powers-of-two, where the tree all-to-all
+    /// falls back to the ring and the binomial tree goes ragged.
+    #[test]
+    fn collectives_deliver_exactly_once(
+        kind in kind_strategy(),
+        shape in shape_strategy(),
+        ranks in 2u32..65,
+        bytes in 1u32..1_000_000,
+    ) {
+        let spec = CollectiveSpec::new(kind, shape, ranks, bytes);
+        prop_assert!(
+            check_exactly_once(&spec).is_ok(),
+            "{}: {:?}", spec.label(), check_exactly_once(&spec)
+        );
+    }
+
+    /// Structural invariants every schedule must satisfy for the trace
+    /// player: no self-sends, at most one message per ordered (src,
+    /// dst) pair per round, ranks in range, payloads non-empty.
+    #[test]
+    fn schedules_are_player_safe(
+        kind in kind_strategy(),
+        shape in shape_strategy(),
+        ranks in 2u32..33,
+        bytes in 1u32..65_536,
+    ) {
+        let spec = CollectiveSpec::new(kind, shape, ranks, bytes);
+        for (rno, round) in spec.rounds().iter().enumerate() {
+            let mut seen = std::collections::HashSet::new();
+            for m in round {
+                prop_assert!(m.src < ranks && m.dst < ranks, "round {rno}: rank range");
+                prop_assert!(m.src != m.dst, "round {rno}: self-send");
+                prop_assert!(m.bytes >= 1, "round {rno}: empty payload");
+                prop_assert!(seen.insert((m.src, m.dst)), "round {rno}: dup pair");
+            }
+        }
+    }
+
+    /// The sampler streams are pure functions of (seed, index): same
+    /// inputs replay byte-identical sequences, different seeds diverge.
+    #[test]
+    fn sampler_streams_are_pure(seed in 0u64..u64::MAX, index in 0u64..1024) {
+        let mut a = Splitmix64::substream(seed, index);
+        let mut b = Splitmix64::substream(seed, index);
+        let sa: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let sb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        prop_assert_eq!(sa, sb);
+    }
+
+    /// Bounded-Pareto samples always land inside [lo, hi], whatever the
+    /// parameters and seed.
+    #[test]
+    fn pareto_always_in_bounds(
+        seed in 0u64..u64::MAX,
+        alpha in 0.2f64..4.0,
+        lo in 1.0f64..1_000.0,
+        span in 0.0f64..1_000_000.0,
+    ) {
+        let p = BoundedPareto::new(alpha, lo, lo + span);
+        let mut rng = Splitmix64::new(seed);
+        for _ in 0..64 {
+            let x = p.sample(&mut rng);
+            prop_assert!(x >= p.lo - 1e-9 && x <= p.hi + 1e-9, "{x} outside [{}, {}]", p.lo, p.hi);
+        }
+    }
+
+    /// Exponential gaps are >= 1 ns and deterministic per seed.
+    #[test]
+    fn exp_gaps_floor_and_replay(seed in 0u64..u64::MAX, mean in 1.0f64..1e7) {
+        let mut a = Splitmix64::new(seed);
+        let mut b = Splitmix64::new(seed);
+        for _ in 0..32 {
+            let ga = exp_gap_ns(&mut a, mean);
+            prop_assert!(ga >= 1);
+            prop_assert_eq!(ga, exp_gap_ns(&mut b, mean));
+        }
+    }
+
+    /// Phase lookup is total on [0, total_ns) and consistent with the
+    /// phase-start inverse for arbitrary programs.
+    #[test]
+    fn phase_lookup_is_total(
+        durations in proptest::collection::vec(1u64..10_000, 1..6),
+        iterations in 1u32..5,
+        probe in 0u64..u64::MAX,
+    ) {
+        let phases: Vec<PhaseSpec> = durations
+            .iter()
+            .map(|&d| PhaseSpec {
+                label: "p",
+                pattern: TrafficPattern::Uniform,
+                mbps: 100.0,
+                duration_ns: d,
+            })
+            .collect();
+        let prog = PhaseProgram::new(phases, iterations);
+        let t = probe % prog.total_ns();
+        let (g, _) = prog.at(t).expect("in range");
+        prop_assert!(g < prog.num_phases());
+        let start = prog.phase_start_ns(g).expect("valid phase");
+        prop_assert!(start <= t);
+        prop_assert!(prog.at(start).unwrap().0 == g);
+        prop_assert!(prog.at(prog.total_ns()).is_none());
+    }
+}

@@ -47,5 +47,8 @@ pub mod prelude {
     pub use prdrb_network::{MonitorConfig, NetworkConfig, NotifyMode};
     pub use prdrb_simcore::time::{MICROSECOND, MILLISECOND, SECOND};
     pub use prdrb_topology::{AnyTopology, NodeId, Topology};
-    pub use prdrb_traffic::{BurstPattern, BurstSchedule, HotSpotScenario, TrafficPattern};
+    pub use prdrb_traffic::{
+        BurstPattern, BurstSchedule, CollectiveKind, CollectiveSpec, HotSpotScenario, OpenLoopSpec,
+        PhaseProgram, PhaseSpec, ScheduleShape, TrafficPattern,
+    };
 }

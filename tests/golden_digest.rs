@@ -122,6 +122,51 @@ fn faulted_scenario_digest_is_backend_invariant() {
     assert_backend_invariant("faulted stand-in", cfg);
 }
 
+/// Each collective family (operation × schedule shape) lowered onto the
+/// trace player. Collectives run serial by design (the player leaves
+/// zero host lookahead), so shard counts 2/4 must fall back to the
+/// serial fabric bit-identically — the invariance here proves the
+/// fallback, and the calendar backends still both execute for real.
+#[test]
+fn collective_digest_is_backend_invariant() {
+    for (kind, shape) in [
+        (CollectiveKind::AllToAll, ScheduleShape::Ring),
+        (CollectiveKind::AllToAll, ScheduleShape::Tree),
+        (CollectiveKind::AllReduce, ScheduleShape::Ring),
+        (CollectiveKind::AllReduce, ScheduleShape::Tree),
+    ] {
+        let spec = CollectiveSpec::new(kind, shape, 16, 16 * 1024);
+        let cfg = SimConfig::collective(TopologyKind::FatTree443, PolicyKind::PrDrb, spec, 2);
+        assert_backend_invariant(&format!("collective {}", spec.label()), cfg);
+    }
+}
+
+/// The mini-app phase loop on the 8×8 mesh under PR-DRB: phase streams
+/// consult the program and the phase-boundary wakeups, both host-side
+/// and therefore identical under every fabric backend.
+#[test]
+fn phased_digest_is_backend_invariant() {
+    let program = PhaseProgram::mini_app(3, 150_000, 500.0);
+    let cfg = SimConfig::phased(TopologyKind::Mesh8x8, PolicyKind::PrDrb, program, 32);
+    assert_backend_invariant("mini-app phases", cfg);
+}
+
+/// The open-loop heavy-tail workload: per-source sampler substreams are
+/// pure functions of the seed, so the arrival process — and with it the
+/// whole run — must not depend on the execution backend.
+#[test]
+fn open_loop_digest_is_backend_invariant() {
+    let mut cfg = SimConfig::open_loop(
+        TopologyKind::FatTree443,
+        PolicyKind::PrDrb,
+        OpenLoopSpec::heavy_tail(40_000.0),
+        32,
+    );
+    cfg.duration_ns = MILLISECOND / 2;
+    cfg.max_ns = 50 * MILLISECOND;
+    assert_backend_invariant("open-loop heavy-tail", cfg);
+}
+
 /// Shortened `load_sweep` point: continuous shuffle near saturation for
 /// every policy family member — the deterministic route floods the
 /// calendar with far-apart retries, stressing the wheel's overflow path.

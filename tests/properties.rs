@@ -60,6 +60,51 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The application-level workload generators preserve packet
+    /// conservation: for any collective family, phase program or
+    /// open-loop arrival spec, on either topology and any seed, the
+    /// fault-free run drains completely with `offered == accepted +
+    /// dropped` and nothing dropped.
+    #[test]
+    fn workload_generators_conserve_packets(
+        family in 0usize..6,
+        seed in 0u64..500,
+        mesh in proptest::bool::ANY,
+    ) {
+        let topology = if mesh { TopologyKind::Mesh8x8 } else { TopologyKind::FatTree443 };
+        let mut cfg = match family {
+            0 => SimConfig::collective(topology, PolicyKind::PrDrb,
+                CollectiveSpec::new(CollectiveKind::AllToAll, ScheduleShape::Ring, 8, 4096), 1),
+            1 => SimConfig::collective(topology, PolicyKind::Drb,
+                CollectiveSpec::new(CollectiveKind::AllReduce, ScheduleShape::Tree, 12, 4096), 1),
+            2 => SimConfig::phased(topology, PolicyKind::PrDrb,
+                PhaseProgram::mini_app(2, 60_000, 400.0), 16),
+            3 => SimConfig::phased(topology, PolicyKind::Deterministic,
+                PhaseProgram::mini_app(1, 80_000, 600.0), 12),
+            4 => {
+                let mut c = SimConfig::open_loop(topology, PolicyKind::PrDrb,
+                    OpenLoopSpec::heavy_tail(25_000.0), 16);
+                c.duration_ns = 150_000;
+                c
+            }
+            _ => {
+                let mut c = SimConfig::open_loop(topology, PolicyKind::Drb,
+                    OpenLoopSpec::heavy_tail(60_000.0), 24);
+                c.duration_ns = 200_000;
+                c
+            }
+        };
+        cfg.seed = seed;
+        let r = run(cfg);
+        prop_assert!(!r.truncated);
+        prop_assert_eq!(r.offered, r.accepted + r.dropped);
+        prop_assert_eq!(r.dropped, 0);
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
     /// The parallel replica executor returns bit-identical reports to
