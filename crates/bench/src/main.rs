@@ -18,7 +18,10 @@
 //!
 //! `--shards N` runs every figure simulation through the conservative-
 //! parallel fabric at N shards; the outputs are bit-identical to serial
-//! by construction, so it is purely a wall-clock knob.
+//! by construction, so it is purely a wall-clock knob. At N ≥ 2 the
+//! chosen partition is summarized up front — cut size, per-shard
+//! router/NIC balance and the window lookahead the cut earns — for the
+//! two canonical figure topologies.
 //!
 //! Environment: `PRDRB_RESULTS` (output dir, default `results/`),
 //! `PRDRB_SCALE` (duration multiplier for quick runs, default 1.0),
@@ -36,6 +39,9 @@ fn main() {
             Some(n) if n >= 1 => {
                 std::env::set_var("PRDRB_SHARDS", n.to_string());
                 args.drain(i..=i + 1);
+                if n >= 2 {
+                    print_shard_plans(n);
+                }
             }
             _ => {
                 eprintln!("--shards needs a positive integer");
@@ -150,4 +156,26 @@ fn main() {
         failed,
         prdrb_bench::results_dir().display()
     );
+}
+
+/// Summarize the partition `--shards N` puts the canonical figure
+/// topologies under: the cut size bounds handoff traffic, the
+/// router/NIC balance bounds per-window skew, and the lookahead (under
+/// default link parameters) is the window width the cut earns.
+fn print_shard_plans(shards: u32) {
+    use prdrb_network::{shard_lookahead, NetworkConfig};
+    use prdrb_topology::{AnyTopology, ShardPlan, Topology};
+    let net = NetworkConfig::default();
+    println!("shard plans at K={shards} (default link parameters):");
+    for topo in [AnyTopology::mesh8x8(), AnyTopology::fat_tree_64()] {
+        let plan = ShardPlan::new(&topo, shards);
+        println!(
+            "  {:<28} cut {:>3} link(s), lookahead {} ns, routers/shard {:?}, nics/shard {:?}",
+            topo.label(),
+            plan.cut_size(&topo),
+            shard_lookahead(&plan, &topo, &net),
+            plan.shard_sizes(),
+            plan.nic_counts(),
+        );
+    }
 }

@@ -54,7 +54,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// `max_solutions` capacity bound, reports carry the solution-store
 /// lookup/eviction counters, and the collective / phased / open-loop
 /// workload families joined the key encoding.
-const CACHE_FORMAT: u32 = 5;
+///
+/// v6: per-link latency classes — `NetworkConfig` gained
+/// `wire_class_extra_ns` and the board-mesh topology joined the key
+/// encoding. All-zero extras reproduce v5 schedules exactly, but the
+/// new fields must participate in the key, and pre-v6 entries never
+/// hashed them.
+const CACHE_FORMAT: u32 = 6;
 
 /// First line of every cache file.
 const MAGIC: &str = "prdrb-run-cache,v1";
@@ -141,6 +147,16 @@ fn fold_config(cfg: &SimConfig, h: &mut StableHasher) {
             h.write_u32(k);
             h.write_u32(n);
         }
+        TopologyKind::BoardMesh {
+            w,
+            h: rows,
+            board_h,
+        } => {
+            h.write_u8(4);
+            h.write_u32(w);
+            h.write_u32(rows);
+            h.write_u32(board_h);
+        }
     }
     h.write_u8(match policy {
         PolicyKind::Deterministic => 0,
@@ -192,6 +208,7 @@ fn fold_config(cfg: &SimConfig, h: &mut StableHasher) {
         ack_bytes,
         routing_delay_ns,
         wire_delay_ns,
+        wire_class_extra_ns,
         header_ns,
         acks_enabled,
         monitor,
@@ -208,6 +225,9 @@ fn fold_config(cfg: &SimConfig, h: &mut StableHasher) {
     h.write_u32(ack_bytes);
     h.write_u64(routing_delay_ns);
     h.write_u64(wire_delay_ns);
+    for extra in wire_class_extra_ns {
+        h.write_u64(extra);
+    }
     h.write_u64(header_ns);
     h.write_bool(acks_enabled);
     let MonitorConfig {
@@ -814,6 +834,15 @@ mod tests {
             Box::new(|c| c.drb.trend_window += 1),
             Box::new(|c| c.drb.trend_horizon_ns += 1),
             Box::new(|c| c.net.link_gbps += 1e-9),
+            Box::new(|c| c.net.wire_class_extra_ns[1] += 160),
+            Box::new(|c| c.net.wire_class_extra_ns[2] += 5),
+            Box::new(|c| {
+                c.topology = TopologyKind::BoardMesh {
+                    w: 8,
+                    h: 8,
+                    board_h: 4,
+                }
+            }),
             Box::new(|c| c.net.packet_bytes += 1),
             Box::new(|c| c.net.ack_bytes += 1),
             Box::new(|c| c.net.routing_delay_ns += 1),

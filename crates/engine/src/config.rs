@@ -29,6 +29,18 @@ pub enum TopologyKind {
         /// Levels.
         n: u32,
     },
+    /// A mesh assembled from boards of `board_h` rows: links crossing a
+    /// board seam are global-class wires, so a partition that cuts only
+    /// seams gets the full inter-board delay as lookahead
+    /// (`NetworkConfig::wire_class_extra_ns`).
+    BoardMesh {
+        /// Width.
+        w: u32,
+        /// Height.
+        h: u32,
+        /// Rows per board.
+        board_h: u32,
+    },
 }
 
 impl TopologyKind {
@@ -39,6 +51,9 @@ impl TopologyKind {
             TopologyKind::FatTree443 => AnyTopology::fat_tree_64(),
             TopologyKind::Mesh { w, h } => AnyTopology::Mesh(Mesh2D::new(w, h)),
             TopologyKind::Tree { k, n } => AnyTopology::Tree(KAryNTree::new(k, n)),
+            TopologyKind::BoardMesh { w, h, board_h } => {
+                AnyTopology::Mesh(Mesh2D::with_boards(w, h, board_h))
+            }
         }
     }
 }
@@ -291,6 +306,14 @@ mod tests {
         assert_eq!(TopologyKind::FatTree443.build().num_terminals(), 64);
         assert_eq!(TopologyKind::Mesh { w: 4, h: 2 }.build().num_terminals(), 8);
         assert_eq!(TopologyKind::Tree { k: 2, n: 3 }.build().num_terminals(), 8);
+        let boarded = TopologyKind::BoardMesh {
+            w: 4,
+            h: 12,
+            board_h: 4,
+        }
+        .build();
+        assert_eq!(boarded.num_terminals(), 48);
+        assert!(boarded.label().contains("boards"));
     }
 
     #[test]

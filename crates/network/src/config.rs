@@ -68,6 +68,13 @@ pub struct NetworkConfig {
     pub routing_delay_ns: Time,
     /// Wire propagation delay per link.
     pub wire_delay_ns: Time,
+    /// Extra propagation delay per latency class on top of
+    /// `wire_delay_ns`, indexed by [`Topology::link_class`]:
+    /// `[local, global, server]`. All-zero by default, which reproduces
+    /// the uniform-wire model exactly; nonzero global delay models long
+    /// inter-board / spine cables and widens the safe lookahead window
+    /// of the sharded driver when a partition cuts only global wires.
+    pub wire_class_extra_ns: [Time; prdrb_topology::NUM_LINK_CLASSES],
     /// Cut-through handoff latency (header serialization).
     pub header_ns: Time,
     /// Generate destination ACKs for data packets (DRB family needs
@@ -96,6 +103,7 @@ impl Default for NetworkConfig {
             ack_bytes: 64,
             routing_delay_ns: 40,
             wire_delay_ns: 10,
+            wire_class_extra_ns: [0; prdrb_topology::NUM_LINK_CLASSES],
             header_ns: 32,
             acks_enabled: true,
             monitor: MonitorConfig::default(),
@@ -109,6 +117,16 @@ impl NetworkConfig {
     /// Serialization time of `bytes` on a link.
     pub fn ser_ns(&self, bytes: u32) -> Time {
         prdrb_simcore::time::serialization_ns(bytes as u64, self.link_gbps)
+    }
+
+    /// Propagation delay of a wire in latency class `class`.
+    pub fn link_delay_ns(&self, class: u8) -> Time {
+        let extra = self
+            .wire_class_extra_ns
+            .get(class as usize)
+            .copied()
+            .unwrap_or(0);
+        self.wire_delay_ns.saturating_add(extra)
     }
 
     /// Panic on configurations that cannot make progress.
@@ -138,7 +156,19 @@ mod tests {
         assert_eq!(c.link_gbps, 2.0);
         assert_eq!(c.packet_bytes, 1024);
         assert_eq!(c.ser_ns(1024), 4096);
+        assert_eq!(c.wire_class_extra_ns, [0, 0, 0]);
         c.validate();
+    }
+
+    #[test]
+    fn link_delay_adds_per_class_extra() {
+        let mut c = NetworkConfig::default();
+        c.wire_class_extra_ns = [0, 160, 5];
+        assert_eq!(c.link_delay_ns(0), c.wire_delay_ns);
+        assert_eq!(c.link_delay_ns(1), c.wire_delay_ns + 160);
+        assert_eq!(c.link_delay_ns(2), c.wire_delay_ns + 5);
+        // Out-of-range classes fall back to the base delay.
+        assert_eq!(c.link_delay_ns(7), c.wire_delay_ns);
     }
 
     #[test]

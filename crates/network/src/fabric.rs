@@ -158,15 +158,15 @@ fn event_key(ev: &NetEvent) -> u64 {
 }
 
 /// A boundary event bound for another shard, parked in the source
-/// shard's outbox until the next window barrier.
+/// shard's outbox until the next window barrier. The destination shard
+/// is encoded by the outbox *lane* the event sits in, not stored per
+/// event — handoffs move whole lanes, never individual events.
 #[derive(Debug)]
 pub(crate) struct StagedEvent {
     /// Fire time (≥ window start + lookahead by construction).
     pub(crate) at: Time,
     /// Pre-computed [`event_key`].
     pub(crate) key: u64,
-    /// Destination shard.
-    pub(crate) dst: u32,
     ev: NetEvent,
 }
 
@@ -175,7 +175,10 @@ pub(crate) struct StagedEvent {
 struct ShardCtx {
     id: u32,
     plan: Arc<ShardPlan>,
-    outbox: Vec<StagedEvent>,
+    /// One outbox lane per destination shard (own lane stays empty).
+    /// Lanes are flushed wholesale at each window barrier and keep
+    /// their capacity, so steady-state handoffs never allocate.
+    outbox: Vec<Vec<StagedEvent>>,
 }
 
 #[derive(Debug)]
@@ -187,6 +190,10 @@ struct RouterState {
     in_occ: u64,
     out_q: Vec<VecDeque<Box<Packet>>>,
     out_bytes: Vec<u32>,
+    /// Propagation delay of the wire behind each port — the base
+    /// `wire_delay_ns` plus the per-latency-class extra. Precomputed at
+    /// build so the hot path never consults the topology.
+    wire_ns: Vec<Time>,
     /// Credits toward the downstream input queue per (out port, vc);
     /// `i64::MAX / 2` marks terminal-facing ports (infinite sink).
     credits: Vec<[i64; NUM_VCS]>,
@@ -204,6 +211,8 @@ struct NicState {
     queue: VecDeque<Box<Packet>>,
     credits: [i64; NUM_VCS],
     link_busy_until: Time,
+    /// Propagation delay of the terminal attachment wire.
+    wire_ns: Time,
 }
 
 /// Cumulative fabric counters.
@@ -293,16 +302,8 @@ impl Fabric {
         faults: Arc<FaultPlan>,
     ) -> Self {
         debug_assert!(id < plan.shards());
-        Self::build(
-            topo,
-            cfg,
-            Some(ShardCtx {
-                id,
-                plan,
-                outbox: Vec::new(),
-            }),
-            faults,
-        )
+        let outbox = (0..plan.shards()).map(|_| Vec::new()).collect();
+        Self::build(topo, cfg, Some(ShardCtx { id, plan, outbox }), faults)
     }
 
     fn build(
@@ -333,11 +334,15 @@ impl Fabric {
                 ports * NUM_VCS <= 64,
                 "input-lane occupancy mask needs ports * NUM_VCS <= 64"
             );
+            let wire_ns = (0..ports)
+                .map(|p| cfg.link_delay_ns(topo.link_class(rid, Port(p as u8))))
+                .collect();
             routers.push(RouterState {
                 in_q: (0..ports).map(|_| Default::default()).collect(),
                 in_occ: 0,
                 out_q: (0..ports).map(|_| VecDeque::new()).collect(),
                 out_bytes: vec![0; ports],
+                wire_ns,
                 credits,
                 link_busy_until: vec![0; ports],
                 route_pending: false,
@@ -348,10 +353,16 @@ impl Fabric {
             });
         }
         let nics = (0..topo.num_terminals())
-            .map(|_| NicState {
-                queue: VecDeque::new(),
-                credits: [cfg.input_buf_bytes as i64; NUM_VCS],
-                link_busy_until: 0,
+            .map(|n| {
+                let node = NodeId(n as u32);
+                let wire_ns = cfg
+                    .link_delay_ns(topo.link_class(topo.router_of(node), topo.terminal_port(node)));
+                NicState {
+                    queue: VecDeque::new(),
+                    credits: [cfg.input_buf_bytes as i64; NUM_VCS],
+                    link_busy_until: 0,
+                    wire_ns,
+                }
             })
             .collect();
         let table = RouteTable::build(&topo);
@@ -543,10 +554,9 @@ impl Fabric {
                     matches!(ev, NetEvent::Arrive { .. } | NetEvent::Credit { .. }),
                     "non-boundary event crossed a shard"
                 );
-                ctx.outbox.push(StagedEvent {
+                ctx.outbox[dst as usize].push(StagedEvent {
                     at,
                     key: event_key(&ev),
-                    dst,
                     ev,
                 });
                 return;
@@ -575,11 +585,22 @@ impl Fabric {
         n
     }
 
-    /// Move the boundary events staged by the last window into `out`.
-    pub(crate) fn take_outbox(&mut self, out: &mut Vec<StagedEvent>) {
+    /// Flush the boundary events staged by the last window into the
+    /// driver's per-destination-shard lanes (`into[d]` receives this
+    /// shard's lane `d` wholesale, appended after whatever earlier
+    /// shards put there — source-shard-major order). Both sides keep
+    /// their `Vec` capacity, so a steady-state handoff is K pointer
+    /// moves plus element memcpys, no per-event routing. Returns the
+    /// number of events handed off.
+    pub(crate) fn take_outbox(&mut self, into: &mut [Vec<StagedEvent>]) -> u64 {
+        let mut moved = 0;
         if let Some(ctx) = self.shard.as_mut() {
-            out.append(&mut ctx.outbox);
+            for (d, lane) in ctx.outbox.iter_mut().enumerate() {
+                moved += lane.len() as u64;
+                into[d].append(lane);
+            }
         }
+        moved
     }
 
     /// Accept a boundary event staged by another shard. Its key was
@@ -796,9 +817,10 @@ impl Fabric {
         pkt.nic_depart = self.clock;
         let ser = self.cfg.ser_ns(pkt.size);
         nic.link_busy_until = self.clock + ser;
+        let wire = nic.wire_ns;
         let (router, port) = self.table.nic_attach(node);
         self.sched(
-            self.clock + self.cfg.wire_delay_ns + self.cfg.header_ns,
+            self.clock + wire + self.cfg.header_ns,
             NetEvent::Arrive {
                 router,
                 port,
@@ -944,10 +966,13 @@ impl Fabric {
         rs.out_bytes[out.idx()] += size;
         rs.out_q[out.idx()].push_back(pkt);
         self.sample_contention(router, wait);
-        // Return the credit upstream now that the input slot is free.
+        // Return the credit upstream now that the input slot is free;
+        // it travels back over the same physical wire the packet came
+        // in on, so it pays that wire's class delay.
+        let wire = self.routers[router.idx()].wire_ns[p];
         match self.table.neighbor(router, Port(p as u8)) {
             Some(Endpoint::Router(ur, up)) => self.sched(
-                self.clock + self.cfg.wire_delay_ns,
+                self.clock + wire,
                 NetEvent::Credit {
                     router: ur,
                     port: up,
@@ -956,7 +981,7 @@ impl Fabric {
                 },
             ),
             Some(Endpoint::Terminal(n)) => self.sched(
-                self.clock + self.cfg.wire_delay_ns,
+                self.clock + wire,
                 NetEvent::NicCredit {
                     node: n,
                     vc: vc as u8,
@@ -982,9 +1007,10 @@ impl Fabric {
         }
         let size = pkt.size;
         self.drop_boxed(pkt);
+        let wire = self.routers[router.idx()].wire_ns[p];
         match self.table.neighbor(router, Port(p as u8)) {
             Some(Endpoint::Router(ur, up)) => self.sched(
-                self.clock + self.cfg.wire_delay_ns,
+                self.clock + wire,
                 NetEvent::Credit {
                     router: ur,
                     port: up,
@@ -993,7 +1019,7 @@ impl Fabric {
                 },
             ),
             Some(Endpoint::Terminal(n)) => self.sched(
-                self.clock + self.cfg.wire_delay_ns,
+                self.clock + wire,
                 NetEvent::NicCredit {
                     node: n,
                     vc: vc as u8,
@@ -1053,11 +1079,12 @@ impl Fabric {
         if pkt.is_data() {
             self.monitor_port(router, port, &mut pkt, wait);
         }
+        let wire = self.routers[router.idx()].wire_ns[port.idx()];
         match neighbor {
             Some(Endpoint::Terminal(n)) => {
                 // Full packet must land before the node consumes it.
                 self.sched(
-                    self.clock + self.cfg.wire_delay_ns + ser,
+                    self.clock + wire + ser,
                     NetEvent::Deliver {
                         node: n,
                         packet: pkt,
@@ -1067,7 +1094,7 @@ impl Fabric {
             Some(Endpoint::Router(nr, np)) => {
                 // Cut-through: header hands off while the tail flows.
                 self.sched(
-                    self.clock + self.cfg.wire_delay_ns + self.cfg.header_ns,
+                    self.clock + wire + self.cfg.header_ns,
                     NetEvent::Arrive {
                         router: nr,
                         port: np,

@@ -20,13 +20,14 @@ pub mod packet;
 pub mod pool;
 pub mod shard;
 pub mod wire;
+mod wsdeque;
 
 pub use config::{MonitorConfig, NetworkConfig, NotifyMode};
 pub use fabric::{Delivery, Fabric, FabricStats, NUM_VCS};
 pub use monitor::{contending_flows, dedup_sources, Contender};
 pub use packet::{FlowPair, Packet, PacketKind, PredictiveHeader};
 pub use pool::PacketPool;
-pub use shard::{shard_lookahead, shard_lookahead_live, ExecMode, ShardedFabric};
+pub use shard::{shard_lookahead, shard_lookahead_live, ExecMode, ParallelStats, ShardedFabric};
 pub use wire::{decode, encode, WireError, WirePacket};
 
 #[cfg(test)]

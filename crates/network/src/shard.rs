@@ -7,13 +7,17 @@
 //! 1. pick the global next event time `t₀` (earliest pending event,
 //!    staged boundary event or host injection across all shards),
 //! 2. run every shard independently through `[t₀, t₀ + L - 1]`, where
-//!    `L` is the **lookahead** — the minimum latency any event needs to
-//!    cross a shard boundary (≥ one wire delay, because NICs are
-//!    co-located with their routers and only router→router links are
-//!    cut),
+//!    `L` is the **lookahead** — the minimum simulated latency any
+//!    event needs to cross a shard boundary. Per link that latency is
+//!    its wire propagation delay, which since the latency-class model
+//!    (`NetworkConfig::wire_class_extra_ns`) is *per link*: a cut that
+//!    crosses only long inter-board or spine wires yields a wide
+//!    window, amortizing every barrier over many more events,
 //! 3. barrier: collect each shard's outbox of boundary events and
-//!    deliveries, route the former to their destination shards'
-//!    staging queues, and merge the latter into the serial pop order.
+//!    deliveries, hand the former to their destination shards'
+//!    staging lanes *wholesale* (the fabric keeps one outbox lane per
+//!    destination shard, so the handoff is a few `Vec::append`s, not
+//!    per-event routing), and merge the latter into serial pop order.
 //!
 //! Within a window, no event on one shard can causally affect another
 //! shard (any influence needs ≥ `L` ns of link latency, which lands
@@ -22,44 +26,64 @@
 //! from the content-keyed calendar (`(time, key, seq)` ordering in
 //! *both* modes, see `fabric::event_key`), content-derived control
 //! packet ids, and the deterministic barrier: staged events are
-//! accepted in source-shard order (their keys make calendar order
-//! insertion-order independent anyway) and deliveries are sorted by the
-//! serial calendar key. The golden-digest and property tests assert
-//! byte-identical results for K ∈ {1, 2, 4}.
+//! accepted in source-shard-major order (their keys make calendar
+//! order insertion-order independent anyway) and deliveries are sorted
+//! by the serial calendar key. The golden-digest and property tests
+//! assert byte-identical results for K ∈ {1, 2, 3, 4, 8}.
 //!
 //! Two execution backends share the same window protocol:
 //!
 //! * **sequential** — shards advanced one after another on the calling
-//!   thread (zero synchronization overhead; the determinism reference),
-//! * **threaded** — one persistent worker thread per shard, driven by
-//!   per-window commands over channels. Selected automatically when the
-//!   machine has more than one hardware thread; force with the
-//!   `PRDRB_SHARD_THREADS` env var (`1` = threads, `0` = sequential).
+//!   thread (zero synchronization overhead; the determinism
+//!   reference). Outboxes are collected in a second pass after *every*
+//!   shard ran, so a same-window boundary event is never accepted
+//!   early — the sequential schedule is structurally identical to the
+//!   parallel barrier.
+//! * **pool** — a persistent worker pool (one thread per hardware
+//!   thread, capped at `K`). Each window is over-decomposed into one
+//!   task per shard; workers push their owned shards onto a private
+//!   Chase–Lev deque ([`crate::wsdeque::WsDeque`]), pop them LIFO, and
+//!   steal FIFO from other workers when they run dry, so an imbalanced
+//!   partition (or an imbalanced traffic pattern) cannot leave cores
+//!   idle behind one hot shard. Barriers are a single atomic
+//!   countdown — no channels, no per-window allocation. Selected
+//!   automatically when the machine has more than one hardware thread;
+//!   force with the `PRDRB_SHARD_THREADS` env var (`1` = pool, `0` =
+//!   sequential).
+//!
+//! Parallel health is observable two ways: cheap always-on aggregates
+//! ([`ShardedFabric::parallel_stats`], used by the bench harness) and
+//! `probes`-feature sample streams (`shard_window_width_ns`,
+//! `shard_barrier_wait_ns`, `shard_handoff_batch`, `shard_steal`).
 
 use crate::config::NetworkConfig;
 use crate::fabric::{delivery_order_key, Delivery, Fabric, FabricStats, StagedEvent};
 use crate::packet::Packet;
+use crate::wsdeque::WsDeque;
 use prdrb_simcore::stats::TimeSeries;
 use prdrb_simcore::time::Time;
-use prdrb_topology::{AnyTopology, FaultPlan, FaultState, RouterId, ShardPlan};
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::Arc;
+use prdrb_simcore::{probe_count, probe_value};
+use prdrb_topology::{AnyTopology, FaultPlan, FaultState, RouterId, ShardPlan, Topology};
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Lookahead of a plan: the minimum simulated latency any event needs
-/// to cross a shard boundary. Only `Arrive` (wire + header serialization
-/// tail) and `Credit` (wire) events traverse router→router links, so
-/// the bound is `min` over the cut links of the wire delay — uniform
-/// today, but computed per link so a future heterogeneous-latency
-/// config stays correct. A plan with no cut (K = 1, or every shard but
-/// one empty) has unbounded lookahead.
+/// to cross a shard boundary. Only `Arrive` (wire + header tail) and
+/// `Credit` (wire) events traverse router→router links, so per cut
+/// link the bound is that link's propagation delay
+/// ([`NetworkConfig::link_delay_ns`] of its latency class — symmetric
+/// by the `link_class` contract, so one direction covers both), and
+/// the plan-wide bound is the `min` over the cut. Partitions that cut
+/// only long (global-class) wires therefore get windows widened by the
+/// full inter-board delay. A plan with no cut (K = 1, or every shard
+/// but one empty) has unbounded lookahead.
 pub fn shard_lookahead(plan: &ShardPlan, topo: &AnyTopology, cfg: &NetworkConfig) -> Time {
     plan.cross_links(topo)
         .iter()
-        .map(|_link| {
-            cfg.wire_delay_ns
-                .min(cfg.wire_delay_ns.saturating_add(cfg.header_ns))
-        })
+        .map(|&(r, p, _)| cfg.link_delay_ns(topo.link_class(r, p)))
         .min()
         .unwrap_or(Time::MAX / 2)
 }
@@ -78,10 +102,7 @@ pub fn shard_lookahead_live(
 ) -> Time {
     plan.live_cross_links(topo, faults)
         .iter()
-        .map(|_link| {
-            cfg.wire_delay_ns
-                .min(cfg.wire_delay_ns.saturating_add(cfg.header_ns))
-        })
+        .map(|&(r, p, _)| cfg.link_delay_ns(topo.link_class(r, p)))
         .min()
         .unwrap_or(Time::MAX / 2)
 }
@@ -89,47 +110,277 @@ pub fn shard_lookahead_live(
 /// Execution backend selection for [`ShardedFabric`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecMode {
-    /// Threads when the machine has >1 hardware thread (overridable via
-    /// `PRDRB_SHARD_THREADS=0|1`), sequential otherwise.
+    /// Worker pool when the machine has >1 hardware thread (overridable
+    /// via `PRDRB_SHARD_THREADS=0|1`), sequential otherwise.
     Auto,
     /// All shards on the calling thread.
     Sequential,
-    /// One persistent worker thread per shard.
+    /// The persistent work-stealing worker pool.
     Threaded,
 }
 
-/// Per-window command to a shard worker.
-enum Cmd {
-    /// Accept staged boundary events + host injections, run the window
-    /// `…≤ wend`, report back.
-    Window {
-        wend: Time,
-        staged: Vec<StagedEvent>,
-        inject: Vec<Packet>,
-    },
-    /// Hand the fabric back and exit.
-    Finish,
+/// Always-on aggregates of the window driver's parallel health. All
+/// fields except [`Self::barrier_wait_ns`] and [`Self::steals`] are
+/// deterministic (identical across backends and schedules); those two
+/// are wall-clock / scheduling artifacts and are only meaningful in
+/// pool mode.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParallelStats {
+    /// Bulk-synchronous windows executed.
+    pub windows: u64,
+    /// Sum of window widths (ns of simulated time per window); divide
+    /// by [`Self::windows`] for the average width the lookahead model
+    /// actually achieved after horizon / fault clipping.
+    pub width_sum_ns: u64,
+    /// Boundary events handed off across shards at barriers.
+    pub handoff_events: u64,
+    /// Wall-clock ns pool workers spent idle at window barriers
+    /// (summed over workers; 0 in sequential mode).
+    pub barrier_wait_ns: u64,
+    /// Successful work-steals by pool workers (0 in sequential mode).
+    pub steals: u64,
 }
 
-/// A shard worker's report at a window barrier.
-struct Done {
-    shard: u32,
+impl ParallelStats {
+    /// Average window width in ns (0 when no window ran).
+    pub fn avg_width_ns(&self) -> f64 {
+        if self.windows == 0 {
+            0.0
+        } else {
+            self.width_sum_ns as f64 / self.windows as f64
+        }
+    }
+}
+
+/// Iterations of busy-waiting before a worker (or the driver) parks on
+/// a condvar. Windows on bench-sized workloads complete in far fewer
+/// spins, so the pool stays hot without burning cores when idle.
+const SPIN_LIMIT: u32 = 20_000;
+
+/// Per-shard mailbox + fabric, owned by exactly one worker per window
+/// (the deque hands each shard index out exactly once) and by the
+/// driver between windows (`pending == 0`).
+struct SlotState {
+    fab: Fabric,
+    /// Boundary events staged for this shard, swapped in by the driver
+    /// before the epoch bump (double-buffered against the driver's
+    /// lanes — capacities ping-pong, no steady-state allocation).
+    staged_in: Vec<StagedEvent>,
+    /// Host injections for this shard, swapped in likewise.
+    inject_in: Vec<Packet>,
+    /// Events processed in the last window.
     events: u64,
-    last_event: Time,
-    next_time: Option<Time>,
-    outbox: Vec<StagedEvent>,
-    deliveries: Vec<Delivery>,
 }
 
-struct Threaded {
-    cmds: Vec<Sender<Cmd>>,
-    done_rx: Receiver<Done>,
-    handles: Vec<JoinHandle<Fabric>>,
+struct ShardSlot(UnsafeCell<SlotState>);
+
+// SAFETY: slots are accessed under the pool's epoch/pending protocol —
+// the deque's exactly-once handout makes one worker the sole accessor
+// during a window, and the `pending` countdown (Release on the last
+// decrement, Acquire at the driver's barrier read) transfers exclusive
+// access back to the driver between windows.
+unsafe impl Sync for ShardSlot {}
+
+// The protocol moves `SlotState` across threads; keep that explicit.
+fn _slots_are_send(s: SlotState) -> impl Send {
+    s
+}
+
+struct PoolShared {
+    slots: Vec<ShardSlot>,
+    /// One Chase–Lev deque per worker; worker `w` owns `deques[w]`.
+    deques: Vec<WsDeque>,
+    /// Window generation. Bumped (under `epoch_lock`, Release) to start
+    /// a window; workers Acquire it to join.
+    epoch: AtomicU64,
+    /// Tasks not yet completed in the current window. The driver's
+    /// barrier is `pending == 0` (Acquire).
+    pending: AtomicUsize,
+    /// Window end, published by the epoch bump.
+    wend: AtomicU64,
+    stop: AtomicBool,
+    steals: AtomicU64,
+    barrier_wait_ns: AtomicU64,
+    epoch_lock: Mutex<()>,
+    epoch_cv: Condvar,
+    done_lock: Mutex<()>,
+    done_cv: Condvar,
+}
+
+struct Pool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    fn spawn(fabrics: Vec<Fabric>) -> Self {
+        let k = fabrics.len();
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .clamp(1, k);
+        let shared = Arc::new(PoolShared {
+            slots: fabrics
+                .into_iter()
+                .map(|fab| {
+                    ShardSlot(UnsafeCell::new(SlotState {
+                        fab,
+                        staged_in: Vec::new(),
+                        inject_in: Vec::new(),
+                        events: 0,
+                    }))
+                })
+                .collect(),
+            deques: (0..workers).map(|_| WsDeque::new(k)).collect(),
+            epoch: AtomicU64::new(0),
+            pending: AtomicUsize::new(0),
+            wend: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            steals: AtomicU64::new(0),
+            barrier_wait_ns: AtomicU64::new(0),
+            epoch_lock: Mutex::new(()),
+            epoch_cv: Condvar::new(),
+            done_lock: Mutex::new(()),
+            done_cv: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|w| {
+                let sh = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("prdrb-shard-w{w}"))
+                    .spawn(move || pool_worker(sh, w, workers))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        Self { shared, handles }
+    }
+
+    /// Wake everyone into the stop path and join. Reads back the
+    /// scheduling aggregates; the slots stay in `shared` for the caller
+    /// to unwrap.
+    fn shutdown(mut self) -> (Vec<Fabric>, u64, u64) {
+        self.shared.stop.store(true, Ordering::Release);
+        // Touch the lock so a worker between its predicate check and
+        // its wait cannot miss the notify.
+        drop(self.shared.epoch_lock.lock());
+        self.shared.epoch_cv.notify_all();
+        for h in self.handles.drain(..) {
+            h.join().expect("shard worker panicked");
+        }
+        let steals = self.shared.steals.load(Ordering::Relaxed);
+        let waited = self.shared.barrier_wait_ns.load(Ordering::Relaxed);
+        let shared = Arc::try_unwrap(self.shared)
+            .ok()
+            .expect("all worker handles joined");
+        let fabs = shared
+            .slots
+            .into_iter()
+            .map(|slot| slot.0.into_inner().fab)
+            .collect();
+        (fabs, steals, waited)
+    }
+}
+
+/// Worker loop. Each window: join the new epoch, publish owned shards
+/// (`s ≡ w mod workers`) onto the private deque, then pop-own /
+/// steal-others until the window's task countdown hits zero.
+///
+/// A worker can lag a window behind (still spinning in epoch `e` when
+/// the driver opens `e+1`): that is safe. Stealing an `e+1` task from
+/// another worker's deque synchronizes through the deque's release/
+/// acquire chain (push happens after that worker Acquired the epoch
+/// bump that published the slots), and the laggard's own shards are
+/// only pushed once it joins — the window cannot complete without
+/// them, so the epoch can never advance two generations past any
+/// worker.
+fn pool_worker(shared: Arc<PoolShared>, w: usize, workers: usize) {
+    let k = shared.slots.len();
+    let mut my_epoch = 0u64;
+    loop {
+        // Wait for the next window (or stop): bounded spin, then park.
+        let mut spins = 0u32;
+        loop {
+            let e = shared.epoch.load(Ordering::Acquire);
+            if e != my_epoch {
+                my_epoch = e;
+                break;
+            }
+            if shared.stop.load(Ordering::Acquire) {
+                return;
+            }
+            spins += 1;
+            if spins < SPIN_LIMIT {
+                std::hint::spin_loop();
+            } else {
+                let mut g = shared.epoch_lock.lock().expect("epoch lock poisoned");
+                while shared.epoch.load(Ordering::Acquire) == my_epoch
+                    && !shared.stop.load(Ordering::Acquire)
+                {
+                    g = shared.epoch_cv.wait(g).expect("epoch lock poisoned");
+                }
+            }
+        }
+        let me = &shared.deques[w];
+        for s in (w..k).step_by(workers) {
+            me.push(s);
+        }
+        let wend = shared.wend.load(Ordering::Relaxed);
+        let mut last_done = Instant::now();
+        loop {
+            let task = match me.pop() {
+                Some(t) => Some(t),
+                None => {
+                    let mut stolen = None;
+                    for i in 1..workers {
+                        if let Some(t) = shared.deques[(w + i) % workers].steal() {
+                            shared.steals.fetch_add(1, Ordering::Relaxed);
+                            probe_count!(ShardSteal, w);
+                            stolen = Some(t);
+                            break;
+                        }
+                    }
+                    stolen
+                }
+            };
+            match task {
+                Some(s) => {
+                    // SAFETY: the deque hands out each shard index
+                    // exactly once per window, so this worker is the
+                    // slot's sole accessor until its `pending`
+                    // decrement below.
+                    let state = unsafe { &mut *shared.slots[s].0.get() };
+                    for st in state.staged_in.drain(..) {
+                        state.fab.accept_staged(st);
+                    }
+                    for p in state.inject_in.drain(..) {
+                        state.fab.inject(p);
+                    }
+                    state.events = state.fab.run_window(wend);
+                    last_done = Instant::now();
+                    if shared.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        drop(shared.done_lock.lock());
+                        shared.done_cv.notify_one();
+                    }
+                }
+                None => {
+                    if shared.pending.load(Ordering::Acquire) == 0
+                        || shared.epoch.load(Ordering::Acquire) != my_epoch
+                    {
+                        break;
+                    }
+                    std::hint::spin_loop();
+                }
+            }
+        }
+        let waited = last_done.elapsed().as_nanos() as u64;
+        shared.barrier_wait_ns.fetch_add(waited, Ordering::Relaxed);
+        probe_value!(ShardBarrierWait, w, waited);
+    }
 }
 
 enum Exec {
     Sequential(Vec<Fabric>),
-    Threaded(Threaded),
+    Pool(Pool),
     /// Workers joined; fabrics pulled back for post-run inspection.
     Finalized(Vec<Fabric>),
 }
@@ -165,10 +416,11 @@ pub struct ShardedFabric {
     inject_q: Vec<Vec<Packet>>,
     /// Per-shard next-event time reported at the last barrier.
     next_times: Vec<Option<Time>>,
-    /// Scratch for outbox routing at barriers.
-    outbox_buf: Vec<StagedEvent>,
-    /// Scratch for per-shard delivery pickup (sequential mode).
+    /// Scratch for per-shard delivery pickup.
     delivery_buf: Vec<Delivery>,
+    /// Driver-side parallel aggregates (pool scheduling counters are
+    /// folded in at finalize / read live by [`Self::parallel_stats`]).
+    pstats: ParallelStats,
 }
 
 impl ShardedFabric {
@@ -213,27 +465,8 @@ impl ShardedFabric {
                 )
             })
             .collect();
-        let threaded = shards > 1 && Self::want_threads(mode);
-        let exec = if threaded {
-            let (done_tx, done_rx) = channel();
-            let mut cmds = Vec::with_capacity(shards as usize);
-            let mut handles = Vec::with_capacity(shards as usize);
-            for (s, fab) in fabrics.into_iter().enumerate() {
-                let (cmd_tx, cmd_rx) = channel();
-                let tx = done_tx.clone();
-                handles.push(
-                    std::thread::Builder::new()
-                        .name(format!("prdrb-shard-{s}"))
-                        .spawn(move || worker(fab, s as u32, cmd_rx, tx))
-                        .expect("spawn shard worker"),
-                );
-                cmds.push(cmd_tx);
-            }
-            Exec::Threaded(Threaded {
-                cmds,
-                done_rx,
-                handles,
-            })
+        let exec = if shards > 1 && Self::want_threads(mode) {
+            Exec::Pool(Pool::spawn(fabrics))
         } else {
             Exec::Sequential(fabrics)
         };
@@ -253,8 +486,8 @@ impl ShardedFabric {
             staged: (0..shards).map(|_| Vec::new()).collect(),
             inject_q: (0..shards).map(|_| Vec::new()).collect(),
             next_times: vec![None; shards as usize],
-            outbox_buf: Vec::new(),
             delivery_buf: Vec::new(),
+            pstats: ParallelStats::default(),
         }
     }
 
@@ -295,6 +528,17 @@ impl ShardedFabric {
     /// Current simulated time (same clamp rules as [`Fabric::now`]).
     pub fn now(&self) -> Time {
         self.clock
+    }
+
+    /// Always-on parallel-health aggregates (see [`ParallelStats`]).
+    pub fn parallel_stats(&self) -> ParallelStats {
+        let mut s = self.pstats;
+        if let Exec::Pool(p) = &self.exec {
+            // Quiescent between windows; Relaxed is exact here.
+            s.steals += p.shared.steals.load(Ordering::Relaxed);
+            s.barrier_wait_ns += p.shared.barrier_wait_ns.load(Ordering::Relaxed);
+        }
+        s
     }
 
     /// Allocate a unique host packet id (mirrors [`Fabric::alloc_id`];
@@ -466,26 +710,18 @@ impl ShardedFabric {
         (a, r)
     }
 
-    /// Join worker threads (threaded mode) and reclaim the per-shard
-    /// fabrics for inspection. Idempotent; called automatically by
+    /// Join the worker pool and reclaim the per-shard fabrics for
+    /// inspection. Idempotent; called automatically by
     /// [`Self::run_to_quiescence`].
     pub fn finalize(&mut self) {
-        if matches!(self.exec, Exec::Threaded(_)) {
-            let Exec::Threaded(t) = std::mem::replace(&mut self.exec, Exec::Finalized(Vec::new()))
+        if matches!(self.exec, Exec::Pool(_)) {
+            let Exec::Pool(pool) = std::mem::replace(&mut self.exec, Exec::Finalized(Vec::new()))
             else {
                 unreachable!()
             };
-            // Dropping the senders also stops workers, but an explicit
-            // Finish keeps shutdown prompt if a sender leaks.
-            for c in &t.cmds {
-                let _ = c.send(Cmd::Finish);
-            }
-            drop(t.cmds);
-            let fabs = t
-                .handles
-                .into_iter()
-                .map(|h| h.join().expect("shard worker panicked"))
-                .collect();
+            let (fabs, steals, waited) = pool.shutdown();
+            self.pstats.steals += steals;
+            self.pstats.barrier_wait_ns += waited;
             self.exec = Exec::Finalized(fabs);
         }
     }
@@ -493,7 +729,7 @@ impl ShardedFabric {
     fn fabrics(&self, what: &str) -> &[Fabric] {
         match &self.exec {
             Exec::Sequential(f) | Exec::Finalized(f) => f,
-            Exec::Threaded(_) => {
+            Exec::Pool(_) => {
                 panic!("{what}: finalize the sharded fabric before inspecting shard state")
             }
         }
@@ -532,7 +768,11 @@ impl ShardedFabric {
             let at = self.fault_plan.events()[self.fault_cursor].at;
             wend = wend.min(at - 1); // at > start, so wend >= start
         }
+        self.pstats.windows += 1;
+        self.pstats.width_sum_ns += wend - start + 1;
+        probe_value!(ShardWindowWidth, 0u64, wend - start + 1);
         let merge_from = self.deliveries.len();
+        let k = self.staged.len();
         match &mut self.exec {
             Exec::Sequential(fabs) => {
                 for (s, fab) in fabs.iter_mut().enumerate() {
@@ -543,49 +783,71 @@ impl ShardedFabric {
                         fab.inject(p);
                     }
                     self.events += fab.run_window(wend);
-                    fab.take_outbox(&mut self.outbox_buf);
+                }
+                // Second pass, only after every shard ran: a boundary
+                // event produced *in* this window is never accepted in
+                // the same window — structurally identical to the pool
+                // barrier below.
+                for (s, fab) in fabs.iter_mut().enumerate() {
+                    let moved = fab.take_outbox(&mut self.staged);
+                    self.pstats.handoff_events += moved;
+                    probe_value!(ShardHandoffBatch, s, moved);
                     fab.take_deliveries(&mut self.delivery_buf);
                     self.deliveries.append(&mut self.delivery_buf);
                     self.clock = self.clock.max(fab.event_clock());
                     self.next_times[s] = fab.next_event_time();
                 }
             }
-            Exec::Threaded(t) => {
-                for (s, cmd_tx) in t.cmds.iter().enumerate() {
-                    cmd_tx
-                        .send(Cmd::Window {
-                            wend,
-                            staged: std::mem::take(&mut self.staged[s]),
-                            inject: std::mem::take(&mut self.inject_q[s]),
-                        })
-                        .expect("shard worker alive");
+            Exec::Pool(pool) => {
+                let sh = &pool.shared;
+                for (s, lanes) in self.staged.iter_mut().enumerate() {
+                    // SAFETY: `pending == 0` between windows — no
+                    // worker touches slots until the epoch bump below.
+                    let state = unsafe { &mut *sh.slots[s].0.get() };
+                    // The slot vecs were drained by last window's
+                    // worker, so these swaps double-buffer: full lanes
+                    // in, empty (but sized) lanes back out.
+                    std::mem::swap(&mut state.staged_in, lanes);
+                    std::mem::swap(&mut state.inject_in, &mut self.inject_q[s]);
                 }
-                // Reports arrive in completion order; re-rank by shard
-                // so the merge below is schedule-independent.
-                let k = t.cmds.len();
-                let mut slots: Vec<Option<Done>> = (0..k).map(|_| None).collect();
-                for _ in 0..k {
-                    let d = t.done_rx.recv().expect("shard worker alive");
-                    let s = d.shard as usize;
-                    slots[s] = Some(d);
+                sh.wend.store(wend, Ordering::Relaxed);
+                sh.pending.store(k, Ordering::Relaxed);
+                {
+                    // The bump publishes the slot swaps and `wend`
+                    // (Release, Acquired by joining workers); holding
+                    // the lock pairs with parked workers' predicate
+                    // check.
+                    let _g = sh.epoch_lock.lock().expect("epoch lock poisoned");
+                    sh.epoch.fetch_add(1, Ordering::Release);
                 }
-                for slot in &mut slots {
-                    let d = slot.as_mut().expect("every shard reports once");
-                    self.events += d.events;
-                    self.clock = self.clock.max(d.last_event);
-                    self.next_times[d.shard as usize] = d.next_time;
-                    self.outbox_buf.append(&mut d.outbox);
-                    self.deliveries.append(&mut d.deliveries);
+                sh.epoch_cv.notify_all();
+                let mut spins = 0u32;
+                while sh.pending.load(Ordering::Acquire) != 0 {
+                    spins += 1;
+                    if spins >= SPIN_LIMIT {
+                        let mut g = sh.done_lock.lock().expect("done lock poisoned");
+                        while sh.pending.load(Ordering::Acquire) != 0 {
+                            g = sh.done_cv.wait(g).expect("done lock poisoned");
+                        }
+                        break;
+                    }
+                    std::hint::spin_loop();
+                }
+                for s in 0..k {
+                    // SAFETY: barrier passed — exclusive access is back
+                    // with the driver.
+                    let state = unsafe { &mut *sh.slots[s].0.get() };
+                    self.events += state.events;
+                    let moved = state.fab.take_outbox(&mut self.staged);
+                    self.pstats.handoff_events += moved;
+                    probe_value!(ShardHandoffBatch, s, moved);
+                    state.fab.take_deliveries(&mut self.delivery_buf);
+                    self.deliveries.append(&mut self.delivery_buf);
+                    self.clock = self.clock.max(state.fab.event_clock());
+                    self.next_times[s] = state.fab.next_event_time();
                 }
             }
             Exec::Finalized(_) => unreachable!("window after finalization"),
-        }
-        // Route boundary events to their destination shards' staging
-        // queues. Their content keys make the eventual calendar order
-        // insertion-order independent, but keep the source-shard-major
-        // order anyway so even debug traces are deterministic.
-        for st in self.outbox_buf.drain(..) {
-            self.staged[st.dst as usize].push(st);
         }
         // Merge this window's deliveries into the serial pop order.
         self.deliveries[merge_from..].sort_by_key(delivery_order_key);
@@ -594,55 +856,15 @@ impl ShardedFabric {
 
 impl Drop for ShardedFabric {
     fn drop(&mut self) {
-        if let Exec::Threaded(t) = &mut self.exec {
-            for c in &t.cmds {
-                let _ = c.send(Cmd::Finish);
-            }
-            t.cmds.clear();
-            for h in t.handles.drain(..) {
+        if let Exec::Pool(pool) = &mut self.exec {
+            pool.shared.stop.store(true, Ordering::Release);
+            drop(pool.shared.epoch_lock.lock());
+            pool.shared.epoch_cv.notify_all();
+            for h in pool.handles.drain(..) {
                 let _ = h.join();
             }
         }
     }
-}
-
-/// Worker loop: one shard fabric, driven window-by-window, handed back
-/// on `Finish` (or when the command channel closes).
-fn worker(mut fab: Fabric, shard: u32, rx: Receiver<Cmd>, tx: Sender<Done>) -> Fabric {
-    let mut outbox = Vec::new();
-    let mut deliveries = Vec::new();
-    while let Ok(cmd) = rx.recv() {
-        match cmd {
-            Cmd::Window {
-                wend,
-                staged,
-                inject,
-            } => {
-                for st in staged {
-                    fab.accept_staged(st);
-                }
-                for p in inject {
-                    fab.inject(p);
-                }
-                let events = fab.run_window(wend);
-                fab.take_outbox(&mut outbox);
-                fab.take_deliveries(&mut deliveries);
-                let report = Done {
-                    shard,
-                    events,
-                    last_event: fab.event_clock(),
-                    next_time: fab.next_event_time(),
-                    outbox: std::mem::take(&mut outbox),
-                    deliveries: std::mem::take(&mut deliveries),
-                };
-                if tx.send(report).is_err() {
-                    break;
-                }
-            }
-            Cmd::Finish => break,
-        }
-    }
-    fab
 }
 
 #[cfg(test)]
@@ -651,7 +873,8 @@ mod tests {
     use crate::config::NotifyMode;
     use crate::packet::Packet;
     use prdrb_topology::{
-        Endpoint, FaultEvent, NodeId, PathDescriptor, Port, RouteState, TimedFault, Topology,
+        Endpoint, FaultEvent, Mesh2D, NodeId, PathDescriptor, Port, RouteState, TimedFault,
+        Topology,
     };
 
     fn cfg() -> NetworkConfig {
@@ -672,8 +895,9 @@ mod tests {
             for p in 0..topo.num_ports(rid) as u8 {
                 if let Some(Endpoint::Router(nr, _)) = topo.neighbor(rid, Port(p)) {
                     if plan.shard_of_router(rid) != plan.shard_of_router(nr) {
-                        // Credit crosses at +wire, Arrive at +wire+ser.
-                        min = min.min(cfg.wire_delay_ns);
+                        // Credit crosses at +wire, Arrive at +wire+ser;
+                        // the wire is per latency class.
+                        min = min.min(cfg.link_delay_ns(topo.link_class(rid, Port(p))));
                     }
                 }
             }
@@ -683,8 +907,13 @@ mod tests {
 
     #[test]
     fn lookahead_matches_true_min_cut_latency() {
-        let cfg = NetworkConfig::default();
-        for topo in [AnyTopology::mesh8x8(), AnyTopology::fat_tree_64()] {
+        let mut cfg = NetworkConfig::default();
+        cfg.wire_class_extra_ns = [0, 160, 5];
+        for topo in [
+            AnyTopology::mesh8x8(),
+            AnyTopology::fat_tree_64(),
+            AnyTopology::Mesh(Mesh2D::with_boards(4, 12, 4)),
+        ] {
             for k in [1u32, 2, 3, 4] {
                 let plan = ShardPlan::new(&topo, k);
                 assert_eq!(
@@ -695,12 +924,42 @@ mod tests {
                 );
             }
         }
-        // Sanity: with a cut present the lookahead is the wire delay.
+        // Sanity: with a plain-mesh cut present the lookahead is the
+        // base wire delay (all cut links are local-class).
         let plan = ShardPlan::new(&AnyTopology::mesh8x8(), 2);
         assert_eq!(
             shard_lookahead(&plan, &AnyTopology::mesh8x8(), &cfg),
             cfg.wire_delay_ns
         );
+    }
+
+    /// The headline mechanism of the wide-window model: a partition
+    /// whose cut crosses only global-class wires gets the *full*
+    /// inter-board delay as lookahead, not the base wire delay.
+    #[test]
+    fn board_cuts_widen_the_lookahead_by_the_global_extra() {
+        let mut cfg = NetworkConfig::default();
+        cfg.wire_class_extra_ns = [0, 300, 0];
+        let topo = AnyTopology::Mesh(Mesh2D::with_boards(4, 12, 4));
+        for k in [2u32, 3] {
+            let plan = ShardPlan::new(&topo, k);
+            assert!(
+                plan.cross_links(&topo)
+                    .iter()
+                    .all(|&(r, p, _)| topo.link_class(r, p) == prdrb_topology::LINK_CLASS_GLOBAL),
+                "k={k}: boundary snapping must put the whole cut on board seams"
+            );
+            assert_eq!(
+                shard_lookahead(&plan, &topo, &cfg),
+                cfg.wire_delay_ns + 300,
+                "k={k}"
+            );
+        }
+        // Fat-tree pods cut only root (spine) links, so the same
+        // widening applies without any boundary snapping.
+        let ft = AnyTopology::fat_tree_64();
+        let plan = ShardPlan::new(&ft, 4);
+        assert_eq!(shard_lookahead(&plan, &ft, &cfg), cfg.wire_delay_ns + 300);
     }
 
     /// Deterministic little traffic pattern: every node sends a few
@@ -796,7 +1055,7 @@ mod tests {
     fn sharded_sequential_matches_serial() {
         for topo in [AnyTopology::mesh8x8(), AnyTopology::fat_tree_64()] {
             let serial = run_serial(&topo, FaultPlan::none());
-            for k in [1u32, 2, 4] {
+            for k in [1u32, 2, 3, 4, 8] {
                 let par = run_sharded(&topo, k, ExecMode::Sequential, FaultPlan::none());
                 assert_same(
                     (serial.0.clone(), serial.1, serial.2, serial.3),
@@ -808,11 +1067,60 @@ mod tests {
     }
 
     #[test]
-    fn sharded_threaded_matches_serial() {
+    fn sharded_pool_matches_serial() {
         let topo = AnyTopology::mesh8x8();
         let serial = run_serial(&topo, FaultPlan::none());
-        let par = run_sharded(&topo, 4, ExecMode::Threaded, FaultPlan::none());
-        assert_same(serial, par, "mesh8x8 threaded k=4");
+        for k in [3u32, 4] {
+            let par = run_sharded(&topo, k, ExecMode::Threaded, FaultPlan::none());
+            assert_same(
+                (serial.0.clone(), serial.1, serial.2, serial.3),
+                par,
+                &format!("mesh8x8 pool k={k}"),
+            );
+        }
+    }
+
+    /// Wide windows stay deterministic: nonzero per-class extras change
+    /// the schedule (longer global wires), but sequential and pool
+    /// backends must still agree event-for-event, and the window/
+    /// handoff aggregates — which are schedule-independent — must be
+    /// identical too.
+    #[test]
+    fn wide_windows_match_across_backends() {
+        let mut c = cfg();
+        c.wire_class_extra_ns = [0, 240, 0];
+        let topo = AnyTopology::Mesh(Mesh2D::with_boards(4, 12, 4));
+        let mut results = Vec::new();
+        for mode in [ExecMode::Sequential, ExecMode::Threaded] {
+            let mut fab = ShardedFabric::with_mode(topo.clone(), c, 3, mode);
+            let mut next_id = 1;
+            for p in traffic(&topo, &mut next_id) {
+                fab.inject(p);
+            }
+            fab.run_to_quiescence(10_000_000);
+            let mut buf = Vec::new();
+            fab.take_deliveries(&mut buf);
+            let seq: Vec<_> = buf.iter().map(|d| (d.at, d.packet.id)).collect();
+            results.push((seq, fab.events_processed(), fab.parallel_stats()));
+        }
+        let (s_seq, s_events, s_stats) = &results[0];
+        let (p_seq, p_events, p_stats) = &results[1];
+        assert_eq!(s_seq, p_seq);
+        assert_eq!(s_events, p_events);
+        assert_eq!(s_stats.windows, p_stats.windows);
+        assert_eq!(s_stats.width_sum_ns, p_stats.width_sum_ns);
+        assert_eq!(s_stats.handoff_events, p_stats.handoff_events);
+        assert!(s_stats.windows > 0);
+        assert!(
+            s_stats.handoff_events > 0,
+            "the cut must actually carry events"
+        );
+        // The whole cut is on board seams, so the achieved average
+        // width must exceed the base wire delay by a wide margin.
+        assert!(s_stats.avg_width_ns() > c.wire_delay_ns as f64);
+        // Scheduling-dependent counters exist only in pool mode.
+        assert_eq!(s_stats.steals, 0);
+        assert_eq!(s_stats.barrier_wait_ns, 0);
     }
 
     /// A plan exercising every fault class mid-traffic: seeded link
@@ -860,12 +1168,12 @@ mod tests {
     }
 
     #[test]
-    fn faulted_threaded_matches_serial() {
+    fn faulted_pool_matches_serial() {
         let topo = AnyTopology::mesh8x8();
         let plan = faulty_plan(&topo);
         let serial = run_serial(&topo, plan.clone());
         let par = run_sharded(&topo, 4, ExecMode::Threaded, plan);
-        assert_same(serial, par, "faulted mesh8x8 threaded k=4");
+        assert_same(serial, par, "faulted mesh8x8 pool k=4");
     }
 
     #[test]

@@ -1,0 +1,210 @@
+//! A bounded lock-free work-stealing deque (Chase–Lev).
+//!
+//! The sharded fabric's worker pool over-decomposes a window into one
+//! task per shard; each worker owns one deque, pushes its owned shards
+//! at the window start, pops them LIFO, and steals FIFO from other
+//! workers when its own deque runs dry. The classic Chase–Lev protocol
+//! makes `pop`/`push` owner-only and cheap (no CAS except on the
+//! last-element race) while thieves synchronize through a CAS on `top`.
+//!
+//! The deque is *bounded*: the buffer is sized at construction and
+//! never grows. The pool pushes at most `K` shard indices per window
+//! and drains them before the next window, so a capacity of `K` can
+//! never overflow — `push` asserts rather than resizes, keeping the
+//! hot path allocation-free.
+//!
+//! Memory-ordering notes follow the corrected Chase–Lev publication
+//! (Lê et al., "Correct and Efficient Work-Stealing for Weak Memory
+//! Models"): the `SeqCst` fence in `pop` pairs with the `SeqCst`
+//! ordering on the thieves' `top` CAS so an owner taking the last
+//! element cannot race a thief into double-consumption.
+
+use std::sync::atomic::{fence, AtomicIsize, AtomicUsize, Ordering};
+
+/// A fixed-capacity Chase–Lev deque of `usize` task ids.
+#[derive(Debug)]
+pub(crate) struct WsDeque {
+    top: AtomicIsize,
+    bottom: AtomicIsize,
+    mask: usize,
+    buf: Box<[AtomicUsize]>,
+}
+
+impl WsDeque {
+    /// A deque that can hold at least `capacity` items.
+    pub(crate) fn new(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        Self {
+            top: AtomicIsize::new(0),
+            bottom: AtomicIsize::new(0),
+            mask: cap - 1,
+            buf: (0..cap).map(|_| AtomicUsize::new(0)).collect(),
+        }
+    }
+
+    /// Owner-only: push a task at the bottom.
+    pub(crate) fn push(&self, v: usize) {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        assert!(
+            (b - t) as usize <= self.mask,
+            "ws-deque overflow: sized below the per-window task count"
+        );
+        self.buf[b as usize & self.mask].store(v, Ordering::Relaxed);
+        // Publish the slot before the new bottom becomes visible to
+        // thieves reading `bottom` with Acquire.
+        fence(Ordering::Release);
+        self.bottom.store(b + 1, Ordering::Relaxed);
+    }
+
+    /// Owner-only: pop the most recently pushed task (LIFO).
+    pub(crate) fn pop(&self) -> Option<usize> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        self.bottom.store(b, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t <= b {
+            let v = self.buf[b as usize & self.mask].load(Ordering::Relaxed);
+            if t == b {
+                // Last element: race thieves for it via the same CAS
+                // they use, then restore the canonical empty state.
+                let won = self
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                self.bottom.store(b + 1, Ordering::Relaxed);
+                won.then_some(v)
+            } else {
+                Some(v)
+            }
+        } else {
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Thief: steal the oldest task (FIFO). `None` means empty *or*
+    /// lost a race — callers treat both as "try elsewhere".
+    pub(crate) fn steal(&self) -> Option<usize> {
+        let t = self.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t < b {
+            let v = self.buf[t as usize & self.mask].load(Ordering::Relaxed);
+            self.top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok()
+                .then_some(v)
+        } else {
+            None
+        }
+    }
+
+    /// Owner-only estimate; exact when no thief is active.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Relaxed);
+        (b - t).max(0) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn owner_lifo_thief_fifo() {
+        let d = WsDeque::new(8);
+        d.push(1);
+        d.push(2);
+        d.push(3);
+        assert_eq!(d.len(), 3);
+        // Thief takes the oldest, owner the newest.
+        assert_eq!(d.steal(), Some(1));
+        assert_eq!(d.pop(), Some(3));
+        assert_eq!(d.pop(), Some(2));
+        assert_eq!(d.pop(), None);
+        assert_eq!(d.steal(), None);
+    }
+
+    #[test]
+    fn wraps_around_the_ring() {
+        let d = WsDeque::new(4);
+        for round in 0..10usize {
+            for i in 0..4 {
+                d.push(round * 4 + i);
+            }
+            for _ in 0..4 {
+                assert!(d.pop().is_some());
+            }
+            assert_eq!(d.pop(), None);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_asserts_instead_of_resizing() {
+        let d = WsDeque::new(2);
+        for i in 0..3 {
+            d.push(i);
+        }
+    }
+
+    /// Hammer one owner against several thieves: every pushed task must
+    /// be consumed exactly once (sum check), never duplicated or lost.
+    #[test]
+    fn concurrent_steals_consume_each_task_once() {
+        const TASKS: usize = 10_000;
+        const THIEVES: usize = 3;
+        let d = Arc::new(WsDeque::new(TASKS));
+        let consumed = Arc::new(AtomicU64::new(0));
+        let taken = Arc::new(AtomicU64::new(0));
+        let stop = Arc::new(AtomicU64::new(0));
+        let thieves: Vec<_> = (0..THIEVES)
+            .map(|_| {
+                let (d, consumed, taken, stop) = (
+                    Arc::clone(&d),
+                    Arc::clone(&consumed),
+                    Arc::clone(&taken),
+                    Arc::clone(&stop),
+                );
+                std::thread::spawn(move || {
+                    while stop.load(Ordering::Acquire) == 0 {
+                        if let Some(v) = d.steal() {
+                            consumed.fetch_add(v as u64, Ordering::Relaxed);
+                            taken.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            std::hint::spin_loop();
+                        }
+                    }
+                })
+            })
+            .collect();
+        // Owner: push everything, then pop what the thieves left.
+        for v in 1..=TASKS {
+            d.push(v);
+        }
+        while let Some(v) = d.pop() {
+            consumed.fetch_add(v as u64, Ordering::Relaxed);
+            taken.fetch_add(1, Ordering::Relaxed);
+        }
+        // Let thieves drain any last-element race losses.
+        while taken.load(Ordering::Relaxed) < TASKS as u64 {
+            if let Some(v) = d.pop() {
+                consumed.fetch_add(v as u64, Ordering::Relaxed);
+                taken.fetch_add(1, Ordering::Relaxed);
+            }
+            std::hint::spin_loop();
+        }
+        stop.store(1, Ordering::Release);
+        for t in thieves {
+            t.join().unwrap();
+        }
+        assert_eq!(taken.load(Ordering::Relaxed), TASKS as u64);
+        let want = (TASKS * (TASKS + 1) / 2) as u64;
+        assert_eq!(consumed.load(Ordering::Relaxed), want);
+    }
+}

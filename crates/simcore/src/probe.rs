@@ -66,11 +66,21 @@ pub enum ProbeKind {
     /// Metapath expansion attributed to a workload phase (entity =
     /// global phase index).
     PhaseExpansion,
+    /// Width (ns) of one conservative-parallel window, entity 0.
+    ShardWindowWidth,
+    /// Wall-clock ns a pool worker idled at a window barrier after its
+    /// last task, per worker index (0 for the sequential driver).
+    ShardBarrierWait,
+    /// Boundary events handed off at one window barrier, per source
+    /// shard.
+    ShardHandoffBatch,
+    /// Successful work-steal by a pool worker, per thief worker index.
+    ShardSteal,
 }
 
 impl ProbeKind {
     /// Every kind, in export order.
-    pub const ALL: [ProbeKind; 12] = [
+    pub const ALL: [ProbeKind; 16] = [
         ProbeKind::QueueWait,
         ProbeKind::OutputWait,
         ProbeKind::ArbSteps,
@@ -83,6 +93,10 @@ impl ProbeKind {
         ProbeKind::SolutionCapacityEvict,
         ProbeKind::PhaseSolutionHit,
         ProbeKind::PhaseExpansion,
+        ProbeKind::ShardWindowWidth,
+        ProbeKind::ShardBarrierWait,
+        ProbeKind::ShardHandoffBatch,
+        ProbeKind::ShardSteal,
     ];
 
     /// Stable export name (snake_case, used in CSV/JSON schemas).
@@ -100,6 +114,10 @@ impl ProbeKind {
             ProbeKind::SolutionCapacityEvict => "solution_cap_evict",
             ProbeKind::PhaseSolutionHit => "phase_solution_hit",
             ProbeKind::PhaseExpansion => "phase_expansion",
+            ProbeKind::ShardWindowWidth => "shard_window_width_ns",
+            ProbeKind::ShardBarrierWait => "shard_barrier_wait_ns",
+            ProbeKind::ShardHandoffBatch => "shard_handoff_batch",
+            ProbeKind::ShardSteal => "shard_steal",
         }
     }
 }

@@ -14,7 +14,7 @@
 //! this topology.
 
 use crate::ids::{Endpoint, NodeId, Port, RouterId};
-use crate::Topology;
+use crate::{Topology, LINK_CLASS_GLOBAL, LINK_CLASS_LOCAL, LINK_CLASS_SERVER};
 
 /// A k-ary n-tree.
 #[derive(Debug, Clone)]
@@ -220,6 +220,22 @@ impl Topology for KAryNTree {
         }
     }
 
+    fn link_class(&self, r: RouterId, p: Port) -> u8 {
+        let l = self.level(r);
+        let pi = p.idx() as u32;
+        if l == 0 && pi < self.k {
+            // Leaf down ports face the terminals.
+            LINK_CLASS_SERVER
+        } else if (l == self.n - 1) || (l == self.n.saturating_sub(2) && pi >= self.k) {
+            // Links touching the root level (spine) are the long global
+            // wires of the physical packaging: a root's down ports and a
+            // level-(n-2) switch's up ports name the same links.
+            LINK_CLASS_GLOBAL
+        } else {
+            LINK_CLASS_LOCAL
+        }
+    }
+
     fn label(&self) -> String {
         format!("{}-ary {}-tree", self.k, self.n)
     }
@@ -359,6 +375,31 @@ mod tests {
         // Descending: single candidate.
         t.minimal_candidates(t.switch(2, 0), NodeId(5), &mut c);
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn link_classes_put_the_spine_on_global_wires() {
+        let t = t443();
+        // Leaf terminal attachments are server-class.
+        assert_eq!(t.link_class(t.switch(0, 0), Port(0)), LINK_CLASS_SERVER);
+        // Leaf up ports (level 0 → 1) stay inside the pod: local.
+        assert_eq!(t.link_class(t.switch(0, 0), Port(4)), LINK_CLASS_LOCAL);
+        // Level 1 up ports and root down ports are the spine: global.
+        assert_eq!(t.link_class(t.switch(1, 0), Port(4)), LINK_CLASS_GLOBAL);
+        assert_eq!(t.link_class(t.switch(2, 0), Port(0)), LINK_CLASS_GLOBAL);
+        // Both endpoints of every router-router link agree on the class.
+        for r in 0..t.num_routers() as u32 {
+            let rid = RouterId(r);
+            for p in 0..t.num_ports(rid) as u8 {
+                if let Some(Endpoint::Router(nr, np)) = t.neighbor(rid, Port(p)) {
+                    assert_eq!(
+                        t.link_class(rid, Port(p)),
+                        t.link_class(nr, np),
+                        "asymmetric class r{r} p{p}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

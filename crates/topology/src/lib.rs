@@ -60,9 +60,37 @@ pub trait Topology {
     fn minimal_candidates(&self, r: RouterId, dst: NodeId, out: &mut Vec<Port>);
     /// Router-hop distance between the attachment routers of `a` and `b`.
     fn distance(&self, a: NodeId, b: NodeId) -> u32;
+    /// Latency class of the physical wire behind `(r, p)`.
+    ///
+    /// Real interconnects are built from heterogeneous cables: short
+    /// backplane traces inside a board or pod, long inter-cabinet
+    /// (optical) runs, and the server/NIC attachment itself. Classes
+    /// index into [`prdrb-network`]'s per-class extra-delay table:
+    ///
+    /// * `LINK_CLASS_LOCAL` (0) — intra-board / intra-pod electrical,
+    /// * `LINK_CLASS_GLOBAL` (1) — long inter-board / root-level wires,
+    /// * `LINK_CLASS_SERVER` (2) — the terminal ↔ router attachment.
+    ///
+    /// The class must be a property of the *wire*, not the endpoint:
+    /// `link_class(r, p)` and `link_class` of the reverse endpoint must
+    /// agree. The sharded driver relies on this to derive per-cut
+    /// lookahead from either side of a cross-shard link.
+    fn link_class(&self, r: RouterId, p: Port) -> u8 {
+        let _ = (r, p);
+        LINK_CLASS_LOCAL
+    }
     /// Human-readable name for reports.
     fn label(&self) -> String;
 }
+
+/// Short intra-board / intra-pod wire.
+pub const LINK_CLASS_LOCAL: u8 = 0;
+/// Long inter-board / root-level wire.
+pub const LINK_CLASS_GLOBAL: u8 = 1;
+/// Terminal (server NIC) attachment wire.
+pub const LINK_CLASS_SERVER: u8 = 2;
+/// Number of distinct latency classes.
+pub const NUM_LINK_CLASSES: usize = 3;
 
 /// Concrete topology dispatch (keeps the engine monomorphic and simple).
 #[derive(Debug, Clone)]
@@ -109,6 +137,9 @@ impl Topology for AnyTopology {
     }
     fn distance(&self, a: NodeId, b: NodeId) -> u32 {
         dispatch!(self, t => t.distance(a, b))
+    }
+    fn link_class(&self, r: RouterId, p: Port) -> u8 {
+        dispatch!(self, t => t.link_class(r, p))
     }
     fn label(&self) -> String {
         dispatch!(self, t => t.label())

@@ -32,6 +32,56 @@ pub struct ShardPlan {
     node_shard: Vec<u32>,
 }
 
+/// Row boundaries of `shards` contiguous strips over `h` rows:
+/// `bounds[0] = 0`, `bounds[shards] = h`, and rows `bounds[i] ..
+/// bounds[i+1]` belong to shard `i`. Without boards the interior
+/// boundaries are `ceil(i·h/K)` — exactly the classic `y·K/h`
+/// assignment. With `board_h > 0` each interior boundary snaps to the
+/// nearest board seam that keeps the boundaries monotone, trading a
+/// little balance for a cut made of long (wide-lookahead) wires;
+/// boundaries with no admissible seam stay where they were.
+fn strip_bounds(h: u32, shards: u32, board_h: u32) -> Vec<u32> {
+    let k = shards as u64;
+    let mut bounds = Vec::with_capacity(shards as usize + 1);
+    bounds.push(0u32);
+    for i in 1..k {
+        bounds.push(((i * h as u64).div_ceil(k)) as u32);
+    }
+    bounds.push(h);
+    if board_h > 0 && board_h < h {
+        for i in 1..shards as usize {
+            let prev = bounds[i - 1];
+            let raw = bounds[i];
+            let lo = raw / board_h * board_h;
+            let hi = lo + board_h;
+            let valid = |c: u32| c > prev && c < h;
+            bounds[i] = match (valid(lo), valid(hi)) {
+                (true, true) => {
+                    if raw - lo <= hi - raw {
+                        lo
+                    } else {
+                        hi
+                    }
+                }
+                (true, false) => lo,
+                (false, true) => hi,
+                // No admissible seam: keep the raw boundary (clamped so
+                // the strip list stays monotone; an empty strip is legal).
+                (false, false) => raw.max(prev),
+            };
+        }
+    }
+    bounds
+}
+
+/// Shard of row `y` under `strip_bounds` output.
+fn row_shard(bounds: &[u32], y: u32) -> u32 {
+    bounds[1..bounds.len() - 1]
+        .iter()
+        .filter(|&&b| y >= b)
+        .count() as u32
+}
+
 impl ShardPlan {
     /// Partition `topo` into `shards` shards. `shards` must be ≥ 1;
     /// plans with more shards than rows/pods leave the excess shards
@@ -42,18 +92,31 @@ impl ShardPlan {
             AnyTopology::Mesh(m) => {
                 // Contiguous strips across the longer dimension: cutting
                 // perpendicular to it yields the smaller cut (w or h
-                // links per boundary instead of the longer side).
+                // links per boundary instead of the longer side). On a
+                // boarded mesh the row boundaries additionally snap to
+                // the nearest board seam, so the cut crosses only the
+                // long inter-board wires and the conservative window
+                // driver gets the widest safe lookahead.
                 let (w, h) = (m.width(), m.height());
-                (0..topo.num_routers() as u32)
-                    .map(|r| {
-                        let (x, y) = m.coords(RouterId(r));
-                        if h >= w {
-                            (y as u64 * shards as u64 / h as u64) as u32
-                        } else {
+                if h >= w {
+                    let bounds = strip_bounds(h, shards, m.board_height());
+                    (0..topo.num_routers() as u32)
+                        .map(|r| {
+                            let (_, y) = m.coords(RouterId(r));
+                            row_shard(&bounds, y)
+                        })
+                        .collect()
+                } else {
+                    // Column strips: every vertical cut crosses
+                    // horizontal links, which are never board seams —
+                    // nothing to snap to.
+                    (0..topo.num_routers() as u32)
+                        .map(|r| {
+                            let (x, _) = m.coords(RouterId(r));
                             (x as u64 * shards as u64 / w as u64) as u32
-                        }
-                    })
-                    .collect()
+                        })
+                        .collect()
+                }
             }
             AnyTopology::Tree(t) => {
                 // Pod-per-shard: every non-root switch keeps its topmost
@@ -153,6 +216,21 @@ impl ShardPlan {
         }
         sizes
     }
+
+    /// Terminal NICs per shard (balance diagnostics — NIC count tracks
+    /// injection/delivery work, router count tracks forwarding work).
+    pub fn nic_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.shards as usize];
+        for &s in &self.node_shard {
+            counts[s as usize] += 1;
+        }
+        counts
+    }
+
+    /// Directed cross-shard link count (the cut, both directions).
+    pub fn cut_size(&self, topo: &AnyTopology) -> usize {
+        self.cross_links(topo).len()
+    }
 }
 
 #[cfg(test)]
@@ -189,6 +267,59 @@ mod tests {
             assert!(sizes.iter().all(|&s| s == 64 / k as usize), "{sizes:?}");
             // Cut: (k-1) boundaries × 8 columns × 2 directions.
             assert_eq!(plan.cross_links(&topo).len() as u32, (k - 1) * 8 * 2);
+        }
+    }
+
+    #[test]
+    fn boarded_mesh_boundaries_snap_to_seams() {
+        use crate::Topology;
+        // 4×12 mesh in 4-row boards, 3 shards: raw boundaries at rows
+        // 4 and 8 are already seams; every cut link must be global.
+        let topo = AnyTopology::Mesh(Mesh2D::with_boards(4, 12, 4));
+        let plan = ShardPlan::new(&topo, 3);
+        for (r, p, _) in plan.cross_links(&topo) {
+            assert_eq!(
+                topo.link_class(r, p),
+                crate::LINK_CLASS_GLOBAL,
+                "cut crosses a short wire at {r}:{p}"
+            );
+        }
+        // Non-divisor shard count: raw boundaries (rows 6 and... ) snap
+        // to the nearest seams, still monotone, all routers assigned.
+        let plan = ShardPlan::new(&topo, 2);
+        for (r, p, _) in plan.cross_links(&topo) {
+            assert_eq!(topo.link_class(r, p), crate::LINK_CLASS_GLOBAL);
+        }
+        let sizes = plan.shard_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 48);
+        assert!(sizes.iter().all(|&s| s > 0), "{sizes:?}");
+        // Snapping never changes the unboarded plan.
+        let flat = AnyTopology::Mesh(Mesh2D::new(4, 12));
+        let a = ShardPlan::new(&flat, 3);
+        let b = ShardPlan::new(&AnyTopology::Mesh(Mesh2D::with_boards(4, 12, 12)), 3);
+        for r in 0..48u32 {
+            // board_h == h has a single board and no interior seam, so
+            // boundaries stay raw.
+            assert_eq!(
+                a.shard_of_router(RouterId(r)),
+                b.shard_of_router(RouterId(r))
+            );
+        }
+    }
+
+    #[test]
+    fn strip_bounds_reproduce_classic_assignment_without_boards() {
+        for h in [5u32, 8, 12, 17] {
+            for k in [1u32, 2, 3, 4, 5, 8] {
+                let bounds = strip_bounds(h, k, 0);
+                for y in 0..h {
+                    assert_eq!(
+                        row_shard(&bounds, y),
+                        (y as u64 * k as u64 / h as u64) as u32,
+                        "h={h} k={k} y={y}"
+                    );
+                }
+            }
         }
     }
 

@@ -19,9 +19,10 @@ use pr_drb::engine::RunKey;
 use pr_drb::prelude::*;
 use pr_drb::simcore::QueueKind;
 
-/// Run `cfg` under both calendar backends and at 1/2/4 fabric shards;
-/// assert the cache keys and the canonical CSV reports agree byte for
-/// byte across every execution variant.
+/// Run `cfg` under both calendar backends and at 1/2/3/4/8 fabric
+/// shards (non-divisor counts included — uneven partitions must not
+/// perturb a bit); assert the cache keys and the canonical CSV reports
+/// agree byte for byte across every execution variant.
 fn assert_backend_invariant(label: &str, cfg: SimConfig) {
     let mut heap_cfg = cfg.clone();
     heap_cfg.net.queue = QueueKind::Heap;
@@ -34,7 +35,7 @@ fn assert_backend_invariant(label: &str, cfg: SimConfig) {
     );
     let heap = run(heap_cfg);
     let reference = report_to_csv(kh, &heap);
-    for shards in [1u32, 2, 4] {
+    for shards in [1u32, 2, 3, 4, 8] {
         let mut cfg = wheel_cfg.clone();
         cfg.shards = shards;
         assert_eq!(
@@ -165,6 +166,41 @@ fn open_loop_digest_is_backend_invariant() {
     cfg.duration_ns = MILLISECOND / 2;
     cfg.max_ns = 50 * MILLISECOND;
     assert_backend_invariant("open-loop heavy-tail", cfg);
+}
+
+/// Per-link latency classes on a board-assembled mesh: wires crossing a
+/// board seam carry a large global-class extra
+/// (`NetworkConfig::wire_class_extra_ns`), the strip partitioner snaps
+/// its cuts to the seams, and the window driver earns the full
+/// inter-board delay as lookahead — the wide-window configuration the
+/// parallel fabric is optimized for. The extra delay is physical (it
+/// changes every seam crossing's timing), so it must enter the run key,
+/// and the wide-window execution must stay bit-identical to serial at
+/// every shard count and under both calendar backends.
+#[test]
+fn board_mesh_latency_class_digest_is_backend_invariant() {
+    let schedule = BurstSchedule::continuous(TrafficPattern::Shuffle, 400.0);
+    let mut cfg = SimConfig::synthetic(
+        TopologyKind::BoardMesh {
+            w: 8,
+            h: 8,
+            board_h: 2,
+        },
+        PolicyKind::PrDrb,
+        schedule,
+        32,
+    );
+    cfg.net.wire_class_extra_ns = [0, 240, 0];
+    cfg.duration_ns = MILLISECOND / 2;
+    cfg.max_ns = 50 * MILLISECOND;
+    let mut flat = cfg.clone();
+    flat.net.wire_class_extra_ns = [0, 0, 0];
+    assert_ne!(
+        RunKey::of(&cfg),
+        RunKey::of(&flat),
+        "latency-class extras are physical and must enter the run key"
+    );
+    assert_backend_invariant("board-mesh latency classes", cfg);
 }
 
 /// Shortened `load_sweep` point: continuous shuffle near saturation for

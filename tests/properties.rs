@@ -190,6 +190,59 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Wide-window execution under randomized per-link latency classes:
+    /// for any global/server-class wire extras, board shape, policy and
+    /// seed, a sharded run reproduces the serial report byte for byte
+    /// under BOTH calendar backends. The extras stretch the windows the
+    /// conservative driver may run (and move every long-wire crossing
+    /// in simulated time), but they must never open a gap between the
+    /// sharded and serial schedules — and being physical, they must not
+    /// be erased from the run key by the shard/queue exclusions.
+    #[test]
+    fn latency_classed_sharded_runs_match_serial_bit_for_bit(
+        policy_idx in 0usize..7,
+        global_extra in 0u64..400,
+        server_extra in 0u64..50,
+        shape in 0usize..3,
+        seed in 0u64..1000,
+        shards in 2u32..6,
+    ) {
+        use pr_drb::engine::cache::report_to_csv;
+        use pr_drb::engine::RunKey;
+        use pr_drb::simcore::QueueKind;
+        let policy = PolicyKind::ALL[policy_idx];
+        let topology = match shape {
+            0 => TopologyKind::BoardMesh { w: 4, h: 8, board_h: 2 },
+            1 => TopologyKind::BoardMesh { w: 8, h: 8, board_h: 4 },
+            _ => TopologyKind::FatTree443,
+        };
+        let schedule = BurstSchedule::continuous(TrafficPattern::Uniform, 500.0);
+        let mut cfg = SimConfig::synthetic(topology, policy, schedule, 16);
+        cfg.net.wire_class_extra_ns = [0, global_extra, server_extra];
+        cfg.duration_ns = 120_000;
+        cfg.max_ns = 4000 * MILLISECOND;
+        cfg.seed = seed;
+        let key = RunKey::of(&cfg);
+        let serial = report_to_csv(key, &run(cfg.clone()));
+        for queue in [QueueKind::Heap, QueueKind::Wheel] {
+            let mut c = cfg.clone();
+            c.net.queue = queue;
+            c.shards = shards;
+            prop_assert_eq!(RunKey::of(&c), key,
+                "execution knobs must stay out of the run key");
+            let sharded = report_to_csv(key, &run(c));
+            prop_assert_eq!(
+                &serial, &sharded,
+                "shards={} queue={:?} diverged on {:?}/{:?}",
+                shards, queue, topology, policy
+            );
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     /// Merging per-replica quantile sketches is lossless: the merged
