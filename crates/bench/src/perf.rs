@@ -32,8 +32,12 @@
 //!   self-relative speedup over K=1; on a single-core host the auto
 //!   backend degenerates to sequential windowing, so the honest number
 //!   there is the windowing overhead (≈1×), not a speedup. On hosts
-//!   with ≥ 4 cores a < [`SHARD_SPEEDUP_FLOOR`]× full-mode run fails
-//!   the bench (fail-soft on smaller machines).
+//!   with more than [`SHARD_FLOOR_MIN_CORES`] cores a
+//!   < [`SHARD_SPEEDUP_FLOOR`]× full-mode run fails the bench; hosts
+//!   without that headroom (shared CI runners with exactly as many
+//!   cores as the K=4 kernel wants are too noisy for a hard wall-clock
+//!   gate) report the ratio advisorily. `PRDRB_SHARD_FLOOR=enforce|off`
+//!   overrides the auto rule either way, for dedicated perf hardware.
 //!
 //! `--quick` shrinks every kernel for CI smoke use. The exit code is
 //! nonzero when a kernel panics, the smoke thresholds regress, or the
@@ -492,11 +496,17 @@ const CHURN_FLOOR_PER_SEC: f64 = 1_000_000.0;
 /// absorbs CI-runner noise.
 const CHURN_SPEEDUP_FLOOR: f64 = 1.2;
 /// K=4 over K=1 events/s floor for the wide-window kernels, enforced
-/// only on full (non-`--quick`) runs on hosts with at least
-/// [`SHARD_FLOOR_MIN_CORES`] hardware threads — smaller machines
-/// cannot express the parallelism and report the number advisorily.
+/// only on full (non-`--quick`) runs on hosts with *more than*
+/// [`SHARD_FLOOR_MIN_CORES`] hardware threads — machines without
+/// headroom over the kernel's 4 workers (exactly-4-core shared CI
+/// runners included: OS jitter and noisy neighbors there routinely
+/// cost more than the margin) report the number advisorily instead of
+/// flaking the build. Set `PRDRB_SHARD_FLOOR=enforce` to gate
+/// regardless of core count (dedicated perf hardware), `off` to never
+/// gate.
 pub const SHARD_SPEEDUP_FLOOR: f64 = 1.5;
-/// Cores needed before [`SHARD_SPEEDUP_FLOOR`] is enforced.
+/// Core count that must be *exceeded* before [`SHARD_SPEEDUP_FLOOR`]
+/// is enforced — equal to the K=4 kernel's worker count.
 pub const SHARD_FLOOR_MIN_CORES: usize = 4;
 
 /// Run the bench suite; returns the process exit code.
@@ -522,12 +532,14 @@ pub fn run_bench(quick: bool) -> i32 {
     };
     // Speedups are looked up by kernel name, not position — the suite
     // grows and reorders without silently skewing the headline ratios.
+    // A missing name is a harness bug (a renamed kernel would make the
+    // ratio garbage and the CI floor vacuous), so it fails loudly.
     let per_sec_of = |name: &str| {
         kernels
             .iter()
             .find(|k| k.name == name)
-            .map(|k| k.per_sec())
-            .unwrap_or(0.0)
+            .unwrap_or_else(|| panic!("bench kernel `{name}` missing from the suite"))
+            .per_sec()
     };
     let shard_speedup =
         per_sec_of("fabric_parallel_wide_k4") / per_sec_of("fabric_parallel_wide_k1").max(1e-12);
@@ -600,14 +612,25 @@ pub fn run_bench(quick: bool) -> i32 {
         eprintln!("FAIL: wheel speedup {speedup:.2}x below the {CHURN_SPEEDUP_FLOOR}x floor");
         code = 1;
     }
-    if !quick && cores >= SHARD_FLOOR_MIN_CORES && shard_speedup < SHARD_SPEEDUP_FLOOR {
-        eprintln!(
-            "FAIL: shard speedup K=4/K=1 {shard_speedup:.2}x below the \
-             {SHARD_SPEEDUP_FLOOR}x floor on a {cores}-core host"
-        );
-        code = 1;
-    } else if cores < SHARD_FLOOR_MIN_CORES {
-        println!("  (shard speedup floor not enforced: {cores} core(s) < {SHARD_FLOOR_MIN_CORES})");
+    let enforce_shard_floor = match std::env::var("PRDRB_SHARD_FLOOR").as_deref() {
+        Ok("enforce") => true,
+        Ok("off") => false,
+        _ => cores > SHARD_FLOOR_MIN_CORES,
+    };
+    if !quick && shard_speedup < SHARD_SPEEDUP_FLOOR {
+        if enforce_shard_floor {
+            eprintln!(
+                "FAIL: shard speedup K=4/K=1 {shard_speedup:.2}x below the \
+                 {SHARD_SPEEDUP_FLOOR}x floor on a {cores}-core host"
+            );
+            code = 1;
+        } else {
+            println!(
+                "  (advisory: shard speedup {shard_speedup:.2}x below the \
+                 {SHARD_SPEEDUP_FLOOR}x floor; not enforced without > \
+                 {SHARD_FLOOR_MIN_CORES} cores — this host has {cores})"
+            );
+        }
     }
     code
 }

@@ -292,7 +292,11 @@ impl Pool {
 /// bump that published the slots), and the laggard's own shards are
 /// only pushed once it joins — the window cannot complete without
 /// them, so the epoch can never advance two generations past any
-/// worker.
+/// worker. Because a stolen task can belong to the *next* epoch, the
+/// window end is re-read per task (inside the execution arm), never
+/// cached per epoch: holding an undone task means that window's
+/// `pending > 0`, so the driver is pinned at its barrier and cannot
+/// republish `wend` until after the task's decrement.
 fn pool_worker(shared: Arc<PoolShared>, w: usize, workers: usize) {
     let k = shared.slots.len();
     let mut my_epoch = 0u64;
@@ -324,7 +328,6 @@ fn pool_worker(shared: Arc<PoolShared>, w: usize, workers: usize) {
         for s in (w..k).step_by(workers) {
             me.push(s);
         }
-        let wend = shared.wend.load(Ordering::Relaxed);
         let mut last_done = Instant::now();
         loop {
             let task = match me.pop() {
@@ -344,6 +347,16 @@ fn pool_worker(shared: Arc<PoolShared>, w: usize, workers: usize) {
             };
             match task {
                 Some(s) => {
+                    // Per task, not per epoch: a laggard can steal a
+                    // next-epoch task, and running it with the old
+                    // (smaller) window end would silently skip the
+                    // shard's window. The undone task keeps its
+                    // window's `pending > 0`, so the driver cannot
+                    // republish `wend` before the decrement below, and
+                    // the store is visible through the same epoch-bump
+                    // (own task) or deque push/steal (stolen task)
+                    // release/acquire chain that published the slot.
+                    let wend = shared.wend.load(Ordering::Relaxed);
                     // SAFETY: the deque hands out each shard index
                     // exactly once per window, so this worker is the
                     // slot's sole accessor until its `pending`
@@ -1076,6 +1089,26 @@ mod tests {
                 (serial.0.clone(), serial.1, serial.2, serial.3),
                 par,
                 &format!("mesh8x8 pool k={k}"),
+            );
+        }
+    }
+
+    /// Regression stress for the cross-epoch steal path: more shards
+    /// than workers plus narrow windows maximize the chance that a
+    /// worker still draining epoch `e` steals an `e+1` task — which
+    /// must run with the *new* window end (a stale one would process
+    /// nothing, decrement `pending` anyway, and silently skip the
+    /// shard's window). Repeated pool runs give the race room to bite.
+    #[test]
+    fn pool_cross_epoch_steals_stay_deterministic() {
+        let topo = AnyTopology::mesh8x8();
+        let serial = run_serial(&topo, FaultPlan::none());
+        for round in 0..5 {
+            let par = run_sharded(&topo, 8, ExecMode::Threaded, FaultPlan::none());
+            assert_same(
+                (serial.0.clone(), serial.1, serial.2, serial.3),
+                par,
+                &format!("mesh8x8 pool k=8 round {round}"),
             );
         }
     }

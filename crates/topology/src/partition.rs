@@ -37,9 +37,13 @@ pub struct ShardPlan {
 /// bounds[i+1]` belong to shard `i`. Without boards the interior
 /// boundaries are `ceil(i·h/K)` — exactly the classic `y·K/h`
 /// assignment. With `board_h > 0` each interior boundary snaps to the
-/// nearest board seam that keeps the boundaries monotone, trading a
-/// little balance for a cut made of long (wide-lookahead) wires;
-/// boundaries with no admissible seam stay where they were.
+/// nearest board seam, trading a little balance for a cut made of long
+/// (wide-lookahead) wires. A seam is admissible only strictly between
+/// the (already snapped) previous boundary and the *raw* next
+/// boundary, so a snap can move a boundary at most within its own
+/// cell: snapping never cascades, never crosses the following raw
+/// boundary, and never empties a strip the raw assignment kept
+/// non-empty. Boundaries with no admissible seam stay where they were.
 fn strip_bounds(h: u32, shards: u32, board_h: u32) -> Vec<u32> {
     let k = shards as u64;
     let mut bounds = Vec::with_capacity(shards as usize + 1);
@@ -49,15 +53,16 @@ fn strip_bounds(h: u32, shards: u32, board_h: u32) -> Vec<u32> {
     }
     bounds.push(h);
     if board_h > 0 && board_h < h {
+        let raw = bounds.clone();
         for i in 1..shards as usize {
             let prev = bounds[i - 1];
-            let raw = bounds[i];
-            let lo = raw / board_h * board_h;
+            let r = raw[i];
+            let lo = r / board_h * board_h;
             let hi = lo + board_h;
-            let valid = |c: u32| c > prev && c < h;
+            let valid = |c: u32| c > prev && c < raw[i + 1];
             bounds[i] = match (valid(lo), valid(hi)) {
                 (true, true) => {
-                    if raw - lo <= hi - raw {
+                    if r - lo <= hi - r {
                         lo
                     } else {
                         hi
@@ -65,9 +70,11 @@ fn strip_bounds(h: u32, shards: u32, board_h: u32) -> Vec<u32> {
                 }
                 (true, false) => lo,
                 (false, true) => hi,
-                // No admissible seam: keep the raw boundary (clamped so
-                // the strip list stays monotone; an empty strip is legal).
-                (false, false) => raw.max(prev),
+                // No admissible seam: keep the raw boundary. Monotone by
+                // construction — a snapped `prev` is < raw[i], and a raw
+                // `prev` is ≤ raw[i] (equal only where the raw strips
+                // already had empty ones, i.e. K > h).
+                (false, false) => r,
             };
         }
     }
@@ -304,6 +311,34 @@ mod tests {
                 a.shard_of_router(RouterId(r)),
                 b.shard_of_router(RouterId(r))
             );
+        }
+    }
+
+    #[test]
+    fn seam_snapping_never_cascades_or_empties_strips() {
+        // h=10, board_h=4, K=5: raw boundaries 2/4/6/8. An unbounded
+        // snap used to walk 2→4 and then cascade (4→8, 6→8, 8→8),
+        // collapsing two strips to empty. The cell-bounded snap keeps
+        // 2 and 6 raw (their nearest seams belong to neighbors' cells)
+        // and leaves 4 and 8 on their seams.
+        assert_eq!(strip_bounds(10, 5, 4), vec![0, 2, 4, 6, 8, 10]);
+        // Same shape at the plan level: every strip stays non-empty and
+        // the boundaries stay strictly monotone whenever K ≤ h.
+        for (h, k, board_h) in [(10, 5, 4), (12, 6, 4), (10, 3, 4), (17, 4, 5)] {
+            let bounds = strip_bounds(h, k, board_h);
+            assert_eq!(bounds.len() as u32, k + 1);
+            assert!(
+                bounds.windows(2).all(|w| w[0] < w[1]),
+                "h={h} k={k} board_h={board_h}: empty strip in {bounds:?}"
+            );
+            // Cell-bounded: bounds[i] never reaches the next raw one.
+            let raw = strip_bounds(h, k, 0);
+            for i in 1..k as usize {
+                assert!(
+                    bounds[i] < raw[i + 1],
+                    "h={h} k={k} board_h={board_h}: boundary {i} overshot"
+                );
+            }
         }
     }
 
