@@ -94,11 +94,13 @@ pub fn trace_cfg(policy: PolicyKind, trace: Trace) -> SimConfig {
 }
 
 /// Run one configuration with a label, through the shared run cache.
-/// The CLI-selected shard count is applied here — it never enters the
-/// cache key, so hits and sharded recomputations are interchangeable.
+/// The CLI-selected shard count and speculation switch are applied
+/// here — neither enters the cache key, so hits and sharded (or
+/// speculative) recomputations are interchangeable.
 pub fn run_labeled(mut cfg: SimConfig, label: impl Into<String>) -> RunReport {
     cfg.label = label.into();
     cfg.shards = crate::shards();
+    cfg.speculate = crate::speculate();
     prdrb_engine::run_cached(cfg, crate::run_cache()).0
 }
 
@@ -141,6 +143,7 @@ pub fn run_policies(
 pub fn run_replicated(cfgs: Vec<SimConfig>) -> Vec<RunReport> {
     let seeds: Vec<u64> = (1..=num_seeds()).collect();
     let shards = crate::shards();
+    let speculate = crate::speculate();
     let jobs: Vec<SimConfig> = cfgs
         .iter()
         .flat_map(|c| {
@@ -148,6 +151,7 @@ pub fn run_replicated(cfgs: Vec<SimConfig>) -> Vec<RunReport> {
                 let mut c = c.clone();
                 c.seed = s;
                 c.shards = shards;
+                c.speculate = speculate;
                 c
             })
         })

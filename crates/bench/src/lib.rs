@@ -109,6 +109,15 @@ pub fn shards() -> u32 {
         .unwrap_or(1)
 }
 
+/// Optimistic shard execution applied to every figure simulation: set
+/// by the `--speculate` CLI flag (through `PRDRB_SPECULATE`), default
+/// off. Only meaningful together with `--shards N > 1`; committed
+/// results stay bit-identical to serial at every abort schedule, so —
+/// exactly like [`shards`] — it never enters the run-cache key.
+pub fn speculate() -> bool {
+    std::env::var("PRDRB_SPECULATE").is_ok_and(|v| v == "1" || v == "true")
+}
+
 /// Duration scale factor: `PRDRB_SCALE` (default 1.0) multiplies the
 /// simulated durations so CI / quick runs can shrink every experiment
 /// uniformly.

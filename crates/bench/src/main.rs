@@ -6,6 +6,7 @@
 //! repro fig4_13 fig4_14 # several
 //! repro all             # everything (rayon-parallel)
 //! repro all --shards 4  # same outputs, sharded fabric execution
+//! repro all --shards 4 --speculate # plus optimistic (checkpoint/rollback) windows
 //! repro workloads       # the wl_* application-workload targets
 //! repro workloads --quick # same, shrunk for CI smoke use
 //! repro bench [--quick] # hot-path perf kernels -> BENCH_PRDRB.json
@@ -23,11 +24,17 @@
 //! router/NIC balance and the window lookahead the cut earns — for the
 //! two canonical figure topologies.
 //!
+//! `--speculate` additionally runs each sharded simulation under the
+//! optimistic (checkpoint/rollback) window driver; committed outputs
+//! remain bit-identical, and the run ends with one commit/abort
+//! summary line totalled over every speculative window executed.
+//!
 //! Environment: `PRDRB_RESULTS` (output dir, default `results/`),
 //! `PRDRB_SCALE` (duration multiplier for quick runs, default 1.0),
 //! `PRDRB_SEEDS` (replicas per config, default 5), `PRDRB_CACHE`
 //! (run-cache dir; `off`/`0` disables, default `results/.cache`),
-//! `PRDRB_SHARDS` (what `--shards` sets, default 1).
+//! `PRDRB_SHARDS` (what `--shards` sets, default 1), `PRDRB_SPECULATE`
+//! (what `--speculate` sets; `1`/`true` enables, default off).
 
 use prdrb_bench::figures::{registry, Target};
 use rayon::prelude::*;
@@ -49,6 +56,10 @@ fn main() {
             }
         }
     }
+    if let Some(i) = args.iter().position(|a| a == "--speculate") {
+        std::env::set_var("PRDRB_SPECULATE", "1");
+        args.remove(i);
+    }
     let targets = registry();
     if args.is_empty() || args[0] == "list" {
         println!("repro targets ({}):", targets.len());
@@ -56,7 +67,7 @@ fn main() {
             println!("  {:<22} {}", t.id, t.title);
         }
         println!(
-            "\nusage: repro [--shards N] <id>... | all | workloads [--quick] | \
+            "\nusage: repro [--shards N] [--speculate] <id>... | all | workloads [--quick] | \
              bench [--quick] | gate"
         );
         return;
@@ -145,6 +156,21 @@ fn main() {
     );
     if let Some((csv, json)) = prdrb_bench::export_probe_artifacts() {
         println!("probe artifacts: {} {}", csv.display(), json.display());
+    }
+    if prdrb_bench::speculate() {
+        // Process-wide totals: cache hits run no fabric, and serial
+        // fallbacks never speculate, so all-zero lines are expected on
+        // fully cached (or --shards 1) invocations.
+        let (commits, aborts, replays) = prdrb_network::spec_stats();
+        println!(
+            "speculation: {commits} window(s) committed clean, {aborts} aborted \
+             ({replays} shard replays, {:.1}% commit rate)",
+            if commits + aborts == 0 {
+                100.0
+            } else {
+                100.0 * commits as f64 / (commits + aborts) as f64
+            }
+        );
     }
     let cache_line = prdrb_bench::report::cache_line();
     println!(

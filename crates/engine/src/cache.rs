@@ -32,6 +32,7 @@ use prdrb_traffic::{
 };
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Bump to invalidate every existing cache entry when the simulator's
 /// behaviour (not just the config layout) changes.
@@ -132,6 +133,10 @@ fn fold_config(cfg: &SimConfig, h: &mut StableHasher) {
         // shard-equivalence tests), so serial and sharded runs share
         // cache entries.
         shards: _,
+        // Speculative shard execution commits bit-identical prefixes
+        // at every abort schedule (forced-abort and proptest
+        // coverage), so it shares cache entries the same way.
+        speculate: _,
     } = cfg;
     h.write_str(label);
     match *topology {
@@ -725,15 +730,28 @@ pub fn report_from_csv(text: &str) -> Option<RunReport> {
 }
 
 /// A disk-backed store of finished runs, one CSV file per [`RunKey`].
+///
+/// Each instance carries its own hit/miss counters (shared by clones,
+/// which are views of the same logical cache), so concurrent
+/// `run_many` calls over *different* caches can be observed
+/// independently; the process-wide [`cache_stats`] aggregate still
+/// sees every lookup, but tests no longer need to reset a global to
+/// read one cache's behavior.
 #[derive(Debug, Clone)]
 pub struct RunCache {
     dir: PathBuf,
+    hits: Arc<AtomicU64>,
+    misses: Arc<AtomicU64>,
 }
 
 impl RunCache {
     /// A cache rooted at `dir` (created lazily on first store).
     pub fn new(dir: impl Into<PathBuf>) -> Self {
-        Self { dir: dir.into() }
+        Self {
+            dir: dir.into(),
+            hits: Arc::new(AtomicU64::new(0)),
+            misses: Arc::new(AtomicU64::new(0)),
+        }
     }
 
     /// The cache directory.
@@ -741,12 +759,22 @@ impl RunCache {
         &self.dir
     }
 
+    /// `(hits, misses)` of this cache instance (and its clones) alone,
+    /// unaffected by other caches and by [`reset_cache_stats`].
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
     fn path(&self, key: RunKey) -> PathBuf {
         self.dir.join(format!("{key}.csv"))
     }
 
     /// Replay the report stored under `key`, if any. Counts a hit or a
-    /// miss in [`cache_stats`].
+    /// miss both here ([`Self::stats`]) and process-wide
+    /// ([`cache_stats`]).
     pub fn load(&self, key: RunKey) -> Option<RunReport> {
         let loaded = std::fs::read_to_string(self.path(key))
             .ok()
@@ -754,10 +782,12 @@ impl RunCache {
         match &loaded {
             Some(_) => {
                 prdrb_simcore::probe_count!(CacheHit, 0);
+                self.hits.fetch_add(1, Ordering::Relaxed);
                 HITS.fetch_add(1, Ordering::Relaxed)
             }
             None => {
                 prdrb_simcore::probe_count!(CacheMiss, 0);
+                self.misses.fetch_add(1, Ordering::Relaxed);
                 MISSES.fetch_add(1, Ordering::Relaxed)
             }
         };
@@ -888,6 +918,13 @@ mod tests {
                 base,
                 "shards={k} must replay serial cache entries"
             );
+            c.speculate = true;
+            assert_eq!(
+                RunKey::of(&c),
+                base,
+                "speculation commits bit-identical results, so speculative \
+                 runs must replay serial cache entries too (shards={k})"
+            );
         }
     }
 
@@ -981,24 +1018,29 @@ mod tests {
         assert_eq!(back.quantiles.total(), report.quantiles.total());
     }
 
-    /// Serializes tests that touch the process-global hit/miss counters
-    /// so their exact-count assertions cannot interleave.
-    static STATS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
-
     #[test]
     fn cache_hit_replays_exact_report() {
-        let _stats = STATS_LOCK.lock().unwrap();
         let dir = std::env::temp_dir().join(format!("prdrb-cache-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let cache = RunCache::new(&dir);
         let key = RunKey::of(&cfg());
-        reset_cache_stats();
+        let (global_hits, global_misses) = cache_stats();
         assert!(cache.load(key).is_none(), "cold cache misses");
         let fresh = crate::run(cfg());
         cache.store(key, &fresh);
         let replay = cache.load(key).expect("stored entry loads");
         assert_eq!(report_to_csv(key, &replay), report_to_csv(key, &fresh));
-        assert_eq!(cache_stats(), (1, 1));
+        // Exact counts come from this instance's own counters — immune
+        // to every other test's (parallel) cache traffic...
+        assert_eq!(cache.stats(), (1, 1));
+        // ...while the process-wide aggregate still sees the lookups
+        // (only monotonicity can be asserted without serializing tests).
+        let (h, m) = cache_stats();
+        assert!(h >= global_hits + 1 && m >= global_misses + 1);
+        // Clones are views of the same logical cache: counters shared.
+        let clone = cache.clone();
+        assert!(clone.load(key).is_some());
+        assert_eq!(cache.stats(), (2, 1));
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -1018,7 +1060,6 @@ mod tests {
     /// `RunCache` whose on-disk file is forged in place.
     #[test]
     fn version_skewed_entry_is_a_clean_miss() {
-        let _stats = STATS_LOCK.lock().unwrap();
         let report = crate::run(cfg());
         let key = RunKey::of(&cfg());
         let csv = report_to_csv(key, &report);
@@ -1039,9 +1080,8 @@ mod tests {
             on_disk.replacen("prdrb-run-cache,v1", "prdrb-run-cache,v2", 1),
         )
         .expect("forge version in place");
-        reset_cache_stats();
         assert!(cache.load(key).is_none(), "skewed entry must miss");
-        assert_eq!(cache_stats(), (0, 1), "counted as a miss, not a hit");
+        assert_eq!(cache.stats(), (0, 1), "counted as a miss, not a hit");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

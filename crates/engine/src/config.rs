@@ -160,6 +160,12 @@ pub struct SimConfig {
     /// not part of the run's identity (excluded from the cache key).
     /// Trace workloads and zero-latency links always run serial.
     pub shards: u32,
+    /// Optimistic shard execution (checkpoint/rollback speculation
+    /// past the conservative window, `network::SpecConfig::default()`
+    /// tuning). Only meaningful with `shards > 1`; committed results
+    /// stay bit-identical to serial, so — like [`Self::shards`] — this
+    /// is an execution knob excluded from the cache key.
+    pub speculate: bool,
 }
 
 impl SimConfig {
@@ -188,6 +194,7 @@ impl SimConfig {
             preload_profile: Vec::new(),
             faults: FaultPlan::none(),
             shards: 1,
+            speculate: false,
         }
     }
 
@@ -218,6 +225,7 @@ impl SimConfig {
             preload_profile: Vec::new(),
             faults: FaultPlan::none(),
             shards: 1,
+            speculate: false,
         }
     }
 
@@ -247,6 +255,7 @@ impl SimConfig {
             preload_profile: Vec::new(),
             faults: FaultPlan::none(),
             shards: 1,
+            speculate: false,
         }
     }
 
@@ -271,6 +280,7 @@ impl SimConfig {
             preload_profile: Vec::new(),
             faults: FaultPlan::none(),
             shards: 1,
+            speculate: false,
         }
     }
 
@@ -290,6 +300,7 @@ impl SimConfig {
             preload_profile: Vec::new(),
             faults: FaultPlan::none(),
             shards: 1,
+            speculate: false,
         }
     }
 }

@@ -161,6 +161,27 @@ pub struct Simulation {
     phase_cursor: Option<(u32, u64, u64)>,
 }
 
+/// Trace replay and collective schedules lower onto the serial player
+/// (zero host lookahead leaves no conservative window), so a
+/// `shards > 1` request cannot take effect on them. Say so explicitly —
+/// once per process, on stderr — instead of silently running serial;
+/// the `repro` CLI test pins the wording.
+fn notice_serial_fallback(cfg: &SimConfig) {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let why = match cfg.workload {
+            Workload::Trace(_) => "trace replay",
+            Workload::Collective { .. } => "collective workloads",
+            _ => "zero-latency links",
+        };
+        eprintln!(
+            "note: {why} lower onto the serial player; --shards {} falls back to serial for \
+             those runs",
+            cfg.shards
+        );
+    });
+}
+
 impl Simulation {
     /// Build a simulation from a configuration.
     pub fn new(cfg: SimConfig) -> Self {
@@ -182,14 +203,21 @@ impl Simulation {
                 Workload::Trace(_) | Workload::Collective { .. }
             )
             && net.wire_delay_ns > 0;
+        if cfg.shards > 1 && !sharded {
+            notice_serial_fallback(&cfg);
+        }
         let fabric = if sharded {
-            NetFabric::Sharded(ShardedFabric::with_faults(
+            let mut fab = ShardedFabric::with_faults(
                 topo.clone(),
                 net,
                 cfg.shards,
                 prdrb_network::ExecMode::Auto,
                 cfg.faults.clone(),
-            ))
+            );
+            if cfg.speculate {
+                fab.set_speculation(prdrb_network::SpecConfig::default());
+            }
+            NetFabric::Sharded(fab)
         } else {
             NetFabric::Serial(Fabric::with_faults(topo.clone(), net, cfg.faults.clone()))
         };
@@ -345,13 +373,29 @@ impl Simulation {
                 truncated = self.player.as_ref().map(|p| !p.all_done()).unwrap_or(false);
                 break;
             }
-            // Let the fabric catch up to the target, stopping at any
-            // delivery so the host reacts at the true timestamp. The
-            // serial fabric surfaces one delivery at a time; the
-            // sharded fabric a whole window's batch in serial pop
-            // order — processing each at its own timestamp keeps the
-            // policy-call sequence identical either way.
-            if self.fabric.run_until_delivery(target) {
+            // Let the fabric catch up, stopping at any delivery so the
+            // host reacts at the true timestamp. The serial fabric
+            // surfaces one delivery at a time; the sharded fabric a
+            // whole window's batch in serial pop order — processing
+            // each at its own timestamp keeps the policy-call sequence
+            // identical either way.
+            //
+            // The horizon handed to the fabric is the next *external*
+            // event, not `target`: the fabric never consults host state
+            // mid-run, and deliveries stop the advance on their own, so
+            // clamping at the fabric's own next event (as `target`
+            // does) would hand the windowed backends one zero-width
+            // window per timestamp and starve speculation of any
+            // horizon to speculate into. The whole host-quiet gap is
+            // safe fabric time. When the external queue is empty (the
+            // drain phase) the fabric-event target is kept so an idle
+            // clamp cannot inflate the fabric clock — and with it the
+            // reported `end_ns` — past the last real event.
+            let horizon = match t_ext {
+                Some(t) => t.min(max),
+                None => target,
+            };
+            if self.fabric.run_until_delivery(horizon) {
                 self.pump_deliveries_at_time();
                 continue;
             }
@@ -815,6 +859,28 @@ mod tests {
                 cfg.shards = k;
                 let sharded = report_to_csv(key, &Simulation::new(cfg).run());
                 assert_eq!(serial, sharded, "{policy:?} shards={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn speculative_runs_are_byte_identical_to_serial() {
+        use crate::cache::{report_to_csv, RunKey};
+        for policy in [PolicyKind::Deterministic, PolicyKind::PrDrb] {
+            let base = quick_synth(policy);
+            let key = RunKey::of(&base);
+            let serial = report_to_csv(key, &Simulation::new(base.clone()).run());
+            for k in [2u32, 4] {
+                let mut cfg = base.clone();
+                cfg.shards = k;
+                cfg.speculate = true;
+                assert_eq!(
+                    RunKey::of(&cfg),
+                    key,
+                    "execution knobs must stay out of the run identity"
+                );
+                let spec = report_to_csv(key, &Simulation::new(cfg).run());
+                assert_eq!(serial, spec, "{policy:?} speculate shards={k}");
             }
         }
     }

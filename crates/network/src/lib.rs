@@ -27,7 +27,10 @@ pub use fabric::{Delivery, Fabric, FabricStats, NUM_VCS};
 pub use monitor::{contending_flows, dedup_sources, Contender};
 pub use packet::{FlowPair, Packet, PacketKind, PredictiveHeader};
 pub use pool::PacketPool;
-pub use shard::{shard_lookahead, shard_lookahead_live, ExecMode, ParallelStats, ShardedFabric};
+pub use shard::{
+    shard_lookahead, shard_lookahead_live, spec_stats, ExecMode, ParallelStats, ShardedFabric,
+    SpecConfig,
+};
 pub use wire::{decode, encode, WireError, WirePacket};
 
 #[cfg(test)]

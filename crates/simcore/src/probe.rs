@@ -76,11 +76,19 @@ pub enum ProbeKind {
     ShardHandoffBatch,
     /// Successful work-steal by a pool worker, per thief worker index.
     ShardSteal,
+    /// Speculative window committed in full (no rollback), entity 0.
+    ShardSpecCommit,
+    /// Speculative window aborted — at least one shard rolled back and
+    /// replayed; entity = number of shards replayed that window.
+    ShardSpecAbort,
+    /// Speculation depth (multiples of the conservative lookahead)
+    /// chosen for one window, entity 0.
+    ShardSpecDepth,
 }
 
 impl ProbeKind {
     /// Every kind, in export order.
-    pub const ALL: [ProbeKind; 16] = [
+    pub const ALL: [ProbeKind; 19] = [
         ProbeKind::QueueWait,
         ProbeKind::OutputWait,
         ProbeKind::ArbSteps,
@@ -97,6 +105,9 @@ impl ProbeKind {
         ProbeKind::ShardBarrierWait,
         ProbeKind::ShardHandoffBatch,
         ProbeKind::ShardSteal,
+        ProbeKind::ShardSpecCommit,
+        ProbeKind::ShardSpecAbort,
+        ProbeKind::ShardSpecDepth,
     ];
 
     /// Stable export name (snake_case, used in CSV/JSON schemas).
@@ -118,6 +129,9 @@ impl ProbeKind {
             ProbeKind::ShardBarrierWait => "shard_barrier_wait_ns",
             ProbeKind::ShardHandoffBatch => "shard_handoff_batch",
             ProbeKind::ShardSteal => "shard_steal",
+            ProbeKind::ShardSpecCommit => "shard_spec_commit",
+            ProbeKind::ShardSpecAbort => "shard_spec_abort",
+            ProbeKind::ShardSpecDepth => "shard_spec_depth",
         }
     }
 }
