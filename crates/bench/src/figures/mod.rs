@@ -4,12 +4,15 @@
 //! matrices), [`hotspot`] (§4.5/§4.6.2 mesh experiments), [`permutation`]
 //! (§4.6.3 fat-tree permutation experiments), [`apps`] (§4.8 application
 //! experiments), [`ablations`] (design-choice studies), [`resilience`]
-//! (fault-injection recovery) and [`workloads`] (application-level
-//! workload extensions: collectives, phase loops, open-loop arrivals).
+//! (fault-injection recovery), [`workloads`] (application-level
+//! workload extensions: collectives, phase loops, open-loop arrivals)
+//! and [`dfly`] (dragonfly noise scenario with adaptive-routing
+//! baselines).
 
 pub mod ablations;
 pub mod apps;
 pub mod ch2;
+pub mod dfly;
 pub mod hotspot;
 pub mod permutation;
 pub mod resilience;
@@ -42,6 +45,7 @@ pub fn registry() -> Vec<Target> {
     v.extend(ablations::targets());
     v.extend(resilience::targets());
     v.extend(workloads::targets());
+    v.extend(dfly::targets());
     v
 }
 

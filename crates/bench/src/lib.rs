@@ -118,6 +118,17 @@ pub fn speculate() -> bool {
     std::env::var("PRDRB_SPECULATE").is_ok_and(|v| v == "1" || v == "true")
 }
 
+/// Named-topology override: set by the `--topo <name>` CLI flag
+/// (through `PRDRB_TOPO`), validated against the engine's
+/// `NAMED_TOPOLOGIES` table — the single source of truth shared with
+/// `TopologyKind::{name, parse}`. Targets that are topology-generic
+/// consult this to retarget; topology-specific targets ignore it.
+pub fn topo_override() -> Option<prdrb_engine::TopologyKind> {
+    std::env::var("PRDRB_TOPO")
+        .ok()
+        .and_then(|n| prdrb_engine::TopologyKind::parse(&n))
+}
+
 /// Duration scale factor: `PRDRB_SCALE` (default 1.0) multiplies the
 /// simulated durations so CI / quick runs can shrink every experiment
 /// uniformly.

@@ -29,12 +29,19 @@
 //! remain bit-identical, and the run ends with one commit/abort
 //! summary line totalled over every speculative window executed.
 //!
+//! `--topo <name>` selects a named topology from the engine's
+//! `NAMED_TOPOLOGIES` table (`mesh8x8`, `fattree443`, `dragonfly72`,
+//! `megafly20`); unknown names abort with the valid list. The flag
+//! narrows the `--shards` plan summary and is exported to targets via
+//! `PRDRB_TOPO` / `prdrb_bench::topo_override`.
+//!
 //! Environment: `PRDRB_RESULTS` (output dir, default `results/`),
 //! `PRDRB_SCALE` (duration multiplier for quick runs, default 1.0),
 //! `PRDRB_SEEDS` (replicas per config, default 5), `PRDRB_CACHE`
 //! (run-cache dir; `off`/`0` disables, default `results/.cache`),
 //! `PRDRB_SHARDS` (what `--shards` sets, default 1), `PRDRB_SPECULATE`
-//! (what `--speculate` sets; `1`/`true` enables, default off).
+//! (what `--speculate` sets; `1`/`true` enables, default off),
+//! `PRDRB_TOPO` (what `--topo` sets, default unset).
 
 use prdrb_bench::figures::{registry, Target};
 use rayon::prelude::*;
@@ -60,6 +67,26 @@ fn main() {
         std::env::set_var("PRDRB_SPECULATE", "1");
         args.remove(i);
     }
+    if let Some(i) = args.iter().position(|a| a == "--topo") {
+        // One table rules the CLI surface: a name is valid iff it is in
+        // `NAMED_TOPOLOGIES` (the same table `TopologyKind::build`
+        // round-trips through), so the flag can never drift from the
+        // builders.
+        match args.get(i + 1).map(String::as_str) {
+            Some(name) if prdrb_engine::TopologyKind::parse(name).is_some() => {
+                std::env::set_var("PRDRB_TOPO", name);
+                args.drain(i..=i + 1);
+            }
+            _ => {
+                let names: Vec<&str> = prdrb_engine::NAMED_TOPOLOGIES
+                    .iter()
+                    .map(|(n, _)| *n)
+                    .collect();
+                eprintln!("--topo needs one of: {}", names.join(", "));
+                std::process::exit(2);
+            }
+        }
+    }
     let targets = registry();
     if args.is_empty() || args[0] == "list" {
         println!("repro targets ({}):", targets.len());
@@ -67,8 +94,8 @@ fn main() {
             println!("  {:<22} {}", t.id, t.title);
         }
         println!(
-            "\nusage: repro [--shards N] [--speculate] <id>... | all | workloads [--quick] | \
-             bench [--quick] | gate"
+            "\nusage: repro [--shards N] [--speculate] [--topo NAME] <id>... | all | \
+             workloads [--quick] | bench [--quick] | gate"
         );
         return;
     }
@@ -190,13 +217,21 @@ fn main() {
 /// default link parameters) is the window width the cut earns.
 fn print_shard_plans(shards: u32) {
     use prdrb_network::{shard_lookahead, NetworkConfig};
-    use prdrb_topology::{AnyTopology, ShardPlan, Topology};
+    use prdrb_topology::{ShardPlan, Topology};
     let net = NetworkConfig::default();
     println!("shard plans at K={shards} (default link parameters):");
-    for topo in [AnyTopology::mesh8x8(), AnyTopology::fat_tree_64()] {
+    // `--topo <name>` narrows the summary to one named topology;
+    // otherwise every entry of the NAMED table is summarized.
+    let only = prdrb_bench::topo_override();
+    for (name, kind) in prdrb_engine::NAMED_TOPOLOGIES {
+        if only.is_some_and(|k| k != kind) {
+            continue;
+        }
+        let topo = kind.build();
         let plan = ShardPlan::new(&topo, shards);
         println!(
-            "  {:<28} cut {:>3} link(s), lookahead {} ns, routers/shard {:?}, nics/shard {:?}",
+            "  {name:<12} {:<28} cut {:>3} link(s), lookahead {} ns, routers/shard {:?}, \
+             nics/shard {:?}",
             topo.label(),
             plan.cut_size(&topo),
             shard_lookahead(&plan, &topo, &net),

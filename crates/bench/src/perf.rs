@@ -19,6 +19,14 @@
 //!   all-to-all on the fat-tree, the mini-app phase loop on the mesh,
 //!   heavy-tailed open-loop arrivals), so the trajectory records the
 //!   end-to-end message rate of each generator path.
+//! * `dfly_fabric` / `dfly_noise` — the dragonfly extension's hot
+//!   paths: a bare-fabric churn over the palm-tree global links
+//!   (group-ring stencil plus a rotating all-to-all background on the
+//!   72-terminal dragonfly), and a full-stack UGAL run under uniform
+//!   load (per-flow EWMA estimators, destination ACKs, Valiant-style
+//!   misroutes). New kernels enter the trajectory gate fail-soft: the
+//!   first runs on a host record baselines ("new kernel, no baseline")
+//!   before the median comparison arms.
 //! * `fabric_parallel_wide_k{1,2,4}` — a fat-tree hot-spot workload
 //!   driven through the conservative-parallel [`ShardedFabric`] at 1, 2
 //!   and 4 shards, with the spine on long (global-class) wires so pod
@@ -71,7 +79,10 @@ use prdrb_network::{Fabric, NetworkConfig, Packet, ParallelStats, ShardedFabric,
 use prdrb_simcore::time::MILLISECOND;
 use prdrb_simcore::{EventQueue, QueueKind};
 use prdrb_topology::{AnyTopology, NodeId, PathDescriptor, RouteState};
-use prdrb_traffic::{CollectiveKind, CollectiveSpec, OpenLoopSpec, PhaseProgram, ScheduleShape};
+use prdrb_traffic::{
+    BurstSchedule, CollectiveKind, CollectiveSpec, OpenLoopSpec, PhaseProgram, ScheduleShape,
+    TrafficPattern,
+};
 use std::time::Instant;
 
 /// One timed kernel result.
@@ -290,6 +301,47 @@ fn workload_openloop(quick: bool) -> Kernel {
     engine_kernel("workload_openloop", cfg)
 }
 
+/// Bare-fabric churn on the 72-terminal dragonfly: the fig_dfly ring
+/// stencil (one global link per hop by palm-tree construction) under a
+/// rotating all-to-all background, so the kernel times the dragonfly
+/// route tables and the global-link contention path.
+fn dfly_fabric(quick: bool) -> Kernel {
+    let mut flows: Vec<(NodeId, NodeId)> = (0u32..9)
+        .map(|g| (NodeId(g * 8), NodeId(((g + 1) % 9) * 8)))
+        .collect();
+    flows.extend(
+        (0u32..72)
+            .map(|i| (NodeId(i), NodeId((i + 29) % 72)))
+            .filter(|(s, d)| s != d),
+    );
+    fabric_kernel(
+        "dfly_fabric",
+        TopologyKind::Dragonfly { a: 9, r: 4, h: 2 }.build(),
+        &flows,
+        if quick { 80 } else { 400 },
+        24_000,
+    )
+}
+
+/// Full-stack UGAL run on the dragonfly under uniform load: per-flow
+/// EWMA estimators fed by destination ACKs, with Valiant-style
+/// misroutes whenever the minimal estimate degrades — the adaptive
+/// baseline's whole decision loop, end to end.
+fn dfly_noise(quick: bool) -> Kernel {
+    let mut cfg = SimConfig::synthetic(
+        TopologyKind::Dragonfly { a: 9, r: 4, h: 2 },
+        PolicyKind::Ugal,
+        BurstSchedule::continuous(TrafficPattern::Uniform, 600.0),
+        72,
+    );
+    cfg.duration_ns = if quick {
+        MILLISECOND / 8
+    } else {
+        MILLISECOND / 2
+    };
+    engine_kernel("dfly_noise", cfg)
+}
+
 /// Drive the conservative-parallel fabric through the same hot loop as
 /// [`fabric_kernel`], returning the kernel plus the delivery count for
 /// the cross-shard identity check. The fat-tree spine rides
@@ -442,8 +494,7 @@ fn fabric_parallel_spec(quick: bool) -> Vec<Kernel> {
         ("fabric_parallel_narrow_k4", 4, SpecConfig::off()),
         ("fabric_parallel_spec_k4", 4, SpecConfig::default()),
     ] {
-        let (k, delivered) =
-            sharded_kernel_with(name, shards, net, spec, &flows, rounds, 8_000);
+        let (k, delivered) = sharded_kernel_with(name, shards, net, spec, &flows, rounds, 8_000);
         match reference {
             None => reference = Some((k.count, delivered)),
             Some((ev, del)) => {
@@ -632,6 +683,8 @@ pub fn run_bench(quick: bool) -> i32 {
         workload_collective(quick),
         workload_phases(quick),
         workload_openloop(quick),
+        dfly_fabric(quick),
+        dfly_noise(quick),
     ];
     kernels.extend(fabric_parallel(quick));
     kernels.extend(fabric_parallel_spec(quick));
@@ -823,6 +876,16 @@ mod tests {
         assert!(k.count > 10_000, "events {}", k.count);
         let k = ft_shuffle(true);
         assert!(k.count > 10_000, "events {}", k.count);
+    }
+
+    #[test]
+    fn dfly_kernels_process_work() {
+        let k = dfly_fabric(true);
+        assert!(k.count > 10_000, "events {}", k.count);
+        assert_eq!(k.unit, "events");
+        let k = dfly_noise(true);
+        assert!(k.count > 0, "messages {}", k.count);
+        assert_eq!(k.unit, "messages");
     }
 
     #[test]

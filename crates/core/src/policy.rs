@@ -10,8 +10,17 @@
 //! * **Random** — an oblivious uniformly random minimal path (§4.8.4);
 //! * **Cyclic** — cyclic-priority rotation over the minimal paths
 //!   (§4.8.4).
+//!
+//! Extension baselines for the low-diameter topologies (dragonfly,
+//! megafly), where the literature's comparison set is different:
+//! * **Valiant** — oblivious randomized routing via a per-message
+//!   random intermediate terminal (encoded as an MSP, which is
+//!   graph-generic);
+//! * **UGAL** — source-adaptive minimal-vs-Valiant selection from
+//!   ACK-measured latency estimates, the standard adaptive baseline
+//!   PR-DRB is pitted against on the dragonfly.
 
-use prdrb_network::{NotifyMode, Packet};
+use prdrb_network::{NotifyMode, Packet, PacketKind};
 use prdrb_simcore::time::Time;
 use prdrb_simcore::SimRng;
 use prdrb_topology::{AltPathProvider, AnyTopology, FaultState, NodeId, PathDescriptor};
@@ -147,13 +156,15 @@ impl RoutingPolicy for Deterministic {
         _rng: &mut SimRng,
     ) -> (PathDescriptor, u8) {
         match &self.topo {
-            AnyTopology::Mesh(_) => (PathDescriptor::Minimal, 0),
             AnyTopology::Tree(t) => (
                 PathDescriptor::TreeSeed {
                     seed: AltPathProvider::tree_det_seed(t, src),
                 },
                 0,
             ),
+            // Mesh DOR; dragonfly/megafly have a single deterministic
+            // minimal route already.
+            _ => (PathDescriptor::Minimal, 0),
         }
     }
 }
@@ -207,6 +218,9 @@ impl RoutingPolicy for RandomMinimal {
                     seed: rng.below(n) as u32,
                 }
             }
+            // Dragonfly routes have one minimal path per pair; megafly
+            // spine spreading is left to the fabric's AdaptiveUp.
+            _ => PathDescriptor::Minimal,
         });
         (desc, 0)
     }
@@ -242,8 +256,13 @@ impl RoutingPolicy for AdaptivePerHop {
         _rng: &mut SimRng,
     ) -> (PathDescriptor, u8) {
         match &self.topo {
-            AnyTopology::Tree(_) => (PathDescriptor::AdaptiveUp, 0),
-            AnyTopology::Mesh(_) => (PathDescriptor::Minimal, 0),
+            // Trees and megaflies have an ascending phase during which
+            // every up port is minimal — safe ground for per-hop
+            // adaptivity (the megafly leaf picks among its spines).
+            AnyTopology::Tree(_) | AnyTopology::Megafly(_) => (PathDescriptor::AdaptiveUp, 0),
+            // Mesh and dragonfly fall back: unrestricted adaptivity
+            // there needs escape channels the fabric doesn't model.
+            _ => (PathDescriptor::Minimal, 0),
         }
     }
 }
@@ -298,6 +317,189 @@ impl RoutingPolicy for CyclicPriority {
                 let n = t.num_minimal_paths(src, dst).max(1) as u32;
                 (PathDescriptor::TreeSeed { seed: i % n }, 0)
             }
+            // Single minimal path on the dragonfly family: the
+            // rotation degenerates to the deterministic route.
+            _ => (PathDescriptor::Minimal, 0),
+        }
+    }
+}
+
+/// Draw a uniformly random intermediate terminal distinct from both
+/// endpoints. The skip mapping keeps the draw rejection-free (exactly
+/// one RNG call per message): values `[0, n-2)` are shifted past the
+/// two excluded ids in ascending order.
+fn random_intermediate(n: u32, src: NodeId, dst: NodeId, rng: &mut SimRng) -> NodeId {
+    debug_assert!(n >= 3 && src != dst);
+    let (lo, hi) = if src.0 < dst.0 {
+        (src.0, dst.0)
+    } else {
+        (dst.0, src.0)
+    };
+    let mut v = rng.below((n - 2) as usize) as u32;
+    if v >= lo {
+        v += 1;
+    }
+    if v >= hi {
+        v += 1;
+    }
+    NodeId(v)
+}
+
+/// Valiant's randomized oblivious routing: every message detours
+/// through a fresh uniformly random intermediate terminal, spreading
+/// any traffic pattern into two rounds of average-case load. Encoded
+/// as `Msp { in1: mid, in2: dst }`, which is valid on every topology
+/// (each segment runs the deterministic minimal route).
+#[derive(Debug)]
+pub struct Valiant {
+    topo: AnyTopology,
+}
+
+impl Valiant {
+    /// Valiant routing over `topo`.
+    pub fn new(topo: AnyTopology) -> Self {
+        Self { topo }
+    }
+}
+
+impl RoutingPolicy for Valiant {
+    fn name(&self) -> &'static str {
+        "valiant"
+    }
+
+    fn choose(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        _now: Time,
+        rng: &mut SimRng,
+    ) -> (PathDescriptor, u8) {
+        use prdrb_topology::Topology;
+        let n = self.topo.num_terminals() as u32;
+        if src == dst || n < 3 {
+            return (PathDescriptor::Minimal, 0);
+        }
+        let mid = random_intermediate(n, src, dst, rng);
+        (PathDescriptor::Msp { in1: mid, in2: dst }, 0)
+    }
+}
+
+/// UGAL decision offset: the Valiant estimate must beat the minimal
+/// estimate by this margin before a flow diverts (hysteresis against
+/// flapping on noisy samples; roughly one serialization time).
+const UGAL_OFFSET_NS: Time = 1_000;
+
+/// Per-flow UGAL latency estimates, EWMA-folded from destination ACKs.
+/// Metapath index 0 tags minimally routed messages, index 1 tags
+/// Valiant-routed ones, so the returning ACK tells us which estimate
+/// its latency sample belongs to.
+#[derive(Debug)]
+struct UgalFlow {
+    est_min: f64,
+    est_val: f64,
+}
+
+/// UGAL-style source-adaptive routing: each message goes minimally or
+/// via a random Valiant intermediate, whichever the flow's measured
+/// latency estimates say is cheaper. The hardware original compares
+/// local queue depths (UGAL-L); with source routing the natural
+/// congestion sensor is the same ACK latency stream DRB uses, so this
+/// is closer to UGAL-G in fidelity while staying fully distributed.
+#[derive(Debug)]
+pub struct Ugal {
+    topo: AnyTopology,
+    /// EWMA weight for folding ACK samples (shared with the DRB
+    /// family's `ewma_alpha` so comparisons use one smoothing setting).
+    alpha: f64,
+    flows: HashMap<(NodeId, NodeId), UgalFlow>,
+    diversions: u64,
+}
+
+impl Ugal {
+    /// UGAL routing over `topo`; `alpha` is the ACK-sample EWMA weight.
+    pub fn new(topo: AnyTopology, alpha: f64) -> Self {
+        Self {
+            topo,
+            alpha,
+            flows: HashMap::new(),
+            diversions: 0,
+        }
+    }
+}
+
+impl RoutingPolicy for Ugal {
+    fn name(&self) -> &'static str {
+        "ugal"
+    }
+
+    fn needs_acks(&self) -> bool {
+        true
+    }
+
+    fn choose(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        _now: Time,
+        rng: &mut SimRng,
+    ) -> (PathDescriptor, u8) {
+        use prdrb_topology::Topology;
+        let n = self.topo.num_terminals() as u32;
+        if src == dst || n < 3 {
+            return (PathDescriptor::Minimal, 0);
+        }
+        let dist = self.topo.distance(src, dst) as f64;
+        let fs = self.flows.entry((src, dst)).or_insert_with(|| UgalFlow {
+            // Zero-load priors matching `base_path`'s estimate: Valiant
+            // doubles the expected hop count, so flows start minimal
+            // and only divert once measurements say otherwise.
+            est_min: 4_096.0 + dist * 100.0,
+            est_val: 4_096.0 + 2.0 * dist * 100.0,
+        });
+        let divert = fs.est_min > fs.est_val + UGAL_OFFSET_NS as f64;
+        if divert {
+            self.diversions += 1;
+            let mid = random_intermediate(n, src, dst, rng);
+            (PathDescriptor::Msp { in1: mid, in2: dst }, 1)
+        } else {
+            (PathDescriptor::Minimal, 0)
+        }
+    }
+
+    fn on_ack(&mut self, ack: &Packet, _now: Time) {
+        let PacketKind::Ack {
+            data_latency,
+            data_msp,
+            from_router,
+        } = ack.kind
+        else {
+            debug_assert!(false, "on_ack called with a data packet");
+            return;
+        };
+        // UGAL only consumes destination ACKs; router-injected
+        // predictive notifications belong to the DRB family.
+        if from_router.is_some() {
+            return;
+        }
+        let (me, flow_dst) = (ack.dst, ack.src); // ACKs travel dst→src
+        let Some(fs) = self.flows.get_mut(&(me, flow_dst)) else {
+            return;
+        };
+        let est = if data_msp == 0 {
+            &mut fs.est_min
+        } else {
+            &mut fs.est_val
+        };
+        *est = (1.0 - self.alpha) * *est + self.alpha * data_latency as f64;
+    }
+
+    fn stats(&self) -> PolicyStats {
+        PolicyStats {
+            // Diversions are UGAL's path-opening analogue; surfacing
+            // them through `expansions` lets the figures report how
+            // often the adaptive baseline actually misroutes.
+            expansions: self.diversions,
+            ..PolicyStats::default()
         }
     }
 }
@@ -314,6 +516,12 @@ pub enum PolicyKind {
     Cyclic,
     /// Fully adaptive per-hop routing (extension baseline).
     Adaptive,
+    /// Valiant's randomized oblivious routing (extension baseline for
+    /// the dragonfly family).
+    Valiant,
+    /// UGAL-style source-adaptive minimal-vs-Valiant selection
+    /// (extension baseline for the dragonfly family).
+    Ugal,
     /// Distributed Routing Balancing (Franco et al.).
     Drb,
     /// Predictive DRB — the paper's contribution.
@@ -343,6 +551,8 @@ impl PolicyKind {
             PolicyKind::Random => "random",
             PolicyKind::Cyclic => "cyclic",
             PolicyKind::Adaptive => "adaptive",
+            PolicyKind::Valiant => "valiant",
+            PolicyKind::Ugal => "ugal",
             PolicyKind::Drb => "drb",
             PolicyKind::PrDrb => "pr-drb",
             PolicyKind::FrDrb => "fr-drb",
@@ -356,6 +566,13 @@ impl PolicyKind {
             self,
             PolicyKind::Drb | PolicyKind::PrDrb | PolicyKind::FrDrb | PolicyKind::PrFrDrb
         )
+    }
+
+    /// Does this policy need destination ACKs from the fabric? All
+    /// DRB-family policies do, and so does UGAL (its congestion sensor
+    /// is the ACK latency stream, though it is not DRB).
+    pub fn needs_acks(self) -> bool {
+        self.is_drb_family() || self == PolicyKind::Ugal
     }
 }
 
@@ -371,6 +588,8 @@ pub fn make_policy(
         PolicyKind::Random => Box::new(RandomMinimal::new(topo.clone())),
         PolicyKind::Cyclic => Box::new(CyclicPriority::new(topo.clone())),
         PolicyKind::Adaptive => Box::new(AdaptivePerHop::new(topo.clone())),
+        PolicyKind::Valiant => Box::new(Valiant::new(topo.clone())),
+        PolicyKind::Ugal => Box::new(Ugal::new(topo.clone(), drb_cfg.ewma_alpha)),
         PolicyKind::Drb => Box::new(crate::drb::DrbPolicy::new(
             topo.clone(),
             crate::config::DrbConfig {
@@ -514,11 +733,180 @@ mod tests {
     #[test]
     fn factory_builds_every_kind() {
         let topo = AnyTopology::mesh8x8();
-        for kind in PolicyKind::ALL.into_iter().chain([PolicyKind::Adaptive]) {
+        for kind in PolicyKind::ALL.into_iter().chain([
+            PolicyKind::Adaptive,
+            PolicyKind::Valiant,
+            PolicyKind::Ugal,
+        ]) {
             let p = make_policy(kind, &topo, crate::config::DrbConfig::default());
             assert_eq!(p.name(), kind.label());
-            assert_eq!(p.needs_acks(), kind.is_drb_family());
+            // UGAL needs ACKs without being DRB-family — its congestion
+            // sensor is the ACK latency stream.
+            assert_eq!(p.needs_acks(), kind.needs_acks());
+            assert_eq!(
+                kind.needs_acks(),
+                kind.is_drb_family() || kind == PolicyKind::Ugal
+            );
         }
+    }
+
+    #[test]
+    fn baselines_fall_back_to_minimal_on_the_dragonfly_family() {
+        let mut rng = SimRng::new(7);
+        for topo in [AnyTopology::dragonfly72(), AnyTopology::megafly20()] {
+            let n = topo.num_terminals() as u32;
+            let (src, dst) = (NodeId(0), NodeId(n - 1));
+            for kind in [
+                PolicyKind::Deterministic,
+                PolicyKind::Random,
+                PolicyKind::Cyclic,
+            ] {
+                let mut p = make_policy(kind, &topo, crate::config::DrbConfig::default());
+                assert_eq!(
+                    p.choose(src, dst, 0, &mut rng).0,
+                    PathDescriptor::Minimal,
+                    "{} on {}",
+                    kind.label(),
+                    topo.label()
+                );
+            }
+        }
+        // Per-hop adaptivity: spine spreading on the megafly ascent,
+        // minimal fallback on the dragonfly (no escape channels).
+        let mut mf = AdaptivePerHop::new(AnyTopology::megafly20());
+        assert_eq!(
+            mf.choose(NodeId(0), NodeId(19), 0, &mut rng).0,
+            PathDescriptor::AdaptiveUp
+        );
+        let mut df = AdaptivePerHop::new(AnyTopology::dragonfly72());
+        assert_eq!(
+            df.choose(NodeId(0), NodeId(71), 0, &mut rng).0,
+            PathDescriptor::Minimal
+        );
+    }
+
+    #[test]
+    fn valiant_detours_vary_per_message_and_stay_valid() {
+        use prdrb_topology::walk_route;
+        let topo = AnyTopology::dragonfly72();
+        let mut p = Valiant::new(topo.clone());
+        let mut rng = SimRng::new(11);
+        let (src, dst) = (NodeId(0), NodeId(8)); // group 0 -> group 1
+        let mut mids = std::collections::HashSet::new();
+        for _ in 0..64 {
+            let (desc, i) = p.choose(src, dst, 0, &mut rng);
+            assert_eq!(i, 0);
+            let PathDescriptor::Msp { in1, in2 } = desc else {
+                panic!("valiant should emit an MSP, got {desc:?}");
+            };
+            assert_eq!(in2, dst);
+            assert_ne!(in1, src);
+            assert_ne!(in1, dst);
+            let walk = walk_route(&topo, src, dst, desc, 64).unwrap();
+            assert_eq!(
+                walk.len() as u32 - 1,
+                topo.distance(src, in1) + topo.distance(in1, dst),
+                "Eq 3.2 segment-sum length"
+            );
+            mids.insert(in1);
+        }
+        assert!(
+            mids.len() >= 16,
+            "per-message randomization should spread intermediates, got {}",
+            mids.len()
+        );
+        // Degenerate flows stay minimal.
+        assert_eq!(
+            p.choose(dst, dst, 0, &mut rng),
+            (PathDescriptor::Minimal, 0)
+        );
+    }
+
+    #[test]
+    fn random_intermediate_never_hits_the_endpoints() {
+        let mut rng = SimRng::new(13);
+        // Adjacent, extreme and far-apart endpoint ids all stay clear.
+        for (s, d) in [(0u32, 1u32), (0, 9), (8, 9), (4, 5), (9, 0)] {
+            let mut seen = std::collections::HashSet::new();
+            for _ in 0..400 {
+                let m = random_intermediate(10, NodeId(s), NodeId(d), &mut rng);
+                assert_ne!(m.0, s);
+                assert_ne!(m.0, d);
+                assert!(m.0 < 10);
+                seen.insert(m.0);
+            }
+            assert_eq!(seen.len(), 8, "draw should cover all 8 candidates");
+        }
+    }
+
+    #[test]
+    fn ugal_diverts_when_minimal_estimate_degrades_and_recovers() {
+        fn ack(src_of_flow: u32, dst_of_flow: u32, latency: Time, msp: u8) -> Packet {
+            Packet {
+                id: 0,
+                src: NodeId(dst_of_flow), // ACKs travel dst→src
+                dst: NodeId(src_of_flow),
+                size: 64,
+                created: 0,
+                nic_depart: 0,
+                route: prdrb_topology::RouteState::new(PathDescriptor::Minimal),
+                msp_index: 0,
+                path_latency: 0,
+                hops: 0,
+                kind: PacketKind::Ack {
+                    data_latency: latency,
+                    data_msp: msp,
+                    from_router: None,
+                },
+                predictive: None,
+                queued_at: 0,
+                decided_port: None,
+            }
+        }
+
+        let topo = AnyTopology::dragonfly72();
+        let mut p = Ugal::new(topo, 0.5);
+        let mut rng = SimRng::new(17);
+        let (src, dst) = (NodeId(0), NodeId(8));
+        // Fresh flow: priors favor the minimal route.
+        assert_eq!(
+            p.choose(src, dst, 0, &mut rng),
+            (PathDescriptor::Minimal, 0)
+        );
+        assert_eq!(p.stats().expansions, 0);
+        // The minimal path congests: high-latency samples flip the flow
+        // onto Valiant detours (metapath index 1).
+        for _ in 0..4 {
+            p.on_ack(&ack(0, 8, 200_000, 0), 0);
+        }
+        let (desc, i) = p.choose(src, dst, 0, &mut rng);
+        assert!(matches!(desc, PathDescriptor::Msp { .. }), "got {desc:?}");
+        assert_eq!(i, 1);
+        assert_eq!(p.stats().expansions, 1);
+        // Minimal drains again while the detour stays slow: the flow
+        // returns to minimal routing.
+        for _ in 0..8 {
+            p.on_ack(&ack(0, 8, 5_000, 0), 0);
+            p.on_ack(&ack(0, 8, 150_000, 1), 0);
+        }
+        assert_eq!(
+            p.choose(src, dst, 0, &mut rng),
+            (PathDescriptor::Minimal, 0)
+        );
+        // Router-injected predictive ACKs are ignored (not UGAL's
+        // sensor), as are ACKs for flows we never originated.
+        let mut router_ack = ack(0, 8, 900_000, 0);
+        router_ack.kind = PacketKind::Ack {
+            data_latency: 900_000,
+            data_msp: 0,
+            from_router: Some(prdrb_topology::RouterId(3)),
+        };
+        p.on_ack(&router_ack, 0);
+        p.on_ack(&ack(5, 9, 900_000, 0), 0);
+        assert_eq!(
+            p.choose(src, dst, 0, &mut rng),
+            (PathDescriptor::Minimal, 0)
+        );
     }
 
     #[test]

@@ -61,7 +61,13 @@ use std::sync::Arc;
 /// encoding. All-zero extras reproduce v5 schedules exactly, but the
 /// new fields must participate in the key, and pre-v6 entries never
 /// hashed them.
-const CACHE_FORMAT: u32 = 6;
+///
+/// v7: dragonfly & megafly topologies joined the key encoding along
+/// with the Valiant and UGAL routing baselines, and MSP alternative
+/// paths became graph-derived (BFS rings) on every topology — mesh
+/// schedules are unchanged, but the tag space grew and pre-v7 entries
+/// never hashed the new variants.
+const CACHE_FORMAT: u32 = 7;
 
 /// First line of every cache file.
 const MAGIC: &str = "prdrb-run-cache,v1";
@@ -162,6 +168,19 @@ fn fold_config(cfg: &SimConfig, h: &mut StableHasher) {
             h.write_u32(rows);
             h.write_u32(board_h);
         }
+        TopologyKind::Dragonfly { a, r, h: gp } => {
+            h.write_u8(5);
+            h.write_u32(a);
+            h.write_u32(r);
+            h.write_u32(gp);
+        }
+        TopologyKind::Megafly { a, l, s, h: gp } => {
+            h.write_u8(6);
+            h.write_u32(a);
+            h.write_u32(l);
+            h.write_u32(s);
+            h.write_u32(gp);
+        }
     }
     h.write_u8(match policy {
         PolicyKind::Deterministic => 0,
@@ -172,6 +191,8 @@ fn fold_config(cfg: &SimConfig, h: &mut StableHasher) {
         PolicyKind::PrDrb => 5,
         PolicyKind::FrDrb => 6,
         PolicyKind::PrFrDrb => 7,
+        PolicyKind::Valiant => 8,
+        PolicyKind::Ugal => 9,
     });
     let DrbConfig {
         threshold_low_ns,
@@ -873,6 +894,26 @@ mod tests {
                     board_h: 4,
                 }
             }),
+            Box::new(|c| c.topology = TopologyKind::Dragonfly { a: 9, r: 4, h: 2 }),
+            Box::new(|c| c.topology = TopologyKind::Dragonfly { a: 9, r: 4, h: 3 }),
+            Box::new(|c| {
+                c.topology = TopologyKind::Megafly {
+                    a: 5,
+                    l: 2,
+                    s: 2,
+                    h: 2,
+                }
+            }),
+            Box::new(|c| {
+                c.topology = TopologyKind::Megafly {
+                    a: 5,
+                    l: 3,
+                    s: 2,
+                    h: 2,
+                }
+            }),
+            Box::new(|c| c.policy = PolicyKind::Valiant),
+            Box::new(|c| c.policy = PolicyKind::Ugal),
             Box::new(|c| c.net.packet_bytes += 1),
             Box::new(|c| c.net.ack_bytes += 1),
             Box::new(|c| c.net.routing_delay_ns += 1),

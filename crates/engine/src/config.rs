@@ -4,7 +4,7 @@ use prdrb_apps::Trace;
 use prdrb_core::{DrbConfig, PolicyKind};
 use prdrb_network::NetworkConfig;
 use prdrb_simcore::time::{Time, MILLISECOND};
-use prdrb_topology::{AnyTopology, FaultPlan, KAryNTree, Mesh2D, NodeId};
+use prdrb_topology::{AnyTopology, Dragonfly, FaultPlan, KAryNTree, Megafly, Mesh2D, NodeId};
 use prdrb_traffic::{BurstSchedule, CollectiveSpec, OpenLoopSpec, PhaseProgram};
 use std::sync::Arc;
 
@@ -41,7 +41,49 @@ pub enum TopologyKind {
         /// Rows per board.
         board_h: u32,
     },
+    /// A palm-tree-wired dragonfly: `a` groups of `r` fully connected
+    /// routers with `h` global ports each (global links carry the
+    /// GLOBAL wire class, so shard cuts along group boundaries get the
+    /// inter-group delay as lookahead).
+    Dragonfly {
+        /// Groups.
+        a: u32,
+        /// Routers per group.
+        r: u32,
+        /// Global ports (and terminals) per router.
+        h: u32,
+    },
+    /// A megafly / dragonfly+: `a` groups, each a two-level fat tree of
+    /// `l` leaves and `s` spines; spines own `h` global ports each.
+    Megafly {
+        /// Groups.
+        a: u32,
+        /// Leaf routers per group.
+        l: u32,
+        /// Spine routers per group.
+        s: u32,
+        /// Global ports per spine.
+        h: u32,
+    },
 }
+
+/// The named topology instances the `repro` CLI accepts via `--topo`
+/// and `print_shard_plans` iterates — one table so the CLI surface and
+/// the builders can never drift apart.
+pub const NAMED_TOPOLOGIES: [(&str, TopologyKind); 4] = [
+    ("mesh8x8", TopologyKind::Mesh8x8),
+    ("fattree443", TopologyKind::FatTree443),
+    ("dragonfly72", TopologyKind::Dragonfly { a: 9, r: 4, h: 2 }),
+    (
+        "megafly20",
+        TopologyKind::Megafly {
+            a: 5,
+            l: 2,
+            s: 2,
+            h: 2,
+        },
+    ),
+];
 
 impl TopologyKind {
     /// Build the topology.
@@ -54,7 +96,26 @@ impl TopologyKind {
             TopologyKind::BoardMesh { w, h, board_h } => {
                 AnyTopology::Mesh(Mesh2D::with_boards(w, h, board_h))
             }
+            TopologyKind::Dragonfly { a, r, h } => AnyTopology::Dragonfly(Dragonfly::new(a, r, h)),
+            TopologyKind::Megafly { a, l, s, h } => AnyTopology::Megafly(Megafly::new(a, l, s, h)),
         }
+    }
+
+    /// The canonical name of this kind in [`NAMED_TOPOLOGIES`], if it
+    /// is one of the named instances.
+    pub fn name(self) -> Option<&'static str> {
+        NAMED_TOPOLOGIES
+            .iter()
+            .find(|(_, k)| *k == self)
+            .map(|(n, _)| *n)
+    }
+
+    /// Look up a named instance (`repro --topo` parsing).
+    pub fn parse(name: &str) -> Option<TopologyKind> {
+        NAMED_TOPOLOGIES
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, k)| *k)
     }
 }
 
@@ -325,6 +386,35 @@ mod tests {
         .build();
         assert_eq!(boarded.num_terminals(), 48);
         assert!(boarded.label().contains("boards"));
+        assert_eq!(
+            TopologyKind::Dragonfly { a: 9, r: 4, h: 2 }
+                .build()
+                .num_terminals(),
+            72
+        );
+        assert_eq!(
+            TopologyKind::Megafly {
+                a: 5,
+                l: 2,
+                s: 2,
+                h: 2
+            }
+            .build()
+            .num_terminals(),
+            20
+        );
+    }
+
+    #[test]
+    fn named_topologies_round_trip() {
+        for (name, kind) in NAMED_TOPOLOGIES {
+            assert_eq!(kind.name(), Some(name));
+            assert_eq!(TopologyKind::parse(name), Some(kind));
+            // Each named instance must actually build.
+            assert!(kind.build().num_terminals() > 0);
+        }
+        assert_eq!(TopologyKind::parse("nosuch"), None);
+        assert_eq!(TopologyKind::Mesh { w: 3, h: 3 }.name(), None);
     }
 
     #[test]

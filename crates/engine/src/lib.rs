@@ -13,7 +13,7 @@ pub mod report;
 pub mod runner;
 
 pub use cache::{cache_stats, reset_cache_stats, RunCache, RunKey};
-pub use config::{SimConfig, TopologyKind, Workload};
+pub use config::{SimConfig, TopologyKind, Workload, NAMED_TOPOLOGIES};
 pub use player::Player;
 pub use report::RunReport;
 pub use runner::Simulation;

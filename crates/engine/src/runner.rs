@@ -885,6 +885,74 @@ mod tests {
         }
     }
 
+    /// Golden-digest invariance on the dragonfly family: the serial
+    /// wheel-calendar run, the serial heap-calendar run, and every
+    /// sharded / speculative execution must serialize byte-identically
+    /// — for an oblivious baseline, for UGAL (ACK-adaptive but not
+    /// DRB) and for PR-DRB. Global wires carry extra latency so the
+    /// partitioner's all-GLOBAL cut has real lookahead to run under.
+    #[test]
+    fn dragonfly_family_runs_are_backend_and_shard_invariant() {
+        use crate::cache::{report_to_csv, RunKey};
+        use prdrb_simcore::QueueKind;
+        use prdrb_topology::LINK_CLASS_GLOBAL;
+        for (topo, nodes) in [
+            (TopologyKind::Dragonfly { a: 9, r: 4, h: 2 }, 24usize),
+            (
+                TopologyKind::Megafly {
+                    a: 5,
+                    l: 2,
+                    s: 2,
+                    h: 2,
+                },
+                16,
+            ),
+        ] {
+            for policy in [
+                PolicyKind::Deterministic,
+                PolicyKind::Ugal,
+                PolicyKind::PrDrb,
+            ] {
+                let mut base = SimConfig::synthetic(
+                    topo,
+                    policy,
+                    // Uniform works at any size (72 and 20 are not
+                    // powers of two, which shuffle would require).
+                    BurstSchedule::continuous(TrafficPattern::Uniform, 300.0),
+                    nodes,
+                );
+                base.duration_ns = MILLISECOND / 4;
+                base.max_ns = 50 * MILLISECOND;
+                base.net.wire_class_extra_ns[LINK_CLASS_GLOBAL as usize] = 500;
+                let key = RunKey::of(&base);
+                let serial = report_to_csv(key, &Simulation::new(base.clone()).run());
+                let mut heap = base.clone();
+                heap.net.queue = QueueKind::Heap;
+                assert_eq!(RunKey::of(&heap), key, "calendar backend not in the key");
+                assert_eq!(
+                    serial,
+                    report_to_csv(key, &Simulation::new(heap).run()),
+                    "{topo:?} {policy:?} heap calendar"
+                );
+                for k in [2u32, 4] {
+                    let mut cfg = base.clone();
+                    cfg.shards = k;
+                    assert_eq!(
+                        serial,
+                        report_to_csv(key, &Simulation::new(cfg.clone()).run()),
+                        "{topo:?} {policy:?} shards={k}"
+                    );
+                    cfg.speculate = true;
+                    assert_eq!(
+                        serial,
+                        report_to_csv(key, &Simulation::new(cfg).run()),
+                        "{topo:?} {policy:?} speculate shards={k}"
+                    );
+                }
+            }
+        }
+    }
+
     #[test]
     fn faulted_runs_are_byte_identical_to_serial_and_account_drops() {
         use crate::cache::{report_to_csv, RunKey};

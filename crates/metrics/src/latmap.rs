@@ -34,6 +34,18 @@ impl LatencyMap {
                     (0..t.depth() as usize * spl).collect(),
                 )
             }
+            // Group-structured topologies plot (position in group,
+            // group): router ids are group-major, so the identity
+            // mapping is already row-major over that grid.
+            AnyTopology::Dragonfly(d) => {
+                let (r, a) = (d.routers_per_group() as usize, d.groups() as usize);
+                ((r, a), (0..r * a).collect())
+            }
+            AnyTopology::Megafly(m) => {
+                let per = m.routers_per_group() as usize;
+                let a = m.groups() as usize;
+                ((per, a), (0..per * a).collect())
+            }
         };
         Self {
             values_us,
@@ -188,6 +200,18 @@ mod tests {
         let (cols, rows) = m.shape;
         assert_eq!((cols, rows), (16, 3));
         assert_eq!(m.render().lines().count(), 3);
+    }
+
+    #[test]
+    fn render_dragonfly_family_shapes() {
+        let df = AnyTopology::dragonfly72(); // 9 groups × 4 routers
+        let m = LatencyMap::new(&df, vec![1.0; 36]);
+        assert_eq!(m.shape, (4, 9));
+        assert_eq!(m.render().lines().count(), 9);
+        let mf = AnyTopology::megafly20(); // 5 groups × (2 leaves + 2 spines)
+        let m = LatencyMap::new(&mf, vec![1.0; 20]);
+        assert_eq!(m.shape, (4, 5));
+        assert_eq!(m.render().lines().count(), 5);
     }
 
     #[test]

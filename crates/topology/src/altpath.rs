@@ -4,17 +4,25 @@
 //! pair. This module enumerates the candidates in the order DRB opens
 //! them:
 //!
-//! * **mesh** — multi-step paths through two intermediate nodes chosen
-//!   from rings of growing Manhattan distance around the source (IN1) and
-//!   destination (IN2), exactly the scheme of Fig 3.6 ("intermediate
-//!   nodes of 1-hop distance are considered first, then 2-hop …");
-//!   candidates are ordered by multi-step length (Eq 3.2) and
-//!   deduplicated by the actual router walk;
+//! * **graph topologies** (mesh, dragonfly, megafly, …) — multi-step
+//!   paths through two intermediate nodes chosen from rings of growing
+//!   hop distance around the source (IN1) and destination (IN2),
+//!   exactly the scheme of Fig 3.6 ("intermediate nodes of 1-hop
+//!   distance are considered first, then 2-hop …"); candidates are
+//!   ordered by multi-step length (Eq 3.2) and deduplicated by the
+//!   actual router walk. The rings are derived from the graph itself —
+//!   a BFS over [`Topology::neighbor`] — rather than a per-shape
+//!   formula, so any topology exposing adjacency gets MSP generation
+//!   for free. On the mesh, BFS hop distance *is* Manhattan distance
+//!   and terminals enumerate in the same node-id order the old
+//!   closed-form rings produced, so the generated metapaths are
+//!   unchanged;
 //! * **fat-tree** — one path per distinct nearest common ancestor,
 //!   enumerated by rotating the NCA seed starting from the deterministic
-//!   d-mod-k choice.
+//!   d-mod-k choice (a fast path: the NCA structure already names every
+//!   minimal path, no enumeration needed).
 
-use crate::ids::NodeId;
+use crate::ids::{Endpoint, NodeId, Port, RouterId};
 use crate::route::{walk_route, PathDescriptor};
 use crate::{AnyTopology, Topology};
 
@@ -23,7 +31,7 @@ use crate::{AnyTopology, Topology};
 #[derive(Debug, Clone, Copy)]
 pub struct AltPathProvider<'a> {
     topo: &'a AnyTopology,
-    /// Largest intermediate-node ring distance explored on the mesh.
+    /// Largest intermediate-node ring distance explored.
     max_ring: u32,
 }
 
@@ -33,7 +41,8 @@ impl<'a> AltPathProvider<'a> {
         Self { topo, max_ring: 2 }
     }
 
-    /// Override the maximum intermediate-node ring distance (mesh only).
+    /// Override the maximum intermediate-node ring distance (graph
+    /// topologies; the fat-tree's seed enumeration ignores it).
     pub fn with_max_ring(mut self, max_ring: u32) -> Self {
         self.max_ring = max_ring.max(1);
         self
@@ -44,7 +53,6 @@ impl<'a> AltPathProvider<'a> {
     /// the MSPs in opening order.
     pub fn alternatives(&self, src: NodeId, dst: NodeId, max: usize) -> Vec<PathDescriptor> {
         match self.topo {
-            AnyTopology::Mesh(_) => self.mesh_alternatives(src, dst, max),
             AnyTopology::Tree(t) => {
                 let paths = t.num_minimal_paths(src, dst).min(max as u64) as u32;
                 let total = t.num_minimal_paths(src, dst) as u32;
@@ -55,14 +63,15 @@ impl<'a> AltPathProvider<'a> {
                     })
                     .collect()
             }
+            _ => self.graph_alternatives(src, dst, max),
         }
     }
 
     /// Number of alternative paths available (before the `max` cap).
     pub fn available(&self, src: NodeId, dst: NodeId) -> usize {
         match self.topo {
-            AnyTopology::Mesh(_) => self.mesh_alternatives(src, dst, usize::MAX).len(),
             AnyTopology::Tree(t) => t.num_minimal_paths(src, dst) as usize,
+            _ => self.graph_alternatives(src, dst, usize::MAX).len(),
         }
     }
 
@@ -76,10 +85,8 @@ impl<'a> AltPathProvider<'a> {
         src.0 / t.arity()
     }
 
-    fn mesh_alternatives(&self, src: NodeId, dst: NodeId, max: usize) -> Vec<PathDescriptor> {
-        let AnyTopology::Mesh(m) = self.topo else {
-            unreachable!()
-        };
+    /// Ring-by-ring MSP enumeration over the topology graph itself.
+    fn graph_alternatives(&self, src: NodeId, dst: NodeId, max: usize) -> Vec<PathDescriptor> {
         let mut out = vec![PathDescriptor::Minimal];
         if max <= 1 {
             return out;
@@ -89,11 +96,13 @@ impl<'a> AltPathProvider<'a> {
             walk_route(self.topo, src, dst, PathDescriptor::Minimal, limit).unwrap_or_default();
         let mut seen = std::collections::HashSet::new();
         seen.insert(baseline);
+        let dist_src = router_distances(self.topo, self.topo.router_of(src));
+        let dist_dst = router_distances(self.topo, self.topo.router_of(dst));
         // Enumerate IN pairs ring-by-ring, nearest rings first (Fig 3.6),
         // collecting candidates sorted by multi-step length within a ring.
         for d in 1..=self.max_ring {
-            let ring1 = m.ring(src, d);
-            let ring2 = m.ring(dst, d);
+            let ring1 = terminal_ring(self.topo, &dist_src, d);
+            let ring2 = terminal_ring(self.topo, &dist_dst, d);
             let mut candidates: Vec<(u32, PathDescriptor, Vec<_>)> = Vec::new();
             for &in1 in &ring1 {
                 for &in2 in &ring2 {
@@ -119,6 +128,37 @@ impl<'a> AltPathProvider<'a> {
         }
         out
     }
+}
+
+/// BFS hop distance from `from` to every router, over the topology's
+/// own adjacency (`u32::MAX` = unreachable). This is the graph-derived
+/// replacement for per-shape ring formulas: on the mesh it reproduces
+/// Manhattan distance exactly.
+fn router_distances(topo: &AnyTopology, from: RouterId) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; topo.num_routers()];
+    dist[from.idx()] = 0;
+    let mut queue = std::collections::VecDeque::from([from]);
+    while let Some(r) = queue.pop_front() {
+        for p in 0..topo.num_ports(r) {
+            if let Some(Endpoint::Router(nr, _)) = topo.neighbor(r, Port(p as u8)) {
+                if dist[nr.idx()] == u32::MAX {
+                    dist[nr.idx()] = dist[r.idx()] + 1;
+                    queue.push_back(nr);
+                }
+            }
+        }
+    }
+    dist
+}
+
+/// Terminals whose attachment router sits exactly `d` BFS hops from the
+/// ring center, in ascending node-id order (the deterministic opening
+/// order the mesh rings already used).
+fn terminal_ring(topo: &AnyTopology, dist: &[u32], d: u32) -> Vec<NodeId> {
+    (0..topo.num_terminals() as u32)
+        .map(NodeId)
+        .filter(|&n| dist[topo.router_of(n).idx()] == d)
+        .collect()
 }
 
 fn desc_key(d: &PathDescriptor) -> (u32, u32) {
@@ -201,6 +241,54 @@ mod tests {
     }
 
     #[test]
+    fn graph_rings_match_mesh_rings() {
+        // The BFS-derived rings must reproduce the mesh's closed-form
+        // Manhattan rings, members and order both — that equivalence is
+        // what keeps mesh metapaths (and every cached mesh run)
+        // unchanged by the graph generalization.
+        let topo = mesh();
+        let AnyTopology::Mesh(m) = &topo else {
+            unreachable!()
+        };
+        for center in [NodeId(0), NodeId(27), NodeId(63)] {
+            let dist = router_distances(&topo, topo.router_of(center));
+            for d in 1..=3 {
+                assert_eq!(
+                    terminal_ring(&topo, &dist, d),
+                    m.ring(center, d),
+                    "center {center:?} ring {d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dragonfly_alternatives_detour_through_other_groups() {
+        // Megafly terminals hang off leaves only, so its 1-hop ring
+        // (the spines) holds no intermediates and diversity starts at
+        // ring 2 — hence the lower floor.
+        for (topo, floor) in [
+            (AnyTopology::dragonfly72(), 4),
+            (AnyTopology::megafly20(), 3),
+        ] {
+            let p = AltPathProvider::new(&topo);
+            let (src, dst) = (NodeId(0), NodeId(topo.num_terminals() as u32 / 2));
+            let alts = p.alternatives(src, dst, 6);
+            assert!(
+                alts.len() >= floor,
+                "{}: expected several MSPs, got {}",
+                topo.label(),
+                alts.len()
+            );
+            let mut walks = std::collections::HashSet::new();
+            for a in &alts {
+                let w = walk_route(&topo, src, dst, *a, 256).expect("valid walk");
+                assert!(walks.insert(w), "{}: duplicate path", topo.label());
+            }
+        }
+    }
+
+    #[test]
     fn tree_alternatives_cap_at_nca_count() {
         let topo = tree();
         let p = AltPathProvider::new(&topo);
@@ -228,7 +316,7 @@ mod tests {
 
     #[test]
     fn self_traffic_has_single_path() {
-        for topo in [mesh(), tree()] {
+        for topo in [mesh(), tree(), AnyTopology::dragonfly72()] {
             let p = AltPathProvider::new(&topo);
             // src == dst is degenerate; provider still returns the
             // original path without panicking.

@@ -4,33 +4,44 @@
 //!
 //! * an 8×8 **2-D mesh** (Table 4.2, hot-spot experiments §4.5/§4.6.2), and
 //! * a **k-ary n-tree** fat-tree, instantiated as the 4-ary 3-tree of
-//!   Table 4.3 (§2.1.5, §4.6.3, §4.8).
+//!   Table 4.3 (§2.1.5, §4.6.3, §4.8),
+//!
+//! plus the dragonfly-class extension topologies where adaptive routing
+//! is contested (global links are scarce and shared):
+//!
+//! * a **dragonfly** with the palm-tree global arrangement, and
+//! * a **megafly** (two-level group-of-fat-trees).
 //!
 //! On top of the raw graphs this crate provides:
 //!
 //! * deterministic minimal routing (DOR on the mesh; NCA up/down on the
-//!   tree, §2.1.5),
+//!   tree, §2.1.5; gateway-directed on the dragonfly family),
 //! * [`PathDescriptor`]s — the fixed-size routing headers packets carry
 //!   (§3.3.1: source, two intermediate nodes, destination), and
 //! * [`altpath`] — generation of the *multi-step paths* (MSPs) DRB expands
-//!   a metapath with (§3.2.3, Figs 3.6/3.7).
+//!   a metapath with (§3.2.3, Figs 3.6/3.7), derived from graph
+//!   structure (BFS rings) rather than per-shape tables.
 
 pub mod altpath;
+pub mod dragonfly;
 pub mod fattree;
 pub mod faults;
 pub mod ids;
+pub mod megafly;
 pub mod mesh;
 pub mod partition;
 pub mod route;
 pub mod table;
 
 pub use altpath::AltPathProvider;
+pub use dragonfly::Dragonfly;
 pub use fattree::KAryNTree;
 pub use faults::{
     live_distance, minimal_route_exists, route_survives, FaultEvent, FaultPlan, FaultState,
     TimedFault,
 };
 pub use ids::{Endpoint, NodeId, Port, RouterId};
+pub use megafly::Megafly;
 pub use mesh::Mesh2D;
 pub use partition::ShardPlan;
 pub use route::{next_port, route_len, walk_route, PathDescriptor, RouteState};
@@ -99,6 +110,10 @@ pub enum AnyTopology {
     Mesh(Mesh2D),
     /// k-ary n-tree fat-tree.
     Tree(KAryNTree),
+    /// Dragonfly (palm-tree global arrangement).
+    Dragonfly(Dragonfly),
+    /// Megafly (group-of-fat-trees).
+    Megafly(Megafly),
 }
 
 macro_rules! dispatch {
@@ -106,41 +121,54 @@ macro_rules! dispatch {
         match $self {
             AnyTopology::Mesh($t) => $body,
             AnyTopology::Tree($t) => $body,
+            AnyTopology::Dragonfly($t) => $body,
+            AnyTopology::Megafly($t) => $body,
         }
     };
 }
 
 impl Topology for AnyTopology {
+    #[inline]
     fn num_terminals(&self) -> usize {
         dispatch!(self, t => t.num_terminals())
     }
+    #[inline]
     fn num_routers(&self) -> usize {
         dispatch!(self, t => t.num_routers())
     }
+    #[inline]
     fn num_ports(&self, r: RouterId) -> usize {
         dispatch!(self, t => t.num_ports(r))
     }
+    #[inline]
     fn router_of(&self, n: NodeId) -> RouterId {
         dispatch!(self, t => t.router_of(n))
     }
+    #[inline]
     fn terminal_port(&self, n: NodeId) -> Port {
         dispatch!(self, t => t.terminal_port(n))
     }
+    #[inline]
     fn neighbor(&self, r: RouterId, p: Port) -> Option<Endpoint> {
         dispatch!(self, t => t.neighbor(r, p))
     }
+    #[inline]
     fn minimal_port(&self, r: RouterId, dst: NodeId) -> Port {
         dispatch!(self, t => t.minimal_port(r, dst))
     }
+    #[inline]
     fn minimal_candidates(&self, r: RouterId, dst: NodeId, out: &mut Vec<Port>) {
         dispatch!(self, t => t.minimal_candidates(r, dst, out))
     }
+    #[inline]
     fn distance(&self, a: NodeId, b: NodeId) -> u32 {
         dispatch!(self, t => t.distance(a, b))
     }
+    #[inline]
     fn link_class(&self, r: RouterId, p: Port) -> u8 {
         dispatch!(self, t => t.link_class(r, p))
     }
+    #[inline]
     fn label(&self) -> String {
         dispatch!(self, t => t.label())
     }
@@ -155,5 +183,17 @@ impl AnyTopology {
     /// The 4-ary 3-tree (64 terminals) of Table 4.3.
     pub fn fat_tree_64() -> Self {
         AnyTopology::Tree(KAryNTree::new(4, 3))
+    }
+
+    /// The canonical 72-terminal dragonfly (9 groups × 4 routers × 2
+    /// globals, fully-wired palm tree: G = 8 = a-1).
+    pub fn dragonfly72() -> Self {
+        AnyTopology::Dragonfly(Dragonfly::new(9, 4, 2))
+    }
+
+    /// The canonical 20-terminal megafly (5 groups of 2 leaves + 2
+    /// spines, 2 globals per spine: G = 4 = a-1).
+    pub fn megafly20() -> Self {
+        AnyTopology::Megafly(Megafly::new(5, 2, 2, 2))
     }
 }

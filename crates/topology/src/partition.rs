@@ -15,10 +15,17 @@
 //! short dimension minimizes the cut), and pod-per-shard on a k-ary
 //! n-tree (a pod — the set of non-root switches sharing their topmost
 //! word digit, plus the terminals below them — has internal links only,
-//! so the cut is confined to the root level).
+//! so the cut is confined to the root level). Every other topology goes
+//! through the general graph partitioner: contract the maximal
+//! LOCAL-class-connected components (never cut a short wire), then grow
+//! balanced blocks greedily over the component quotient graph. Because
+//! local components stay whole, every cross-shard link is GLOBAL class
+//! by construction — the cut is made entirely of long wires, so the
+//! conservative window driver earns the widest lookahead the topology
+//! offers (on a dragonfly: the optical inter-group links).
 
 use crate::ids::{Endpoint, NodeId, Port, RouterId};
-use crate::{AnyTopology, Topology};
+use crate::{AnyTopology, Topology, LINK_CLASS_LOCAL};
 
 /// A static assignment of routers and NICs to `K` execution shards.
 ///
@@ -89,6 +96,93 @@ fn row_shard(bounds: &[u32], y: u32) -> u32 {
         .count() as u32
 }
 
+/// General graph partition: contract the maximal LOCAL-connected router
+/// components, then grow `shards` balanced blocks greedily over the
+/// component quotient graph (lowest-id seed, lowest-id unassigned
+/// neighbor next — fully deterministic). Components are never split, so
+/// every cross-shard link has a non-LOCAL class; on the dragonfly
+/// family the components are exactly the groups and the cut is all
+/// GLOBAL wires.
+fn general_partition(topo: &AnyTopology, shards: u32) -> Vec<u32> {
+    let nr = topo.num_routers();
+    // 1. Maximal LOCAL-connected components, discovered in ascending
+    // router order (component ids are therefore deterministic).
+    const UNSET: usize = usize::MAX;
+    let mut comp = vec![UNSET; nr];
+    let mut num_comps = 0usize;
+    for seed in 0..nr {
+        if comp[seed] != UNSET {
+            continue;
+        }
+        let id = num_comps;
+        num_comps += 1;
+        comp[seed] = id;
+        let mut stack = vec![seed];
+        while let Some(cur) = stack.pop() {
+            let rid = RouterId(cur as u32);
+            for p in 0..topo.num_ports(rid) {
+                let port = Port(p as u8);
+                if topo.link_class(rid, port) != LINK_CLASS_LOCAL {
+                    continue;
+                }
+                if let Some(Endpoint::Router(next, _)) = topo.neighbor(rid, port) {
+                    if comp[next.idx()] == UNSET {
+                        comp[next.idx()] = id;
+                        stack.push(next.idx());
+                    }
+                }
+            }
+        }
+    }
+    // 2. Quotient adjacency (ordered sets keep growth deterministic).
+    let mut adj = vec![std::collections::BTreeSet::new(); num_comps];
+    for r in 0..nr {
+        let rid = RouterId(r as u32);
+        for p in 0..topo.num_ports(rid) {
+            if let Some(Endpoint::Router(next, _)) = topo.neighbor(rid, Port(p as u8)) {
+                let (a, b) = (comp[r], comp[next.idx()]);
+                if a != b {
+                    adj[a].insert(b);
+                }
+            }
+        }
+    }
+    // 3. Greedy balanced growth: each shard takes
+    // ceil(remaining / remaining_shards) components, BFS-grown from the
+    // lowest unassigned component so blocks stay connected whenever the
+    // quotient graph allows it (the palm tree's round-0 sweep makes it
+    // complete, so they always do there).
+    let mut comp_shard = vec![u32::MAX; num_comps];
+    let mut assigned = 0usize;
+    for s in 0..shards {
+        let remaining = num_comps - assigned;
+        if remaining == 0 {
+            break;
+        }
+        let target = remaining.div_ceil((shards - s) as usize);
+        let mut block: Vec<usize> = Vec::new();
+        while block.len() < target {
+            let next = if block.is_empty() {
+                (0..num_comps).find(|&c| comp_shard[c] == u32::MAX)
+            } else {
+                block
+                    .iter()
+                    .flat_map(|&c| adj[c].iter().copied())
+                    .filter(|&c| comp_shard[c] == u32::MAX)
+                    .min()
+                    // Disconnected quotient graph: jump to the lowest
+                    // unassigned component rather than under-filling.
+                    .or_else(|| (0..num_comps).find(|&c| comp_shard[c] == u32::MAX))
+            };
+            let Some(c) = next else { break };
+            comp_shard[c] = s;
+            block.push(c);
+            assigned += 1;
+        }
+    }
+    (0..nr).map(|r| comp_shard[comp[r]]).collect()
+}
+
 impl ShardPlan {
     /// Partition `topo` into `shards` shards. `shards` must be ≥ 1;
     /// plans with more shards than rows/pods leave the excess shards
@@ -146,6 +240,9 @@ impl ShardPlan {
                     })
                     .collect()
             }
+            // Dragonfly, megafly and any future graph topology: the
+            // general component-contraction partitioner.
+            _ => general_partition(topo, shards),
         };
         let node_shard = (0..topo.num_terminals() as u32)
             .map(|nd| router_shard[topo.router_of(NodeId(nd)).idx()])
@@ -382,12 +479,40 @@ mod tests {
     }
 
     #[test]
+    fn general_partition_never_cuts_a_group() {
+        for topo in [AnyTopology::dragonfly72(), AnyTopology::megafly20()] {
+            for k in [2u32, 3, 4] {
+                let plan = ShardPlan::new(&topo, k);
+                // The cut is all-GLOBAL: local components stay whole, so
+                // the sharded driver's lookahead comes from long wires.
+                let links = plan.cross_links(&topo);
+                assert!(!links.is_empty(), "{} k={k}", topo.label());
+                for (r, p, _) in links {
+                    assert_eq!(
+                        topo.link_class(r, p),
+                        crate::LINK_CLASS_GLOBAL,
+                        "{} k={k}: cut crosses a short wire at {r}:{p}",
+                        topo.label()
+                    );
+                }
+                // Balanced and exhaustive: no empty shard (K ≤ groups),
+                // sizes within one component of each other.
+                let sizes = plan.shard_sizes();
+                assert!(sizes.iter().all(|&s| s > 0), "{sizes:?}");
+                assert_eq!(sizes.iter().sum::<usize>(), topo.num_routers());
+            }
+        }
+    }
+
+    #[test]
     fn nics_are_colocated_with_their_router_on_every_plan() {
         for topo in [
             AnyTopology::Mesh(Mesh2D::new(5, 3)),
             AnyTopology::Mesh(Mesh2D::new(3, 9)),
             AnyTopology::Tree(KAryNTree::new(2, 5)),
             AnyTopology::Tree(KAryNTree::new(8, 2)),
+            AnyTopology::dragonfly72(),
+            AnyTopology::megafly20(),
         ] {
             for k in 1..=5u32 {
                 let plan = ShardPlan::new(&topo, k);

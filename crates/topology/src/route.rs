@@ -26,7 +26,11 @@ pub enum PathDescriptor {
         /// Route the Y dimension before X.
         yx: bool,
     },
-    /// Mesh multi-step path via two intermediate nodes (Fig 3.7).
+    /// Multi-step path via two intermediate nodes (Fig 3.7). Valid on
+    /// any topology: each segment runs the topology's deterministic
+    /// minimal routing, so the walk is well-defined wherever
+    /// `minimal_port` is (mesh MSPs, dragonfly/megafly detours through
+    /// another group, Valiant's random-intermediate misroute).
     Msp {
         /// Intermediate node near the source (IN1).
         in1: NodeId,
@@ -93,18 +97,18 @@ pub fn next_port(topo: &AnyTopology, r: RouterId, dst: NodeId, state: &mut Route
                 m.minimal_port(r, dst)
             }
         }
-        (AnyTopology::Mesh(m), PathDescriptor::Msp { .. }) => {
+        (_, PathDescriptor::Msp { .. }) => {
             // Advance the header past any intermediate routers we've
             // reached (IN1 may share the source's router, etc.).
             while state.header_id < 2 {
                 let target = state.current_target(dst);
-                if m.router_of(target) == r {
+                if topo.router_of(target) == r {
                     state.header_id += 1;
                 } else {
                     break;
                 }
             }
-            m.minimal_port(r, state.current_target(dst))
+            topo.minimal_port(r, state.current_target(dst))
         }
         (AnyTopology::Tree(t), PathDescriptor::TreeSeed { seed }) => t.port_with_seed(r, dst, seed),
         // The fabric overrides the ascending choice with queue-state
@@ -258,6 +262,32 @@ mod tests {
             distinct.insert(walk);
         }
         assert_eq!(distinct.len(), 16);
+    }
+
+    #[test]
+    fn msp_detours_through_another_dragonfly_group() {
+        // MSPs are graph-generic now: a detour terminal in a third
+        // group turns the single-global minimal route into a two-global
+        // multi-step path — the path diversity UGAL/DRB lean on.
+        for (topo, per_group) in [
+            (AnyTopology::dragonfly72(), 8u32),
+            (AnyTopology::megafly20(), 4u32),
+        ] {
+            let (src, dst) = (NodeId(0), NodeId(per_group)); // groups 0 -> 1
+            let mid = NodeId(2 * per_group); // detour via group 2
+            let d = PathDescriptor::Msp { in1: mid, in2: dst };
+            let walk = walk_route(&topo, src, dst, d, 64).unwrap();
+            assert!(walk.contains(&topo.router_of(mid)), "{}", topo.label());
+            let len = walk.len() as u32 - 1;
+            let min = topo.distance(src, dst);
+            assert!(len >= min, "{}: msp shorter than minimal?", topo.label());
+            assert_eq!(
+                len,
+                topo.distance(src, mid) + topo.distance(mid, dst),
+                "{}: Eq 3.2 segment-sum length",
+                topo.label()
+            );
+        }
     }
 
     #[test]

@@ -150,6 +150,7 @@ impl RouteTable {
 
     /// Memoized equivalent of `Topology::minimal_candidates`: every
     /// minimal output port from `r` toward `dst`, written into `out`.
+    #[inline]
     pub fn minimal_candidates(
         &self,
         topo: &AnyTopology,
@@ -176,6 +177,7 @@ impl RouteTable {
     /// Memoized equivalent of [`next_port`]: the output port at router
     /// `r` for a packet heading to `dst` with routing state `state`,
     /// advancing `Header_id` exactly as the uncached path does.
+    #[inline]
     pub fn next_port(
         &self,
         topo: &AnyTopology,
@@ -192,10 +194,12 @@ impl RouteTable {
                     self.minimal(r, dst)
                 }
             }
-            (AnyTopology::Mesh(m), PathDescriptor::Msp { .. }) => {
+            (_, PathDescriptor::Msp { .. }) => {
+                // Topology-generic, like the uncached path: the NIC
+                // table doubles as a memoized `router_of`.
                 while state.header_id < 2 {
                     let target = state.current_target(dst);
-                    if m.router_of(target) == r {
+                    if self.nic[target.idx()].0 == r {
                         state.header_id += 1;
                     } else {
                         break;
@@ -232,6 +236,8 @@ mod tests {
             AnyTopology::Mesh(Mesh2D::new(4, 3)),
             AnyTopology::Tree(KAryNTree::new(4, 3)),
             AnyTopology::Tree(KAryNTree::new(2, 5)),
+            AnyTopology::dragonfly72(),
+            AnyTopology::megafly20(),
         ]
     }
 
@@ -242,6 +248,17 @@ mod tests {
         for topo in topologies() {
             let table = RouteTable::build(&topo);
             let mut descriptors = vec![PathDescriptor::Minimal, PathDescriptor::AdaptiveUp];
+            // MSPs are topology-generic; exercise a couple of fixed
+            // intermediate pairs everywhere (including degenerate ones).
+            let last = NodeId(topo.num_terminals() as u32 - 1);
+            descriptors.push(PathDescriptor::Msp {
+                in1: NodeId(1),
+                in2: last,
+            });
+            descriptors.push(PathDescriptor::Msp {
+                in1: last,
+                in2: NodeId(0),
+            });
             match &topo {
                 AnyTopology::Mesh(_) => {
                     descriptors.push(PathDescriptor::MeshOrder { yx: false });
@@ -252,6 +269,7 @@ mod tests {
                         descriptors.push(PathDescriptor::TreeSeed { seed });
                     }
                 }
+                _ => {}
             }
             for r in 0..topo.num_routers() {
                 for d in 0..topo.num_terminals() {

@@ -3,8 +3,8 @@
 //! arbitrary shapes and endpoint pairs.
 
 use prdrb_topology::{
-    route_len, walk_route, AltPathProvider, AnyTopology, Endpoint, KAryNTree, Mesh2D, NodeId,
-    PathDescriptor, Port, RouterId, Topology,
+    route_len, walk_route, AltPathProvider, AnyTopology, Dragonfly, Endpoint, KAryNTree, Megafly,
+    Mesh2D, NodeId, PathDescriptor, Port, RouterId, ShardPlan, Topology, LINK_CLASS_LOCAL,
 };
 use proptest::prelude::*;
 
@@ -21,8 +21,35 @@ fn tree_strategy() -> impl Strategy<Value = AnyTopology> {
     ]
 }
 
+fn dragonfly_strategy() -> impl Strategy<Value = AnyTopology> {
+    // Clamp the group count to the palm-tree bound (G = r·h ≥ a-1)
+    // instead of filtering, so every drawn tuple is a valid shape.
+    (2u32..9, 1u32..5, 1u32..4)
+        .prop_map(|(a, r, h)| AnyTopology::Dragonfly(Dragonfly::new(a.min(r * h + 1), r, h)))
+}
+
+fn megafly_strategy() -> impl Strategy<Value = AnyTopology> {
+    (2u32..7, 1u32..4, 1u32..4, 1u32..4)
+        .prop_map(|(a, l, s, h)| AnyTopology::Megafly(Megafly::new(a.min(s * h + 1), l, s, h)))
+}
+
 fn any_topology() -> impl Strategy<Value = AnyTopology> {
-    prop_oneof![mesh_strategy(), tree_strategy()]
+    prop_oneof![
+        mesh_strategy(),
+        tree_strategy(),
+        dragonfly_strategy(),
+        megafly_strategy()
+    ]
+}
+
+/// Number of LOCAL-connected components (groups) of a dragonfly-family
+/// topology — the granularity floor of the general partitioner.
+fn group_count(topo: &AnyTopology) -> u32 {
+    match topo {
+        AnyTopology::Dragonfly(d) => d.groups(),
+        AnyTopology::Megafly(m) => m.groups(),
+        _ => unreachable!(),
+    }
 }
 
 proptest! {
@@ -115,10 +142,56 @@ proptest! {
         prop_assert_eq!(len, Some(topo.distance(src, dst)));
     }
 
+    /// The general graph partitioner never produces an empty shard or a
+    /// disconnected block across random (a, r, h) dragonfly shapes and
+    /// (a, l, s, h) megafly shapes, and its cut never crosses a short
+    /// (LOCAL-class) wire.
+    #[test]
+    fn general_partition_blocks_are_nonempty_and_connected(
+        topo in prop_oneof![dragonfly_strategy(), megafly_strategy()],
+        shards in 1u32..7,
+    ) {
+        // More shards than groups cannot avoid empties (the contracted
+        // components are the granularity floor); cap like the callers do.
+        let k = shards.min(group_count(&topo));
+        let plan = ShardPlan::new(&topo, k);
+        let sizes = plan.shard_sizes();
+        prop_assert_eq!(sizes.len(), k as usize);
+        prop_assert!(sizes.iter().all(|&s| s > 0), "empty shard: {:?}", sizes);
+        prop_assert_eq!(sizes.iter().sum::<usize>(), topo.num_routers());
+        for (r, p, _) in plan.cross_links(&topo) {
+            prop_assert_ne!(topo.link_class(r, p), LINK_CLASS_LOCAL);
+        }
+        // Every block is connected in the router graph restricted to
+        // its own shard.
+        for s in 0..k {
+            let members: Vec<RouterId> = plan.routers_of(s).collect();
+            prop_assert!(!members.is_empty());
+            let mut reached = std::collections::HashSet::from([members[0]]);
+            let mut stack = vec![members[0]];
+            while let Some(r) = stack.pop() {
+                for p in 0..topo.num_ports(r) as u8 {
+                    if let Some(Endpoint::Router(nr, _)) = topo.neighbor(r, Port(p)) {
+                        if plan.shard_of_router(nr) == s && reached.insert(nr) {
+                            stack.push(nr);
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(
+                reached.len(),
+                members.len(),
+                "disconnected block on shard {} of {}",
+                s,
+                topo.label()
+            );
+        }
+    }
+
     /// MSPs through arbitrary intermediate nodes always terminate.
     #[test]
     fn arbitrary_msps_terminate(
-        topo in mesh_strategy(),
+        topo in any_topology(),
         a in 0u32..4096,
         b in 0u32..4096,
         i1 in 0u32..4096,
